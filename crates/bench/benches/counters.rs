@@ -1,0 +1,67 @@
+//! E2/E3/E4 benchmarks: the three model counters on shared DNF and CNF
+//! workloads, including the linear versus galloping level search of ApproxMC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcf0::counting::est_based::EstBackend;
+use mcf0::counting::{
+    approx_mc, approx_model_count_est, approx_model_count_min, CountingConfig, FormulaInput,
+    LevelSearch,
+};
+use mcf0::formula::exact::count_dnf_exact;
+use mcf0::formula::generators::random_k_cnf;
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0_bench::bench_dnf;
+use std::time::Duration;
+
+fn bench_counters(c: &mut Criterion) {
+    let dnf = bench_dnf(18, 12, 7);
+    let dnf_input = FormulaInput::Dnf(dnf.clone());
+    let mut cnf_rng = Xoshiro256StarStar::seed_from_u64(8);
+    let cnf = random_k_cnf(&mut cnf_rng, 10, 20, 3);
+    let cnf_input = FormulaInput::Cnf(cnf);
+    let config = CountingConfig::explicit(0.8, 0.2, 150, 5);
+    let small_config = CountingConfig::explicit(0.8, 0.3, 40, 3);
+
+    let mut group = c.benchmark_group("counters");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("approxmc_dnf_linear", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            approx_mc(&dnf_input, &config, LevelSearch::Linear, &mut rng).estimate
+        })
+    });
+    group.bench_function("approxmc_dnf_galloping", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            approx_mc(&dnf_input, &config, LevelSearch::Galloping, &mut rng).estimate
+        })
+    });
+    group.bench_function("approxmc_cnf_galloping", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            approx_mc(&cnf_input, &small_config, LevelSearch::Galloping, &mut rng).estimate
+        })
+    });
+    group.bench_function("min_counter_dnf", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+            approx_model_count_min(&dnf_input, &config, &mut rng).estimate
+        })
+    });
+    let exact = count_dnf_exact(&dnf) as f64;
+    let r = (exact * 2.0).log2().ceil().max(1.0) as u32;
+    let est_config = CountingConfig::explicit(0.5, 0.2, 24, 3);
+    group.bench_function("est_counter_dnf_enumerative", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+            approx_model_count_est(&dnf_input, &est_config, r, EstBackend::Enumerative, &mut rng)
+                .estimate
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

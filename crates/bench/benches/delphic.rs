@@ -1,0 +1,94 @@
+//! Per-item cost of the two union-size estimators over structured streams
+//! (E15 wall-clock side): the paper's hashing-based Minimum sketch versus the
+//! Remark-2 sampling-based APS estimator, plus the application-level
+//! reductions of E16.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcf0::counting::CountingConfig;
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::structured::{
+    ApsConfig, ApsEstimator, DistinctSummation, MultiDimRange, RangeDim, StructuredMinimumF0,
+    TriangleCounter,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn range_items(bits: usize, count: u64, seed: u64) -> Vec<MultiDimRange> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let lo = rng.gen_range(1 << bits);
+            let len = rng.gen_range(2000) + 1;
+            let hi = (lo + len).min((1 << bits) - 1);
+            MultiDimRange::new(vec![RangeDim::new(lo, hi, bits)])
+        })
+        .collect()
+}
+
+fn bench_union_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delphic_union");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let bits = 16usize;
+    let items = range_items(bits, 60, 0xDE1);
+    let config = CountingConfig::explicit(0.4, 0.2, 600, 5);
+
+    group.bench_function("hashing_minimum_60_ranges", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+            let mut sketch = StructuredMinimumF0::new(bits, &config, &mut rng);
+            for r in &items {
+                sketch.process_item(r);
+            }
+            black_box(sketch.estimate())
+        })
+    });
+
+    group.bench_function("sampling_aps_60_ranges", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+            let mut estimator = ApsEstimator::new(bits, ApsConfig::for_epsilon(0.4));
+            for r in &items {
+                estimator.process_item(r, &mut rng);
+            }
+            black_box(estimator.estimate())
+        })
+    });
+    group.finish();
+}
+
+fn bench_applications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let config = CountingConfig::explicit(0.4, 0.2, 600, 5);
+
+    group.bench_function("distinct_summation_500_pairs", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+            let mut summation = DistinctSummation::new(12, 9, &config, &mut rng);
+            for _ in 0..500 {
+                let key = rng.gen_range(1 << 12);
+                let value = rng.gen_range(500) + 1;
+                summation.add(key, value);
+            }
+            black_box(summation.estimate())
+        })
+    });
+
+    group.bench_function("triangle_counter_k10", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+            let n = 10u64;
+            let mut counter = TriangleCounter::new(n, &config, &mut rng);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    counter.add_edge(u, v);
+                }
+            }
+            black_box(counter.estimate())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_estimators, bench_applications);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 benchmark: distributed DNF counting protocols as the number of sites
+//! grows (wall-clock of the simulation; communication bits are reported by
+//! the `experiments` harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcf0::counting::CountingConfig;
+use mcf0::distributed::{distributed_bucketing, distributed_minimum};
+use mcf0::formula::generators::partition_dnf;
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0_bench::bench_dnf;
+use std::time::Duration;
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let formula = bench_dnf(18, 32, 11);
+    let config = CountingConfig::explicit(0.8, 0.2, 100, 5);
+
+    for &k in &[2usize, 8] {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(12);
+        let sites = partition_dnf(&mut rng, &formula, k);
+        group.bench_with_input(BenchmarkId::new("bucketing", k), &k, |b, _| {
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+                distributed_bucketing(&sites, &config, &mut rng).estimate
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("minimum", k), &k, |b, _| {
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+                distributed_minimum(&sites, &config, &mut rng).estimate
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E5 benchmark: hashing-based DNF FPRAS versus the Karp–Luby Monte-Carlo
+//! baseline as the number of terms grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcf0::counting::{
+    approx_mc, approx_model_count_min, CountingConfig, FormulaInput, LevelSearch,
+};
+use mcf0::formula::karp_luby::{karp_luby_count, KarpLubyConfig};
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0_bench::bench_dnf;
+use std::time::Duration;
+
+fn bench_dnf_fpras(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnf_fpras");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let config = CountingConfig::explicit(0.8, 0.2, 150, 5);
+    let kl_config = KarpLubyConfig::new(0.8, 0.2);
+
+    for &k in &[10usize, 40, 160] {
+        let formula = bench_dnf(22, k, 100 + k as u64);
+        let input = FormulaInput::Dnf(formula.clone());
+
+        group.bench_with_input(BenchmarkId::new("approxmc_bucketing", k), &k, |b, _| {
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+                approx_mc(&input, &config, LevelSearch::Galloping, &mut rng).estimate
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("min_based", k), &k, |b, _| {
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+                approx_model_count_min(&input, &config, &mut rng).estimate
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("karp_luby", k), &k, |b, _| {
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+                karp_luby_count(&formula, &kl_config, &mut rng).estimate
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dnf_fpras);
+criterion_main!(benches);

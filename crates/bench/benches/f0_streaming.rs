@@ -1,0 +1,62 @@
+//! E1 benchmark: per-stream processing time of the three F0 sketch
+//! strategies and the exact baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::streaming::{
+    BucketingF0, EstimationF0, ExactDistinct, F0Config, F0Sketch, MinimumF0,
+};
+use mcf0_bench::bench_stream;
+use std::time::Duration;
+
+fn bench_sketches(c: &mut Criterion) {
+    let universe_bits = 32;
+    let stream = bench_stream(universe_bits, 5_000, 20_000, 1);
+    let mut group = c.benchmark_group("f0_streaming");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function(BenchmarkId::new("exact", stream.len()), |b| {
+        b.iter(|| {
+            let mut sketch = ExactDistinct::new(universe_bits);
+            sketch.process_stream(&stream);
+            sketch.estimate()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("bucketing", stream.len()), |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+            let config = F0Config::explicit(0.8, 0.2, 150, 5);
+            let mut sketch = BucketingF0::new(universe_bits, &config, &mut rng);
+            sketch.process_stream(&stream);
+            sketch.estimate()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("minimum", stream.len()), |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+            let config = F0Config::explicit(0.8, 0.2, 150, 5);
+            let mut sketch = MinimumF0::new(universe_bits, &config, &mut rng);
+            sketch.process_stream(&stream);
+            sketch.estimate()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("estimation", stream.len()), |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+            // Smaller Thresh: the Estimation sketch evaluates Thresh·t hashes
+            // per item, so the paper-scale constant would dominate the bench.
+            let config = F0Config::explicit(0.8, 0.2, 24, 3);
+            let mut sketch = EstimationF0::new(universe_bits, &config, &mut rng);
+            sketch.process_stream(&stream);
+            sketch.estimate()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

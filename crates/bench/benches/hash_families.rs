@@ -1,0 +1,103 @@
+//! Ablation bench over the hash families (E13 wall-clock side).
+//!
+//! Measures (a) raw evaluation throughput of each family and (b) the cost of
+//! a full ApproxMC run when the cell constraints come from dense Toeplitz /
+//! XOR rows versus sparse rows — the trade-off Section 6 of the paper points
+//! to under "Sparse XORs".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcf0::counting::{approx_mc_with_sampler, FormulaInput, LevelSearch};
+use mcf0::formula::generators::random_k_cnf;
+use mcf0::gf2::BitVec;
+use mcf0::hashing::{
+    LinearHash, RowDensity, SWiseHash, SparseXorHash, ToeplitzHash, Xoshiro256StarStar, XorHash,
+};
+use mcf0_bench::bench_counting_config;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_evaluation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_eval");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let n = 64usize;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF00D);
+    let inputs: Vec<BitVec> = (0..256).map(|_| rng.random_bitvec(n)).collect();
+
+    let toeplitz = ToeplitzHash::sample(&mut rng, n, 3 * n);
+    group.bench_function("toeplitz_n64_m192", |b| {
+        b.iter(|| {
+            for x in &inputs {
+                black_box(toeplitz.eval(x));
+            }
+        })
+    });
+
+    let xor = XorHash::sample(&mut rng, n, 3 * n);
+    group.bench_function("xor_n64_m192", |b| {
+        b.iter(|| {
+            for x in &inputs {
+                black_box(xor.eval(x));
+            }
+        })
+    });
+
+    let sparse = SparseXorHash::sample(&mut rng, n, 3 * n, RowDensity::LogOverN(2.0));
+    group.bench_function("sparse_n64_m192", |b| {
+        b.iter(|| {
+            for x in &inputs {
+                black_box(sparse.eval(x));
+            }
+        })
+    });
+
+    let swise = SWiseHash::sample(&mut rng, n as u32, 10);
+    let raw_inputs: Vec<u64> = (0..256).map(|_| rng.next_u64()).collect();
+    group.bench_function("swise_s10_n64", |b| {
+        b.iter(|| {
+            for &x in &raw_inputs {
+                black_box(swise.eval_u64(x));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_approxmc_by_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approxmc_hash_family");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xF00E);
+    let n = 12usize;
+    let formula = random_k_cnf(&mut rng, n, 20, 3);
+    let input = FormulaInput::Cnf(formula);
+    let config = bench_counting_config();
+
+    group.bench_function("toeplitz", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            black_box(approx_mc_with_sampler(
+                &input,
+                &config,
+                LevelSearch::Galloping,
+                &mut rng,
+                |rng| ToeplitzHash::sample(rng, n, n),
+            ))
+        })
+    });
+
+    group.bench_function("sparse_log_over_n", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            black_box(approx_mc_with_sampler(
+                &input,
+                &config,
+                LevelSearch::Galloping,
+                &mut rng,
+                |rng| SparseXorHash::sample(rng, n, n, RowDensity::LogOverN(2.0)),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluation_throughput, bench_approxmc_by_family);
+criterion_main!(benches);

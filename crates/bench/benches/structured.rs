@@ -1,0 +1,79 @@
+//! E7–E10 benchmarks: per-item processing time of the structured-stream
+//! estimator for DNF sets, multidimensional ranges (versus dimension),
+//! arithmetic progressions and affine spaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcf0::counting::CountingConfig;
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::structured::{
+    AffineSet, DnfSet, MultiDimProgression, MultiDimRange, Progression, RangeDim,
+    StructuredMinimumF0,
+};
+use mcf0_bench::bench_dnf;
+use std::time::Duration;
+
+fn bench_structured(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structured");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let config = CountingConfig::explicit(0.8, 0.2, 100, 5);
+
+    // DNF-set items (E7).
+    let dnf_item = DnfSet::new(bench_dnf(20, 5, 21));
+    group.bench_function("process_dnf_set_item", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            let mut sketch = StructuredMinimumF0::new(20, &config, &mut rng);
+            sketch.process_item(&dnf_item);
+            sketch.estimate()
+        })
+    });
+
+    // Range items as the dimension grows (E8) — the (2n)^d term blow-up.
+    for &d in &[1usize, 2, 3] {
+        let bits = 10;
+        let range = MultiDimRange::new(
+            (0..d)
+                .map(|j| RangeDim::new(3 + j as u64, (1 << bits) - 5, bits))
+                .collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("process_range_item_dims", d), &d, |b, _| {
+            b.iter(|| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+                let mut sketch = StructuredMinimumF0::new(bits * d, &config, &mut rng);
+                sketch.process_item(&range);
+                sketch.estimate()
+            })
+        });
+    }
+
+    // Arithmetic-progression item (E9).
+    let progression = MultiDimProgression::new(vec![
+        Progression::new(5, 900, 2, 10),
+        Progression::new(0, 700, 3, 10),
+    ]);
+    group.bench_function("process_progression_item", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+            let mut sketch = StructuredMinimumF0::new(20, &config, &mut rng);
+            sketch.process_item(&progression);
+            sketch.estimate()
+        })
+    });
+
+    // Affine-space item (E10).
+    let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+    let affine = AffineSet::random_consistent(&mut rng, 32, 16);
+    group.bench_function("process_affine_item", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+            let mut sketch = StructuredMinimumF0::new(32, &config, &mut rng);
+            sketch.process_item(&affine);
+            sketch.estimate()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_structured);
+criterion_main!(benches);

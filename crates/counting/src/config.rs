@@ -1,0 +1,87 @@
+//! Accuracy configuration for the model counters.
+
+/// Parameters of a PAC (ε, δ) counting run — the counting-side twin of
+/// `mcf0_streaming::F0Config`, kept separate so the two crates do not need
+//  to depend on each other.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CountingConfig {
+    /// Relative error target ε.
+    pub epsilon: f64,
+    /// Failure probability target δ.
+    pub delta: f64,
+    /// Cell-size threshold (`Thresh = 96/ε²` in the paper).
+    pub thresh: usize,
+    /// Number of median repetitions (`t = 35·log₂(1/δ)` in the paper).
+    pub rows: usize,
+}
+
+impl CountingConfig {
+    /// The paper's parameterisation.
+    pub fn paper(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        CountingConfig {
+            epsilon,
+            delta,
+            thresh: (96.0 / (epsilon * epsilon)).ceil() as usize,
+            rows: (35.0 * (1.0 / delta).log2()).ceil().max(1.0) as usize,
+        }
+    }
+
+    /// Explicit `Thresh`/`t`, used by tests and benchmarks to bound runtime
+    /// while keeping the algorithmic shape (always reported with results).
+    pub fn explicit(epsilon: f64, delta: f64, thresh: usize, rows: usize) -> Self {
+        assert!(thresh >= 1 && rows >= 1);
+        CountingConfig {
+            epsilon,
+            delta,
+            thresh,
+            rows,
+        }
+    }
+
+    /// Independence parameter `s = ⌈10·log₂(1/ε)⌉` for the Estimation
+    /// strategy (at least 2).
+    pub fn s_wise_independence(&self) -> usize {
+        ((10.0 * (1.0 / self.epsilon).log2()).ceil() as usize).max(2)
+    }
+}
+
+/// Median of a non-empty slice of estimates.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty list");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("estimates must not be NaN"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_match() {
+        let c = CountingConfig::paper(0.8, 0.2);
+        assert_eq!(c.thresh, 150);
+        assert!(c.rows >= 81);
+    }
+
+    #[test]
+    fn explicit_overrides_are_preserved() {
+        let c = CountingConfig::explicit(0.3, 0.1, 40, 5);
+        assert_eq!(c.thresh, 40);
+        assert_eq!(c.rows, 5);
+        assert!(c.s_wise_independence() >= 2);
+    }
+
+    #[test]
+    fn median_behaviour() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[2.0, 4.0]), 3.0);
+    }
+}

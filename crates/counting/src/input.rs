@@ -1,0 +1,74 @@
+//! Formula inputs and counter outcomes.
+
+use mcf0_formula::{CnfFormula, DnfFormula};
+
+/// The formula whose models are being counted. CNF inputs are served by the
+/// NP oracle; DNF inputs use the polynomial-time subroutines (the FPRAS
+/// cases of Theorems 2 and 3).
+#[derive(Clone, Debug)]
+pub enum FormulaInput {
+    /// A CNF formula (#CNF — oracle-backed).
+    Cnf(CnfFormula),
+    /// A DNF formula (#DNF — polynomial-time subroutines).
+    Dnf(DnfFormula),
+}
+
+impl FormulaInput {
+    /// Number of variables of the underlying formula.
+    pub fn num_vars(&self) -> usize {
+        match self {
+            FormulaInput::Cnf(f) => f.num_vars(),
+            FormulaInput::Dnf(f) => f.num_vars(),
+        }
+    }
+
+    /// Size of the representation: clauses for CNF, terms for DNF.
+    pub fn size(&self) -> usize {
+        match self {
+            FormulaInput::Cnf(f) => f.num_clauses(),
+            FormulaInput::Dnf(f) => f.num_terms(),
+        }
+    }
+
+    /// True for DNF inputs (the FPRAS cases).
+    pub fn is_dnf(&self) -> bool {
+        matches!(self, FormulaInput::Dnf(_))
+    }
+}
+
+/// Outcome of a counting run.
+#[derive(Clone, Debug)]
+pub struct CountOutcome {
+    /// The (ε, δ) estimate of `|Sol(φ)|`.
+    pub estimate: f64,
+    /// Number of NP-oracle (SAT) calls issued; 0 for purely polynomial runs.
+    pub oracle_calls: u64,
+    /// Per-iteration diagnostics `(level m_i or r, cell size / statistic)`;
+    /// contents depend on the strategy and are intended for the experiment
+    /// tables, not for programmatic use.
+    pub per_iteration: Vec<(usize, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcf0_formula::{Clause, Literal, Term};
+
+    #[test]
+    fn input_accessors() {
+        let cnf = FormulaInput::Cnf(CnfFormula::new(
+            3,
+            vec![Clause::new(vec![Literal::positive(0)])],
+        ));
+        let dnf = FormulaInput::Dnf(DnfFormula::new(
+            4,
+            vec![Term::new(vec![Literal::negative(1)]), Term::empty()],
+        ));
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.size(), 1);
+        assert!(!cnf.is_dnf());
+        assert_eq!(dnf.num_vars(), 4);
+        assert_eq!(dnf.size(), 2);
+        assert!(dnf.is_dnf());
+    }
+}

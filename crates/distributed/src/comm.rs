@@ -1,0 +1,77 @@
+//! Bit-accurate communication accounting for the simulated protocols.
+
+/// Ledger of every message exchanged between sites and the coordinator.
+#[derive(Clone, Debug, Default)]
+pub struct CommLedger {
+    uplink_bits: u64,
+    downlink_bits: u64,
+    messages: u64,
+}
+
+impl CommLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        CommLedger::default()
+    }
+
+    /// Records a site → coordinator message of `bits` bits.
+    pub fn record_uplink(&mut self, bits: u64) {
+        self.uplink_bits += bits;
+        self.messages += 1;
+    }
+
+    /// Records a coordinator → site message of `bits` bits.
+    pub fn record_downlink(&mut self, bits: u64) {
+        self.downlink_bits += bits;
+        self.messages += 1;
+    }
+
+    /// Total bits sent from sites to the coordinator.
+    pub fn uplink_bits(&self) -> u64 {
+        self.uplink_bits
+    }
+
+    /// Total bits sent from the coordinator to sites (hash-function
+    /// broadcasts).
+    pub fn downlink_bits(&self) -> u64 {
+        self.downlink_bits
+    }
+
+    /// Total bits in both directions.
+    pub fn total_bits(&self) -> u64 {
+        self.uplink_bits + self.downlink_bits
+    }
+
+    /// Number of messages exchanged.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+/// Result of a distributed counting protocol run.
+#[derive(Clone, Debug)]
+pub struct DistributedOutcome {
+    /// The coordinator's (ε, δ) estimate of `|Sol(φ)|`.
+    pub estimate: f64,
+    /// Communication ledger of the run.
+    pub ledger: CommLedger,
+    /// Number of sites that participated.
+    pub sites: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_both_directions() {
+        let mut ledger = CommLedger::new();
+        ledger.record_downlink(128);
+        ledger.record_uplink(64);
+        ledger.record_uplink(32);
+        assert_eq!(ledger.downlink_bits(), 128);
+        assert_eq!(ledger.uplink_bits(), 96);
+        assert_eq!(ledger.total_bits(), 224);
+        assert_eq!(ledger.messages(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Distributed DNF counting with the Estimation strategy.
+//!
+//! The coordinator broadcasts `t · Thresh` hash functions; each site computes
+//! `FindMaxRange(φ_j, h)` for every hash — the maximum number of trailing
+//! zeros of `h(x)` over its own solutions, a single `⌈log₂ n⌉`-bit number —
+//! and uploads it. The coordinator takes the per-hash maximum over sites
+//! (max of maxima = maximum over the union) and evaluates the usual
+//! Estimation-strategy formula at the supplied `r`. Communication is
+//! Õ(k·(n + 1/ε²)·log(1/δ)) bits.
+//!
+//! With affine hashes `FindMaxRange` is polynomial even for DNF
+//! (`mcf0_sat::find_max_range_dnf`), so the sites need no oracle; the paper's
+//! open problem about DNF `FindMaxRange` concerns the s-wise polynomial
+//! family (DESIGN.md §5).
+
+use crate::comm::{CommLedger, DistributedOutcome};
+use mcf0_counting::config::{median, CountingConfig};
+use mcf0_formula::DnfFormula;
+use mcf0_hashing::{ToeplitzHash, Xoshiro256StarStar};
+use mcf0_sat::find_max_range_dnf;
+
+/// Runs the distributed Estimation protocol with a caller-supplied `r`
+/// (`2·F0 ≤ 2^r ≤ 50·F0`, as Theorem 4 assumes).
+pub fn distributed_estimation(
+    sites: &[DnfFormula],
+    config: &CountingConfig,
+    r: u32,
+    rng: &mut Xoshiro256StarStar,
+) -> DistributedOutcome {
+    assert!(!sites.is_empty(), "at least one site required");
+    assert!(r >= 1, "r must be at least 1");
+    let n = sites[0].num_vars();
+    assert!(
+        sites.iter().all(|f| f.num_vars() == n),
+        "all sites must share the variable set"
+    );
+    let thresh = config.thresh;
+    let k = sites.len();
+    let mut ledger = CommLedger::new();
+    let denominator = (1.0 - 2f64.powi(-(r as i32))).ln();
+    let per_value_bits = (usize::BITS - n.leading_zeros()) as u64 + 1;
+
+    let mut estimates = Vec::with_capacity(config.rows);
+    for _ in 0..config.rows {
+        let mut hits = 0usize;
+        for _ in 0..thresh {
+            let hash = ToeplitzHash::sample(rng, n, n);
+            ledger.record_downlink((hash.representation_bits() * k) as u64);
+            // Each site uploads its own maximum trailing-zero count.
+            let mut union_max: Option<usize> = None;
+            for site_formula in sites {
+                let local = find_max_range_dnf(site_formula, &hash);
+                ledger.record_uplink(per_value_bits);
+                if let Some(v) = local {
+                    union_max = Some(union_max.map_or(v, |u: usize| u.max(v)));
+                }
+            }
+            if union_max.is_some_and(|v| v as u32 >= r) {
+                hits += 1;
+            }
+        }
+        let rho = hits as f64 / thresh as f64;
+        if rho < 1.0 {
+            estimates.push((1.0 - rho).ln() / denominator);
+        }
+    }
+
+    let estimate = if estimates.is_empty() {
+        0.0
+    } else {
+        median(&estimates)
+    };
+    DistributedOutcome {
+        estimate,
+        ledger,
+        sites: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcf0_formula::exact::count_dnf_exact;
+    use mcf0_formula::generators::{partition_dnf, random_dnf};
+
+    fn valid_r(count: f64) -> u32 {
+        (count * 2.0).log2().ceil().max(1.0) as u32
+    }
+
+    #[test]
+    fn distributed_estimate_is_close_to_exact() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(701);
+        let f = random_dnf(&mut rng, 14, 10, (3, 6));
+        let exact = count_dnf_exact(&f) as f64;
+        let sites = partition_dnf(&mut rng, &f, 4);
+        let config = CountingConfig::explicit(0.5, 0.2, 80, 7);
+        let out = distributed_estimation(&sites, &config, valid_r(exact), &mut rng);
+        assert!(
+            out.estimate >= exact / 2.5 && out.estimate <= exact * 2.5,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn maximum_over_sites_equals_maximum_over_union() {
+        // Partitioning must not change the statistic the coordinator sees;
+        // compare against a single-site (centralised) run with identical
+        // hash draws.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(702);
+        let f = random_dnf(&mut rng, 12, 9, (2, 5));
+        let exact = count_dnf_exact(&f) as f64;
+        let config = CountingConfig::explicit(0.5, 0.2, 60, 5);
+        let r = valid_r(exact);
+        let sites = partition_dnf(&mut rng, &f, 5);
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(33);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(33);
+        let centralised = distributed_estimation(&[f], &config, r, &mut rng_a);
+        let distributed = distributed_estimation(&sites, &config, r, &mut rng_b);
+        assert_eq!(centralised.estimate, distributed.estimate);
+    }
+
+    #[test]
+    fn unsatisfiable_sites_contribute_nothing() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(703);
+        let f = random_dnf(&mut rng, 10, 4, (2, 3));
+        let exact = count_dnf_exact(&f) as f64;
+        let empty = DnfFormula::contradiction(10);
+        let config = CountingConfig::explicit(0.5, 0.3, 40, 5);
+        let r = valid_r(exact);
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(44);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(44);
+        let without = distributed_estimation(&[f.clone()], &config, r, &mut rng_a);
+        let with_empty = distributed_estimation(&[f, empty], &config, r, &mut rng_b);
+        assert_eq!(without.estimate, with_empty.estimate);
+        assert!(with_empty.ledger.total_bits() > without.ledger.total_bits());
+    }
+}

@@ -1,0 +1,293 @@
+//! CNF formulas: clauses, evaluation, restriction, DIMACS I/O.
+
+use crate::types::{literal_satisfied, Assignment, Literal};
+use std::fmt;
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Clause {
+    literals: Vec<Literal>,
+}
+
+impl Clause {
+    /// Builds a clause from literals, de-duplicating repeated literals.
+    /// A clause containing both a literal and its negation is a tautology;
+    /// it is kept as-is and evaluates to true.
+    pub fn new(mut literals: Vec<Literal>) -> Self {
+        literals.sort();
+        literals.dedup();
+        Clause { literals }
+    }
+
+    /// The literals of the clause.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// True for the empty clause (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// True if the clause contains complementary literals.
+    pub fn is_tautology(&self) -> bool {
+        self.literals
+            .iter()
+            .any(|&l| self.literals.contains(&l.negated()))
+    }
+
+    /// Evaluates the clause under a total assignment.
+    pub fn eval(&self, assignment: &Assignment) -> bool {
+        self.literals
+            .iter()
+            .any(|&l| literal_satisfied(l, assignment))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula over `num_vars` Boolean variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Builds a formula; panics if a clause mentions a variable ≥ `num_vars`.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in c.literals() {
+                assert!(
+                    l.var() < num_vars,
+                    "clause mentions variable {} but formula has {num_vars} variables",
+                    l.var()
+                );
+            }
+        }
+        CnfFormula { num_vars, clauses }
+    }
+
+    /// The formula with no clauses (every assignment satisfies it).
+    pub fn tautology(num_vars: usize) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables `n`.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause.
+    pub fn push_clause(&mut self, clause: Clause) {
+        for l in clause.literals() {
+            assert!(l.var() < self.num_vars);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn eval(&self, assignment: &Assignment) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment width mismatch");
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Conjunction of two formulas over the same variable set.
+    pub fn and(&self, other: &CnfFormula) -> CnfFormula {
+        assert_eq!(self.num_vars, other.num_vars);
+        let mut clauses = self.clauses.clone();
+        clauses.extend(other.clauses.iter().cloned());
+        CnfFormula {
+            num_vars: self.num_vars,
+            clauses,
+        }
+    }
+
+    /// Parses a DIMACS CNF file.
+    ///
+    /// Comment lines (`c …`) are ignored; the problem line `p cnf <vars>
+    /// <clauses>` fixes the variable count; each clause is a sequence of
+    /// non-zero integers terminated by `0` (possibly spanning lines).
+    pub fn parse_dimacs(text: &str) -> Result<CnfFormula, String> {
+        let mut num_vars: Option<usize> = None;
+        let mut clauses = Vec::new();
+        let mut current: Vec<Literal> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p ") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() < 3 || parts[0] != "cnf" {
+                    return Err(format!("malformed problem line: {line}"));
+                }
+                num_vars = Some(
+                    parts[1]
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad variable count: {e}"))?,
+                );
+                continue;
+            }
+            for token in line.split_whitespace() {
+                let value: i64 = token
+                    .parse()
+                    .map_err(|e| format!("bad literal {token:?}: {e}"))?;
+                if value == 0 {
+                    clauses.push(Clause::new(std::mem::take(&mut current)));
+                } else {
+                    current.push(Literal::from_dimacs(value));
+                }
+            }
+        }
+        if !current.is_empty() {
+            clauses.push(Clause::new(current));
+        }
+        let num_vars = num_vars.ok_or_else(|| "missing problem line".to_string())?;
+        let max_var = clauses
+            .iter()
+            .flat_map(|c| c.literals())
+            .map(|l| l.var() + 1)
+            .max()
+            .unwrap_or(0);
+        if max_var > num_vars {
+            return Err(format!(
+                "clause mentions variable {max_var} but header declares {num_vars}"
+            ));
+        }
+        Ok(CnfFormula::new(num_vars, clauses))
+    }
+
+    /// Serialises the formula in DIMACS format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c.literals() {
+                out.push_str(&l.to_dimacs().to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcf0_gf2::BitVec;
+
+    fn assignment(bits: u64, n: usize) -> Assignment {
+        // bit i of `bits` (LSB) = variable i
+        let mut a = BitVec::zeros(n);
+        for i in 0..n {
+            a.set(i, (bits >> i) & 1 == 1);
+        }
+        a
+    }
+
+    #[test]
+    fn clause_eval() {
+        let c = Clause::new(vec![Literal::positive(0), Literal::negative(2)]);
+        assert!(c.eval(&assignment(0b001, 3)));
+        assert!(c.eval(&assignment(0b000, 3)));
+        assert!(!c.eval(&assignment(0b100, 3)));
+    }
+
+    #[test]
+    fn tautology_detection_and_dedup() {
+        let c = Clause::new(vec![
+            Literal::positive(1),
+            Literal::negative(1),
+            Literal::positive(1),
+        ]);
+        assert!(c.is_tautology());
+        assert_eq!(c.len(), 2);
+        let d = Clause::new(vec![Literal::positive(0), Literal::positive(0)]);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn formula_eval_counts_solutions() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x2): brute force count = 4 over 3 vars:
+        // x0=0: need x1=1, x2 free -> 2; x0=1: need x2=1, x1 free -> 2.
+        let f = CnfFormula::new(
+            3,
+            vec![
+                Clause::new(vec![Literal::positive(0), Literal::positive(1)]),
+                Clause::new(vec![Literal::negative(0), Literal::positive(2)]),
+            ],
+        );
+        let count = (0..8u64).filter(|&b| f.eval(&assignment(b, 3))).count();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let text = "c example\np cnf 3 2\n1 2 0\n-1 3 0\n";
+        let f = CnfFormula::parse_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        let reparsed = CnfFormula::parse_dimacs(&f.to_dimacs()).unwrap();
+        assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed_input() {
+        assert!(CnfFormula::parse_dimacs("1 2 0\n").is_err()); // missing header
+        assert!(CnfFormula::parse_dimacs("p cnf 1 1\n1 5 0\n").is_err()); // var out of range
+        assert!(CnfFormula::parse_dimacs("p dnf 3 1\n1 0\n").is_err()); // wrong format tag
+    }
+
+    #[test]
+    fn empty_formula_is_tautology() {
+        let f = CnfFormula::tautology(4);
+        for b in 0..16u64 {
+            assert!(f.eval(&assignment(b, 4)));
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! DNF formulas: terms (cubes), evaluation, a small text format, and the
+//! cube structure that makes the paper's DNF subroutines polynomial time.
+
+use crate::cnf::{Clause, CnfFormula};
+use crate::types::{literal_satisfied, Assignment, Literal};
+use std::fmt;
+
+/// A conjunction of literals (a cube / sub-cube of the assignment space).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Term {
+    literals: Vec<Literal>,
+}
+
+impl Term {
+    /// Builds a term from literals, de-duplicating repeats. A term containing
+    /// complementary literals is contradictory and has no solutions.
+    pub fn new(mut literals: Vec<Literal>) -> Self {
+        literals.sort();
+        literals.dedup();
+        Term { literals }
+    }
+
+    /// The empty term (satisfied by every assignment).
+    pub fn empty() -> Self {
+        Term {
+            literals: Vec::new(),
+        }
+    }
+
+    /// The literals of the term.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Width (number of literals) of the term.
+    pub fn width(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// True if the term contains complementary literals.
+    pub fn is_contradictory(&self) -> bool {
+        self.literals
+            .iter()
+            .any(|&l| self.literals.contains(&l.negated()))
+    }
+
+    /// The polarity forced on `var` by this term, if any.
+    pub fn polarity_of(&self, var: usize) -> Option<bool> {
+        self.literals
+            .iter()
+            .find(|l| l.var() == var)
+            .map(|l| l.is_positive())
+    }
+
+    /// Evaluates the term under a total assignment.
+    pub fn eval(&self, assignment: &Assignment) -> bool {
+        self.literals
+            .iter()
+            .all(|&l| literal_satisfied(l, assignment))
+    }
+
+    /// Number of satisfying assignments of the term over `num_vars`
+    /// variables (`2^(n - width)`, or 0 for a contradictory term).
+    pub fn solution_count(&self, num_vars: usize) -> u128 {
+        if self.is_contradictory() {
+            0
+        } else {
+            1u128 << (num_vars - self.width())
+        }
+    }
+
+    /// The fixed-variable view `(var, value)*` used to build the hashed image
+    /// of the term as an affine subspace.
+    pub fn fixed_assignments(&self) -> Vec<(usize, bool)> {
+        self.literals
+            .iter()
+            .map(|l| (l.var(), l.is_positive()))
+            .collect()
+    }
+
+    /// Conjunction of two terms; `None` if they conflict.
+    pub fn conjoin(&self, other: &Term) -> Option<Term> {
+        let mut lits = self.literals.clone();
+        lits.extend(other.literals.iter().copied());
+        let t = Term::new(lits);
+        if t.is_contradictory() {
+            None
+        } else {
+            Some(t)
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return write!(f, "⊤");
+        }
+        write!(f, "(")?;
+        for (i, l) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A DNF formula (disjunction of terms) over `num_vars` variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DnfFormula {
+    num_vars: usize,
+    terms: Vec<Term>,
+}
+
+impl DnfFormula {
+    /// Builds a formula; panics if a term mentions a variable ≥ `num_vars`.
+    pub fn new(num_vars: usize, terms: Vec<Term>) -> Self {
+        for t in &terms {
+            for l in t.literals() {
+                assert!(
+                    l.var() < num_vars,
+                    "term mentions variable {} but formula has {num_vars} variables",
+                    l.var()
+                );
+            }
+        }
+        DnfFormula { num_vars, terms }
+    }
+
+    /// The empty DNF (no terms — unsatisfiable).
+    pub fn contradiction(num_vars: usize) -> Self {
+        DnfFormula {
+            num_vars,
+            terms: Vec::new(),
+        }
+    }
+
+    /// A DNF whose solutions are exactly the given assignments
+    /// (one full-width term per assignment) — the "a stream is a DNF formula"
+    /// viewpoint from the introduction of the paper.
+    pub fn from_assignments(num_vars: usize, assignments: &[Assignment]) -> Self {
+        let terms = assignments
+            .iter()
+            .map(|a| {
+                assert_eq!(a.len(), num_vars);
+                Term::new(
+                    (0..num_vars)
+                        .map(|v| {
+                            if a.get(v) {
+                                Literal::positive(v)
+                            } else {
+                                Literal::negative(v)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        DnfFormula { num_vars, terms }
+    }
+
+    /// Number of variables `n`.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of terms `k` (the size of the DNF in the paper's sense).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Adds a term.
+    pub fn push_term(&mut self, term: Term) {
+        for l in term.literals() {
+            assert!(l.var() < self.num_vars);
+        }
+        self.terms.push(term);
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn eval(&self, assignment: &Assignment) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment width mismatch");
+        self.terms.iter().any(|t| t.eval(assignment))
+    }
+
+    /// Disjunction of two DNF formulas over the same variable set.
+    pub fn or(&self, other: &DnfFormula) -> DnfFormula {
+        assert_eq!(self.num_vars, other.num_vars);
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        DnfFormula {
+            num_vars: self.num_vars,
+            terms,
+        }
+    }
+
+    /// The negation of the DNF as a CNF formula (De Morgan), useful for
+    /// differential testing against the CNF machinery.
+    pub fn negate_to_cnf(&self) -> CnfFormula {
+        let clauses = self
+            .terms
+            .iter()
+            .map(|t| Clause::new(t.literals().iter().map(|l| l.negated()).collect()))
+            .collect();
+        CnfFormula::new(self.num_vars, clauses)
+    }
+
+    /// Parses the small text format used by examples and tests:
+    /// one term per line, literals as signed 1-based integers
+    /// (e.g. `1 -3 4`), blank lines and `c`-prefixed comments ignored.
+    /// A leading header line `p dnf <vars> <terms>` fixes the variable count.
+    pub fn parse_text(text: &str) -> Result<DnfFormula, String> {
+        let mut num_vars: Option<usize> = None;
+        let mut terms = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p ") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() < 2 || parts[0] != "dnf" {
+                    return Err(format!("malformed problem line: {line}"));
+                }
+                num_vars = Some(
+                    parts[1]
+                        .parse()
+                        .map_err(|e| format!("bad variable count: {e}"))?,
+                );
+                continue;
+            }
+            let mut lits = Vec::new();
+            for token in line.split_whitespace() {
+                let value: i64 = token
+                    .parse()
+                    .map_err(|e| format!("bad literal {token:?}: {e}"))?;
+                if value == 0 {
+                    break;
+                }
+                lits.push(Literal::from_dimacs(value));
+            }
+            terms.push(Term::new(lits));
+        }
+        let num_vars = match num_vars {
+            Some(n) => n,
+            None => terms
+                .iter()
+                .flat_map(|t| t.literals())
+                .map(|l| l.var() + 1)
+                .max()
+                .unwrap_or(0),
+        };
+        for t in &terms {
+            for l in t.literals() {
+                if l.var() >= num_vars {
+                    return Err(format!(
+                        "term mentions variable {} but header declares {num_vars}",
+                        l.var() + 1
+                    ));
+                }
+            }
+        }
+        Ok(DnfFormula::new(num_vars, terms))
+    }
+
+    /// Serialises the formula in the text format accepted by
+    /// [`DnfFormula::parse_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = format!("p dnf {} {}\n", self.num_vars, self.terms.len());
+        for t in &self.terms {
+            for l in t.literals() {
+                out.push_str(&l.to_dimacs().to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for DnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "⊥");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcf0_gf2::BitVec;
+
+    fn assignment(bits: u64, n: usize) -> Assignment {
+        let mut a = BitVec::zeros(n);
+        for i in 0..n {
+            a.set(i, (bits >> i) & 1 == 1);
+        }
+        a
+    }
+
+    #[test]
+    fn term_solution_count() {
+        let t = Term::new(vec![Literal::positive(0), Literal::negative(2)]);
+        assert_eq!(t.solution_count(5), 8);
+        let contradictory = Term::new(vec![Literal::positive(1), Literal::negative(1)]);
+        assert!(contradictory.is_contradictory());
+        assert_eq!(contradictory.solution_count(5), 0);
+        assert_eq!(Term::empty().solution_count(5), 32);
+    }
+
+    #[test]
+    fn dnf_eval_matches_brute_force_union() {
+        // (x0 ∧ x1) ∨ (¬x2): over 3 vars.
+        let f = DnfFormula::new(
+            3,
+            vec![
+                Term::new(vec![Literal::positive(0), Literal::positive(1)]),
+                Term::new(vec![Literal::negative(2)]),
+            ],
+        );
+        let count = (0..8u64).filter(|&b| f.eval(&assignment(b, 3))).count();
+        // ¬x2: 4 assignments; x0∧x1∧x2: 1 extra; total 5.
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn from_assignments_has_exactly_those_solutions() {
+        let sols = vec![assignment(0b011, 4), assignment(0b1100, 4)];
+        let f = DnfFormula::from_assignments(4, &sols);
+        for b in 0..16u64 {
+            let a = assignment(b, 4);
+            assert_eq!(f.eval(&a), sols.contains(&a), "b={b:04b}");
+        }
+    }
+
+    #[test]
+    fn negate_to_cnf_is_complement() {
+        let f = DnfFormula::new(
+            3,
+            vec![
+                Term::new(vec![Literal::positive(0), Literal::negative(1)]),
+                Term::new(vec![Literal::positive(2)]),
+            ],
+        );
+        let neg = f.negate_to_cnf();
+        for b in 0..8u64 {
+            let a = assignment(b, 3);
+            assert_eq!(f.eval(&a), !neg.eval(&a));
+        }
+    }
+
+    #[test]
+    fn text_format_roundtrip() {
+        let text = "c a comment\np dnf 4 2\n1 -2 0\n3 4 0\n";
+        let f = DnfFormula::parse_text(text).unwrap();
+        assert_eq!(f.num_vars(), 4);
+        assert_eq!(f.num_terms(), 2);
+        let reparsed = DnfFormula::parse_text(&f.to_text()).unwrap();
+        assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn parse_without_header_infers_num_vars() {
+        let f = DnfFormula::parse_text("1 -5 0\n2 0\n").unwrap();
+        assert_eq!(f.num_vars(), 5);
+        assert_eq!(f.num_terms(), 2);
+    }
+
+    #[test]
+    fn conjoin_detects_conflicts() {
+        let a = Term::new(vec![Literal::positive(0)]);
+        let b = Term::new(vec![Literal::negative(0)]);
+        let c = Term::new(vec![Literal::positive(1)]);
+        assert!(a.conjoin(&b).is_none());
+        assert_eq!(a.conjoin(&c).unwrap().width(), 2);
+    }
+}

@@ -1,0 +1,372 @@
+//! Exact model counters used as ground truth for every PAC guarantee the
+//! experiments check.
+//!
+//! * brute force (`count_*_brute_force`) for small variable counts;
+//! * a DPLL-style counter for #CNF with unit propagation and free-variable
+//!   multiplication;
+//! * an exact #DNF counter by disjoint cube decomposition (count the
+//!   assignments satisfying term `i` but none of the earlier terms), which is
+//!   exponential only in pathological overlap patterns and is fast on the
+//!   instance sizes used for ground truth.
+
+use crate::cnf::{Clause, CnfFormula};
+use crate::dnf::{DnfFormula, Term};
+use crate::types::Literal;
+use mcf0_gf2::BitVec;
+
+/// Brute-force #CNF by enumerating all assignments (requires ≤ 28 variables).
+pub fn count_cnf_brute_force(formula: &CnfFormula) -> u128 {
+    let n = formula.num_vars();
+    assert!(n <= 28, "brute force supports at most 28 variables");
+    let mut count = 0u128;
+    let mut assignment = BitVec::zeros(n);
+    for value in 0..(1u64 << n) {
+        for i in 0..n {
+            assignment.set(i, (value >> i) & 1 == 1);
+        }
+        if formula.eval(&assignment) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Brute-force #DNF by enumerating all assignments (requires ≤ 28 variables).
+pub fn count_dnf_brute_force(formula: &DnfFormula) -> u128 {
+    let n = formula.num_vars();
+    assert!(n <= 28, "brute force supports at most 28 variables");
+    let mut count = 0u128;
+    let mut assignment = BitVec::zeros(n);
+    for value in 0..(1u64 << n) {
+        for i in 0..n {
+            assignment.set(i, (value >> i) & 1 == 1);
+        }
+        if formula.eval(&assignment) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Exact #CNF by a DPLL-style counting procedure: unit propagation, early
+/// termination on empty clause sets (multiply by `2^free`), and branching on
+/// the first unassigned variable of the first clause.
+pub fn count_cnf_dpll(formula: &CnfFormula) -> u128 {
+    // Clauses as literal lists; assignment as Option<bool> per variable.
+    let clauses: Vec<Vec<Literal>> = formula
+        .clauses()
+        .iter()
+        .map(|c| c.literals().to_vec())
+        .collect();
+    let mut assignment: Vec<Option<bool>> = vec![None; formula.num_vars()];
+    count_dpll_rec(&clauses, &mut assignment)
+}
+
+fn count_dpll_rec(clauses: &[Vec<Literal>], assignment: &mut Vec<Option<bool>>) -> u128 {
+    // Unit propagation; remember trail to undo.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut propagated = false;
+        let mut conflict = false;
+        for clause in clauses {
+            let mut satisfied = false;
+            let mut unassigned: Option<Literal> = None;
+            let mut unassigned_count = 0;
+            for &lit in clause {
+                match assignment[lit.var()] {
+                    Some(v) => {
+                        if lit.eval(v) {
+                            satisfied = true;
+                            break;
+                        }
+                    }
+                    None => {
+                        unassigned_count += 1;
+                        unassigned = Some(lit);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => {
+                    conflict = true;
+                    break;
+                }
+                1 => {
+                    let lit = unassigned.unwrap();
+                    assignment[lit.var()] = Some(lit.is_positive());
+                    trail.push(lit.var());
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if conflict {
+            for v in trail {
+                assignment[v] = None;
+            }
+            return 0;
+        }
+        if !propagated {
+            break;
+        }
+    }
+
+    // Pick a branching variable from an unsatisfied clause, if any.
+    let mut branch_var: Option<usize> = None;
+    let mut all_satisfied = true;
+    for clause in clauses {
+        let mut satisfied = false;
+        let mut candidate = None;
+        for &lit in clause {
+            match assignment[lit.var()] {
+                Some(v) if lit.eval(v) => {
+                    satisfied = true;
+                    break;
+                }
+                None if candidate.is_none() => candidate = Some(lit.var()),
+                _ => {}
+            }
+        }
+        if !satisfied {
+            all_satisfied = false;
+            if let Some(v) = candidate {
+                branch_var = Some(v);
+                break;
+            }
+        }
+    }
+
+    let result = if all_satisfied {
+        let free = assignment.iter().filter(|a| a.is_none()).count();
+        1u128 << free
+    } else if let Some(v) = branch_var {
+        let mut total = 0u128;
+        for value in [false, true] {
+            assignment[v] = Some(value);
+            total += count_dpll_rec(clauses, assignment);
+        }
+        assignment[v] = None;
+        total
+    } else {
+        // An unsatisfied clause with no unassigned literal would have been a
+        // conflict during propagation; reaching here means unsatisfiable.
+        0
+    };
+
+    for v in trail {
+        assignment[v] = None;
+    }
+    result
+}
+
+/// Exact #DNF by disjoint cube decomposition.
+///
+/// `|T_1 ∪ … ∪ T_k| = Σ_i |T_i \ (T_1 ∪ … ∪ T_{i-1})|`, and each term of the
+/// sum is computed by recursively splitting the cube `T_i` against the
+/// earlier cubes (the classical "cube subtraction" used by exact DNF
+/// counters).
+pub fn count_dnf_exact(formula: &DnfFormula) -> u128 {
+    let n = formula.num_vars();
+    let terms: Vec<&Term> = formula
+        .terms()
+        .iter()
+        .filter(|t| !t.is_contradictory())
+        .collect();
+    let mut total = 0u128;
+    for (i, term) in terms.iter().enumerate() {
+        total += count_cube_minus(n, term, &terms[..i]);
+    }
+    total
+}
+
+/// Number of assignments satisfying `cube` but none of `earlier`.
+fn count_cube_minus(n: usize, cube: &Term, earlier: &[&Term]) -> u128 {
+    // Find the first earlier cube compatible with `cube`.
+    for (idx, other) in earlier.iter().enumerate() {
+        match cube.conjoin(other) {
+            None => continue, // disjoint from `other`; it cannot remove anything
+            Some(_) => {
+                // Split `cube` along the literals of `other` that are not
+                // already fixed by `cube`, producing disjoint sub-cubes that
+                // avoid `other`, and recurse against the remaining cubes.
+                let mut free_lits: Vec<Literal> = Vec::new();
+                for &lit in other.literals() {
+                    if cube.polarity_of(lit.var()).is_none() {
+                        free_lits.push(lit);
+                    }
+                }
+                if free_lits.is_empty() {
+                    // `cube` is entirely contained in `other`: nothing survives.
+                    return 0;
+                }
+                let mut total = 0u128;
+                let mut prefix = cube.clone();
+                for lit in free_lits {
+                    // Sub-cube: prefix ∧ ¬lit (avoids `other` via this literal),
+                    // with all previous free literals fixed to their `other` value.
+                    let sub = prefix
+                        .conjoin(&Term::new(vec![lit.negated()]))
+                        .expect("literal variable is free in prefix");
+                    total += count_cube_minus(n, &sub, &earlier[idx + 1..]);
+                    prefix = prefix
+                        .conjoin(&Term::new(vec![lit]))
+                        .expect("literal variable is free in prefix");
+                }
+                return total;
+            }
+        }
+    }
+    // No earlier cube intersects: the whole cube survives.
+    cube.solution_count(n)
+}
+
+/// Exact #CNF for formulas that are conjunctions of the negations of cubes
+/// (i.e. `¬DNF`), computed as `2^n − count_dnf_exact(DNF)`. Provided as a
+/// convenience for differential tests.
+pub fn count_negated_dnf(formula: &DnfFormula) -> u128 {
+    (1u128 << formula.num_vars()) - count_dnf_exact(formula)
+}
+
+/// Enumerates all satisfying assignments of a CNF formula (≤ 24 variables),
+/// mainly for small-scale differential tests of the solver.
+pub fn enumerate_cnf_solutions(formula: &CnfFormula) -> Vec<BitVec> {
+    let n = formula.num_vars();
+    assert!(n <= 24, "enumeration supports at most 24 variables");
+    let mut out = Vec::new();
+    let mut assignment = BitVec::zeros(n);
+    for value in 0..(1u64 << n) {
+        for i in 0..n {
+            assignment.set(i, (value >> i) & 1 == 1);
+        }
+        if formula.eval(&assignment) {
+            out.push(assignment.clone());
+        }
+    }
+    out
+}
+
+/// Enumerates all satisfying assignments of a DNF formula (≤ 24 variables).
+pub fn enumerate_dnf_solutions(formula: &DnfFormula) -> Vec<BitVec> {
+    let n = formula.num_vars();
+    assert!(n <= 24, "enumeration supports at most 24 variables");
+    let mut out = Vec::new();
+    let mut assignment = BitVec::zeros(n);
+    for value in 0..(1u64 << n) {
+        for i in 0..n {
+            assignment.set(i, (value >> i) & 1 == 1);
+        }
+        if formula.eval(&assignment) {
+            out.push(assignment.clone());
+        }
+    }
+    out
+}
+
+/// Helper: `true` iff a clause set is empty or trivially satisfied — used in
+/// sanity tests of the DPLL counter.
+pub fn cnf_is_trivially_true(formula: &CnfFormula) -> bool {
+    formula.clauses().iter().all(Clause::is_tautology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{planted_dnf, random_dnf, random_k_cnf};
+    use mcf0_hashing::Xoshiro256StarStar;
+
+    #[test]
+    fn dpll_matches_brute_force_on_random_cnf() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..20 {
+            let f = random_k_cnf(&mut rng, 10, 20, 3);
+            assert_eq!(count_cnf_dpll(&f), count_cnf_brute_force(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn dpll_handles_edge_cases() {
+        // Tautology (no clauses): all 2^n assignments.
+        assert_eq!(count_cnf_dpll(&CnfFormula::tautology(5)), 32);
+        // A single empty clause: unsatisfiable.
+        let unsat = CnfFormula::new(3, vec![Clause::new(vec![])]);
+        assert_eq!(count_cnf_dpll(&unsat), 0);
+        // x0 ∧ ¬x0 via two unit clauses: unsatisfiable.
+        let f = CnfFormula::new(
+            2,
+            vec![
+                Clause::new(vec![Literal::positive(0)]),
+                Clause::new(vec![Literal::negative(0)]),
+            ],
+        );
+        assert_eq!(count_cnf_dpll(&f), 0);
+    }
+
+    #[test]
+    fn exact_dnf_matches_brute_force_on_random_dnf() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        for _ in 0..20 {
+            let f = random_dnf(&mut rng, 12, 15, (2, 5));
+            assert_eq!(count_dnf_exact(&f), count_dnf_brute_force(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn exact_dnf_on_planted_instances() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let (f, _) = planted_dnf(&mut rng, 14, 321);
+        assert_eq!(count_dnf_exact(&f), 321);
+    }
+
+    #[test]
+    fn exact_dnf_handles_overlapping_and_contained_terms() {
+        // x0 ∨ (x0 ∧ x1): second term contained in first — count = |x0| = 4 over 3 vars.
+        let f = DnfFormula::new(
+            3,
+            vec![
+                Term::new(vec![Literal::positive(0)]),
+                Term::new(vec![Literal::positive(0), Literal::positive(1)]),
+            ],
+        );
+        assert_eq!(count_dnf_exact(&f), 4);
+        // Empty DNF: zero.
+        assert_eq!(count_dnf_exact(&DnfFormula::contradiction(4)), 0);
+        // A single empty term: all assignments.
+        let top = DnfFormula::new(4, vec![Term::empty()]);
+        assert_eq!(count_dnf_exact(&top), 16);
+    }
+
+    #[test]
+    fn negated_dnf_complement_identity() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let f = random_dnf(&mut rng, 10, 8, (1, 4));
+        let neg_cnf = f.negate_to_cnf();
+        assert_eq!(count_negated_dnf(&f), count_cnf_brute_force(&neg_cnf));
+        assert_eq!(count_negated_dnf(&f), count_cnf_dpll(&neg_cnf));
+    }
+
+    #[test]
+    fn enumeration_agrees_with_counts() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let f = random_k_cnf(&mut rng, 9, 18, 3);
+        assert_eq!(enumerate_cnf_solutions(&f).len() as u128, count_cnf_dpll(&f));
+        let g = random_dnf(&mut rng, 9, 6, (2, 4));
+        assert_eq!(enumerate_dnf_solutions(&g).len() as u128, count_dnf_exact(&g));
+    }
+
+    #[test]
+    fn dpll_counts_large_free_variable_blocks() {
+        // A formula over 60 variables mentioning only 3 of them:
+        // (x0 ∨ x1) ∧ x2 has 3 · 2^57 solutions... too large for u64 but fine in u128.
+        let f = CnfFormula::new(
+            60,
+            vec![
+                Clause::new(vec![Literal::positive(0), Literal::positive(1)]),
+                Clause::new(vec![Literal::positive(2)]),
+            ],
+        );
+        assert_eq!(count_cnf_dpll(&f), 3u128 << 57);
+    }
+}

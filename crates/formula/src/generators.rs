@@ -1,0 +1,243 @@
+//! Workload generators for the experiments, examples and tests.
+//!
+//! The paper's guarantees are worst-case PAC statements, so the evaluation
+//! sweeps synthetic instances whose ground-truth counts are computable:
+//! random k-CNF near and below the satisfiability threshold, random DNF with
+//! controlled term widths, and "planted" instances whose solution set is an
+//! explicit list (handy for differential testing because the exact count is
+//! known by construction).
+
+use crate::cnf::{Clause, CnfFormula};
+use crate::dnf::{DnfFormula, Term};
+use crate::types::{Assignment, Literal};
+use mcf0_gf2::BitVec;
+use mcf0_hashing::Xoshiro256StarStar;
+
+/// Generates a uniformly random k-CNF formula with `num_clauses` clauses over
+/// `num_vars` variables (distinct variables within each clause, random
+/// polarities).
+pub fn random_k_cnf(
+    rng: &mut Xoshiro256StarStar,
+    num_vars: usize,
+    num_clauses: usize,
+    k: usize,
+) -> CnfFormula {
+    assert!(k >= 1 && k <= num_vars, "clause width must be in 1..=num_vars");
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let vars = rng.sample_distinct(num_vars, k);
+            Clause::new(
+                vars.into_iter()
+                    .map(|v| {
+                        if rng.next_bool() {
+                            Literal::positive(v)
+                        } else {
+                            Literal::negative(v)
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    CnfFormula::new(num_vars, clauses)
+}
+
+/// Generates a random DNF formula with `num_terms` terms whose widths are
+/// drawn uniformly from `width_range` (distinct variables within each term).
+pub fn random_dnf(
+    rng: &mut Xoshiro256StarStar,
+    num_vars: usize,
+    num_terms: usize,
+    width_range: (usize, usize),
+) -> DnfFormula {
+    let (lo, hi) = width_range;
+    assert!(lo >= 1 && lo <= hi && hi <= num_vars, "bad width range");
+    let terms = (0..num_terms)
+        .map(|_| {
+            let w = rng.gen_range_inclusive(lo as u64, hi as u64) as usize;
+            let vars = rng.sample_distinct(num_vars, w);
+            Term::new(
+                vars.into_iter()
+                    .map(|v| {
+                        if rng.next_bool() {
+                            Literal::positive(v)
+                        } else {
+                            Literal::negative(v)
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    DnfFormula::new(num_vars, terms)
+}
+
+/// Draws `count` distinct random assignments over `num_vars` variables
+/// (requires `count ≤ 2^num_vars`; intended for `num_vars ≤ 48`).
+pub fn random_distinct_assignments(
+    rng: &mut Xoshiro256StarStar,
+    num_vars: usize,
+    count: usize,
+) -> Vec<Assignment> {
+    assert!(num_vars <= 48, "planted assignment sets support at most 48 variables");
+    assert!((count as u128) <= (1u128 << num_vars), "not enough assignments exist");
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let value = rng.gen_range(1u64 << num_vars);
+        if seen.insert(value) {
+            let mut a = BitVec::zeros(num_vars);
+            for i in 0..num_vars {
+                a.set(i, (value >> i) & 1 == 1);
+            }
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// A planted instance: a DNF formula whose solution set is an explicit list
+/// of `count` distinct random assignments (so the exact model count equals
+/// `count` by construction).
+pub fn planted_dnf(
+    rng: &mut Xoshiro256StarStar,
+    num_vars: usize,
+    count: usize,
+) -> (DnfFormula, Vec<Assignment>) {
+    let sols = random_distinct_assignments(rng, num_vars, count);
+    (DnfFormula::from_assignments(num_vars, &sols), sols)
+}
+
+/// A CNF formula whose solution set is exactly the given assignment list,
+/// built as the negation (De Morgan) of the complement DNF would be too
+/// large; instead we use the standard "at least one solution matches"
+/// encoding: for every non-solution pattern we cannot enumerate, so this
+/// generator takes the dual route — it returns the CNF
+/// `⋀_{non-solutions s in the prefix cube}` only for *small* `num_vars`
+/// (≤ 16), by enumerating the complement.
+///
+/// This is intended purely for ground-truth testing of the CNF-side counters
+/// on instances where brute force is feasible.
+pub fn planted_cnf_small(
+    rng: &mut Xoshiro256StarStar,
+    num_vars: usize,
+    count: usize,
+) -> (CnfFormula, Vec<Assignment>) {
+    assert!(num_vars <= 16, "planted_cnf_small supports at most 16 variables");
+    let sols = random_distinct_assignments(rng, num_vars, count);
+    let solution_set: std::collections::HashSet<u64> =
+        sols.iter().map(|a| (0..num_vars).fold(0u64, |acc, i| acc | ((a.get(i) as u64) << i))).collect();
+    let mut clauses = Vec::new();
+    for value in 0..(1u64 << num_vars) {
+        if solution_set.contains(&value) {
+            continue;
+        }
+        // Block this non-solution with one clause.
+        let lits = (0..num_vars)
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    Literal::negative(i)
+                } else {
+                    Literal::positive(i)
+                }
+            })
+            .collect();
+        clauses.push(Clause::new(lits));
+    }
+    (CnfFormula::new(num_vars, clauses), sols)
+}
+
+/// Partitions the terms of a DNF formula into `k` sub-formulas
+/// (round-robin after a shuffle), as required by the distributed DNF
+/// counting setting of Section 4.
+pub fn partition_dnf(
+    rng: &mut Xoshiro256StarStar,
+    formula: &DnfFormula,
+    k: usize,
+) -> Vec<DnfFormula> {
+    assert!(k >= 1);
+    let mut indices: Vec<usize> = (0..formula.num_terms()).collect();
+    rng.shuffle(&mut indices);
+    let mut parts: Vec<Vec<Term>> = vec![Vec::new(); k];
+    for (slot, &term_idx) in indices.iter().enumerate() {
+        parts[slot % k].push(formula.terms()[term_idx].clone());
+    }
+    parts
+        .into_iter()
+        .map(|terms| DnfFormula::new(formula.num_vars(), terms))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(0xFEED_FACE)
+    }
+
+    #[test]
+    fn random_k_cnf_shape() {
+        let mut rng = rng();
+        let f = random_k_cnf(&mut rng, 20, 50, 3);
+        assert_eq!(f.num_vars(), 20);
+        assert_eq!(f.num_clauses(), 50);
+        for c in f.clauses() {
+            assert_eq!(c.len(), 3);
+            let mut vars: Vec<usize> = c.literals().iter().map(|l| l.var()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "variables within a clause must be distinct");
+        }
+    }
+
+    #[test]
+    fn random_dnf_widths_within_range() {
+        let mut rng = rng();
+        let f = random_dnf(&mut rng, 16, 30, (2, 5));
+        assert_eq!(f.num_terms(), 30);
+        for t in f.terms() {
+            assert!((2..=5).contains(&t.width()));
+            assert!(!t.is_contradictory());
+        }
+    }
+
+    #[test]
+    fn planted_dnf_count_matches_by_construction() {
+        let mut rng = rng();
+        let (f, sols) = planted_dnf(&mut rng, 12, 100);
+        assert_eq!(exact::count_dnf_brute_force(&f), 100);
+        for s in &sols {
+            assert!(f.eval(s));
+        }
+    }
+
+    #[test]
+    fn planted_cnf_small_count_matches() {
+        let mut rng = rng();
+        let (f, sols) = planted_cnf_small(&mut rng, 8, 17);
+        assert_eq!(exact::count_cnf_brute_force(&f), 17);
+        for s in &sols {
+            assert!(f.eval(s));
+        }
+    }
+
+    #[test]
+    fn partition_preserves_all_terms() {
+        let mut rng = rng();
+        let f = random_dnf(&mut rng, 14, 23, (2, 4));
+        let parts = partition_dnf(&mut rng, &f, 5);
+        assert_eq!(parts.len(), 5);
+        let total: usize = parts.iter().map(DnfFormula::num_terms).sum();
+        assert_eq!(total, 23);
+        // The union of the parts has the same solutions as the original.
+        let merged = parts
+            .iter()
+            .fold(DnfFormula::contradiction(14), |acc, p| acc.or(p));
+        assert_eq!(
+            exact::count_dnf_brute_force(&merged),
+            exact::count_dnf_brute_force(&f)
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! The Karp–Luby Monte-Carlo FPRAS for #DNF.
+//!
+//! This is the classical baseline the paper's hashing-based DNF counters are
+//! compared against (Section 3.2/3.3 cite [38, 39] and the follow-up
+//! empirical comparisons [44–46]). The estimator samples a term `i` with
+//! probability `|T_i| / Σ_j |T_j|`, samples a uniform satisfying assignment
+//! `σ` of `T_i`, and records whether `i` is the *first* term satisfied by
+//! `σ`. The union size is `Σ_j |T_j|` times the success probability, which is
+//! at least `1/k`, so `O(k·ε⁻²·log(1/δ))` samples give an (ε, δ)
+//! approximation (we use the standard `⌈3k·ln(2/δ)/ε²⌉` bound, with the
+//! median-of-means refinement available through [`KarpLubyConfig`]).
+
+use crate::dnf::DnfFormula;
+use crate::types::Assignment;
+use mcf0_gf2::BitVec;
+use mcf0_hashing::Xoshiro256StarStar;
+
+/// Configuration of the Karp–Luby estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct KarpLubyConfig {
+    /// Target relative error ε.
+    pub epsilon: f64,
+    /// Target failure probability δ.
+    pub delta: f64,
+    /// Optional hard cap on the number of samples (None = use the bound).
+    pub max_samples: Option<u64>,
+}
+
+impl KarpLubyConfig {
+    /// Standard configuration for an (ε, δ) guarantee.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+        KarpLubyConfig {
+            epsilon,
+            delta,
+            max_samples: None,
+        }
+    }
+
+    /// Number of samples the bound prescribes for a formula with `k` terms.
+    pub fn samples_for(&self, num_terms: usize) -> u64 {
+        let k = num_terms.max(1) as f64;
+        let bound = (3.0 * k * (2.0 / self.delta).ln() / (self.epsilon * self.epsilon)).ceil();
+        let bound = bound as u64;
+        match self.max_samples {
+            Some(cap) => bound.min(cap),
+            None => bound,
+        }
+    }
+}
+
+/// Result of a Karp–Luby estimation run.
+#[derive(Clone, Copy, Debug)]
+pub struct KarpLubyOutcome {
+    /// Estimated number of satisfying assignments of the DNF.
+    pub estimate: f64,
+    /// Number of Monte-Carlo samples drawn.
+    pub samples: u64,
+}
+
+/// Runs the Karp–Luby estimator on a DNF formula.
+///
+/// Returns an estimate of `|Sol(φ)|`. The contradiction (no terms, or all
+/// terms contradictory) yields 0.
+pub fn karp_luby_count(
+    formula: &DnfFormula,
+    config: &KarpLubyConfig,
+    rng: &mut Xoshiro256StarStar,
+) -> KarpLubyOutcome {
+    let n = formula.num_vars();
+    let term_sizes: Vec<u128> = formula
+        .terms()
+        .iter()
+        .map(|t| t.solution_count(n))
+        .collect();
+    let total_size: u128 = term_sizes.iter().sum();
+    if total_size == 0 {
+        return KarpLubyOutcome {
+            estimate: 0.0,
+            samples: 0,
+        };
+    }
+    let samples = config.samples_for(formula.num_terms());
+    let mut successes: u64 = 0;
+    for _ in 0..samples {
+        // Sample a term proportionally to its size.
+        let target = rng_range_u128(rng, total_size);
+        let mut acc = 0u128;
+        let mut chosen = 0usize;
+        for (i, &size) in term_sizes.iter().enumerate() {
+            acc += size;
+            if target < acc {
+                chosen = i;
+                break;
+            }
+        }
+        // Sample a uniform satisfying assignment of the chosen term.
+        let assignment = sample_in_term(formula, chosen, rng);
+        // Success iff `chosen` is the first term satisfied by the assignment.
+        let first = formula
+            .terms()
+            .iter()
+            .position(|t| t.eval(&assignment))
+            .expect("assignment satisfies the chosen term");
+        if first == chosen {
+            successes += 1;
+        }
+    }
+    let success_rate = successes as f64 / samples as f64;
+    KarpLubyOutcome {
+        estimate: success_rate * total_size as f64,
+        samples,
+    }
+}
+
+fn rng_range_u128(rng: &mut Xoshiro256StarStar, bound: u128) -> u128 {
+    // Compose two 64-bit draws; slight modulo bias is irrelevant at the
+    // precision Monte-Carlo estimation operates at.
+    let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    raw % bound
+}
+
+/// Uniformly samples a satisfying assignment of term `index`.
+fn sample_in_term(
+    formula: &DnfFormula,
+    index: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> Assignment {
+    let n = formula.num_vars();
+    let term = &formula.terms()[index];
+    let mut a = BitVec::zeros(n);
+    for v in 0..n {
+        match term.polarity_of(v) {
+            Some(value) => a.set(v, value),
+            None => a.set(v, rng.next_bool()),
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_dnf_exact;
+    use crate::generators::random_dnf;
+
+    #[test]
+    fn karp_luby_is_close_to_exact_on_random_dnf() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(17);
+        let config = KarpLubyConfig::new(0.1, 0.05);
+        for _ in 0..5 {
+            let f = random_dnf(&mut rng, 16, 12, (3, 6));
+            let exact = count_dnf_exact(&f) as f64;
+            let got = karp_luby_count(&f, &config, &mut rng).estimate;
+            assert!(
+                (got - exact).abs() <= 0.2 * exact,
+                "estimate {got} too far from exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn karp_luby_on_degenerate_formulas() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(18);
+        let config = KarpLubyConfig::new(0.2, 0.1);
+        let empty = DnfFormula::contradiction(8);
+        assert_eq!(karp_luby_count(&empty, &config, &mut rng).estimate, 0.0);
+        // A single term: the estimator is exact because the success rate is 1.
+        let f = DnfFormula::parse_text("p dnf 8 1\n1 -2 3 0\n").unwrap();
+        let out = karp_luby_count(&f, &config, &mut rng);
+        assert_eq!(out.estimate, 32.0);
+    }
+
+    #[test]
+    fn sample_count_scales_with_terms_and_epsilon() {
+        let config_tight = KarpLubyConfig::new(0.05, 0.1);
+        let config_loose = KarpLubyConfig::new(0.4, 0.1);
+        assert!(config_tight.samples_for(10) > config_loose.samples_for(10));
+        assert!(config_loose.samples_for(100) > config_loose.samples_for(10));
+        let capped = KarpLubyConfig {
+            max_samples: Some(50),
+            ..config_tight
+        };
+        assert_eq!(capped.samples_for(1000), 50);
+    }
+}

@@ -1,0 +1,34 @@
+//! Boolean formula substrate for the `mcf0` workspace.
+//!
+//! The model-counting side of the paper operates on CNF and DNF formulas over
+//! `n` Boolean variables. This crate provides:
+//!
+//! * [`Literal`], [`Assignment`] — basic vocabulary ([`Assignment`] is a
+//!   [`mcf0_gf2::BitVec`] over the variables, so hash functions apply to
+//!   solutions directly);
+//! * [`CnfFormula`] / [`DnfFormula`] with evaluation, restriction, DIMACS
+//!   parsing and a small text format for DNF;
+//! * workload [`generators`] (random k-CNF, random DNF, planted solution
+//!   sets) used by tests, examples and the experiment harness;
+//! * [`exact`] counters (brute force, DPLL-style #CNF, cube-decomposition
+//!   #DNF) providing ground truth for every PAC guarantee we test;
+//! * the classical [`karp_luby`] Monte-Carlo FPRAS for #DNF — the baseline
+//!   the hashing-based counters are compared against in the experiments
+//!   (E5);
+//! * [`weights`] — literal-weight functions for the weighted #DNF reduction
+//!   of Section 5 of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dnf;
+pub mod exact;
+pub mod generators;
+pub mod karp_luby;
+pub mod types;
+pub mod weights;
+
+pub use cnf::{Clause, CnfFormula};
+pub use dnf::{DnfFormula, Term};
+pub use types::{Assignment, Literal};

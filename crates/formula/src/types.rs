@@ -1,0 +1,131 @@
+//! Core vocabulary: variables, literals and assignments.
+
+use mcf0_gf2::BitVec;
+use std::fmt;
+
+/// A literal: a variable index (0-based) with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    var: u32,
+    positive: bool,
+}
+
+impl Literal {
+    /// Positive literal `x_var`.
+    pub fn positive(var: usize) -> Self {
+        Literal {
+            var: var as u32,
+            positive: true,
+        }
+    }
+
+    /// Negative literal `¬x_var`.
+    pub fn negative(var: usize) -> Self {
+        Literal {
+            var: var as u32,
+            positive: false,
+        }
+    }
+
+    /// Builds a literal from a DIMACS-style signed integer (1-based,
+    /// negative meaning negated). Panics on zero.
+    pub fn from_dimacs(value: i64) -> Self {
+        assert!(value != 0, "DIMACS literal cannot be zero");
+        Literal {
+            var: (value.unsigned_abs() - 1) as u32,
+            positive: value > 0,
+        }
+    }
+
+    /// DIMACS-style signed representation (1-based).
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.var + 1) as i64;
+        if self.positive {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// The variable index (0-based).
+    pub fn var(self) -> usize {
+        self.var as usize
+    }
+
+    /// True for a positive literal.
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Self {
+        Literal {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates the literal under a variable value.
+    pub fn eval(self, value: bool) -> bool {
+        value == self.positive
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A total assignment to `n` variables, stored as a bit vector
+/// (bit `i` = value of variable `i`).
+pub type Assignment = BitVec;
+
+/// Evaluates a literal under a total assignment.
+pub fn literal_satisfied(lit: Literal, assignment: &Assignment) -> bool {
+    lit.eval(assignment.get(lit.var()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for v in [1i64, -1, 5, -17, 100] {
+            let lit = Literal::from_dimacs(v);
+            assert_eq!(lit.to_dimacs(), v);
+        }
+        assert_eq!(Literal::from_dimacs(3).var(), 2);
+        assert!(Literal::from_dimacs(3).is_positive());
+        assert!(!Literal::from_dimacs(-3).is_positive());
+    }
+
+    #[test]
+    fn negation_and_eval() {
+        let lit = Literal::positive(4);
+        assert!(lit.eval(true));
+        assert!(!lit.eval(false));
+        assert!(lit.negated().eval(false));
+        assert_eq!(lit.negated().negated(), lit);
+    }
+
+    #[test]
+    fn literal_satisfied_reads_assignment() {
+        let mut a = Assignment::zeros(6);
+        a.set(2, true);
+        assert!(literal_satisfied(Literal::positive(2), &a));
+        assert!(!literal_satisfied(Literal::negative(2), &a));
+        assert!(literal_satisfied(Literal::negative(3), &a));
+    }
+}

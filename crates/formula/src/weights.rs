@@ -1,0 +1,163 @@
+//! Literal-weight functions for weighted model counting.
+//!
+//! Section 5 of the paper reduces weighted #DNF — where variable `x_i` has
+//! weight `ρ(x_i) = k_i / 2^{m_i}` — to F0 estimation over d-dimensional
+//! ranges. This module holds the weight-function type, the weight of an
+//! assignment / formula, and an exact (brute-force) weighted counter used as
+//! ground truth for that reduction (implemented in `mcf0-structured`).
+
+use crate::dnf::DnfFormula;
+use crate::types::Assignment;
+use mcf0_gf2::BitVec;
+
+/// A dyadic weight `k / 2^m` with `0 < k < 2^m` (so the weight is in (0, 1)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DyadicWeight {
+    /// Numerator `k`.
+    pub numerator: u64,
+    /// Number of bits `m` of the denominator `2^m`.
+    pub bits: u32,
+}
+
+impl DyadicWeight {
+    /// Creates a weight `numerator / 2^bits`, checking it lies in (0, 1).
+    pub fn new(numerator: u64, bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= 32, "weight precision must be 1..=32 bits");
+        assert!(
+            numerator > 0 && numerator < (1u64 << bits),
+            "weight must lie strictly between 0 and 1"
+        );
+        DyadicWeight { numerator, bits }
+    }
+
+    /// The weight as a floating-point value.
+    pub fn value(&self) -> f64 {
+        self.numerator as f64 / (1u64 << self.bits) as f64
+    }
+
+    /// The complementary weight `1 − k/2^m = (2^m − k)/2^m`.
+    pub fn complement(&self) -> DyadicWeight {
+        DyadicWeight {
+            numerator: (1u64 << self.bits) - self.numerator,
+            bits: self.bits,
+        }
+    }
+}
+
+/// A weight function assigning every variable a dyadic weight.
+#[derive(Clone, Debug)]
+pub struct WeightFn {
+    weights: Vec<DyadicWeight>,
+}
+
+impl WeightFn {
+    /// Builds a weight function from per-variable weights.
+    pub fn new(weights: Vec<DyadicWeight>) -> Self {
+        WeightFn { weights }
+    }
+
+    /// The uniform weight function `ρ(x_i) = 1/2` for every variable
+    /// (weighted count = unweighted count / 2^n).
+    pub fn uniform_half(num_vars: usize) -> Self {
+        WeightFn {
+            weights: vec![DyadicWeight::new(1, 1); num_vars],
+        }
+    }
+
+    /// Number of variables covered.
+    pub fn num_vars(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weight of variable `v`.
+    pub fn weight_of(&self, v: usize) -> DyadicWeight {
+        self.weights[v]
+    }
+
+    /// Total number of denominator bits `Σ_i m_i` (the scaling factor of the
+    /// paper's reduction: `W(φ) = F0 / 2^{Σ_i m_i}`).
+    pub fn total_bits(&self) -> u32 {
+        self.weights.iter().map(|w| w.bits).sum()
+    }
+
+    /// Weight of a single assignment:
+    /// `Π_{σ(x_i)=1} ρ(x_i) · Π_{σ(x_i)=0} (1 − ρ(x_i))`.
+    pub fn assignment_weight(&self, assignment: &Assignment) -> f64 {
+        assert_eq!(assignment.len(), self.weights.len());
+        let mut w = 1.0;
+        for (v, weight) in self.weights.iter().enumerate() {
+            if assignment.get(v) {
+                w *= weight.value();
+            } else {
+                w *= weight.complement().value();
+            }
+        }
+        w
+    }
+
+    /// Exact weighted model count `W(φ) = Σ_{σ ⊨ φ} W(σ)` by brute force
+    /// (requires ≤ 24 variables); ground truth for the range reduction.
+    pub fn weighted_count_brute_force(&self, formula: &DnfFormula) -> f64 {
+        let n = formula.num_vars();
+        assert_eq!(n, self.weights.len());
+        assert!(n <= 24, "brute force supports at most 24 variables");
+        let mut total = 0.0;
+        let mut assignment = BitVec::zeros(n);
+        for value in 0..(1u64 << n) {
+            for i in 0..n {
+                assignment.set(i, (value >> i) & 1 == 1);
+            }
+            if formula.eval(&assignment) {
+                total += self.assignment_weight(&assignment);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::Term;
+    use crate::types::Literal;
+
+    #[test]
+    fn dyadic_weight_values() {
+        let w = DyadicWeight::new(3, 3);
+        assert!((w.value() - 0.375).abs() < 1e-12);
+        assert!((w.complement().value() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn rejects_weight_of_one() {
+        DyadicWeight::new(4, 2);
+    }
+
+    #[test]
+    fn uniform_half_recovers_unweighted_count() {
+        let f = DnfFormula::new(
+            4,
+            vec![
+                Term::new(vec![Literal::positive(0)]),
+                Term::new(vec![Literal::negative(1), Literal::positive(2)]),
+            ],
+        );
+        let wf = WeightFn::uniform_half(4);
+        let exact = crate::exact::count_dnf_exact(&f) as f64 / 16.0;
+        assert!((wf.weighted_count_brute_force(&f) - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignment_weights_sum_to_one_over_full_space() {
+        let wf = WeightFn::new(vec![
+            DyadicWeight::new(1, 2),
+            DyadicWeight::new(3, 2),
+            DyadicWeight::new(5, 3),
+        ]);
+        // Sum of weights over all assignments of a tautological DNF is 1.
+        let top = DnfFormula::new(3, vec![Term::empty()]);
+        assert!((wf.weighted_count_brute_force(&top) - 1.0).abs() < 1e-9);
+        assert_eq!(wf.total_bits(), 7);
+    }
+}

@@ -1,0 +1,298 @@
+//! Property-based tests for the formula substrate: exact counters agree with
+//! brute force, text formats round-trip, De Morgan duals complement each
+//! other, and the generators produce instances with the promised structure.
+
+use proptest::prelude::*;
+
+use mcf0_formula::exact::{
+    count_cnf_brute_force, count_cnf_dpll, count_dnf_brute_force, count_dnf_exact,
+    count_negated_dnf, enumerate_cnf_solutions, enumerate_dnf_solutions,
+};
+use mcf0_formula::generators::{
+    partition_dnf, planted_cnf_small, planted_dnf, random_dnf, random_k_cnf,
+};
+use mcf0_formula::weights::{DyadicWeight, WeightFn};
+use mcf0_formula::{Assignment, CnfFormula, DnfFormula, Literal, Term};
+use mcf0_hashing::Xoshiro256StarStar;
+
+fn rng_from(seed: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed)
+}
+
+fn assignment_from_u64(value: u64, num_vars: usize) -> Assignment {
+    let mut a = Assignment::zeros(num_vars);
+    for i in 0..num_vars {
+        if (value >> i) & 1 == 1 {
+            a.set(i, true);
+        }
+    }
+    a
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A random DNF via the workspace generator, parameterised by a proptest seed.
+fn dnf(max_vars: usize, max_terms: usize) -> impl Strategy<Value = DnfFormula> {
+    (2usize..=max_vars, 1usize..=max_terms, any::<u64>()).prop_map(|(n, k, seed)| {
+        let mut rng = rng_from(seed);
+        let max_width = n.min(4);
+        random_dnf(&mut rng, n, k, (1, max_width))
+    })
+}
+
+/// A random k-CNF via the workspace generator.
+fn cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    (3usize..=max_vars, 1usize..=max_clauses, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut rng = rng_from(seed);
+        random_k_cnf(&mut rng, n, m, 3.min(n))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Exact counters agree with brute force
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dnf_exact_count_matches_brute_force(f in dnf(10, 8)) {
+        prop_assert_eq!(count_dnf_exact(&f), count_dnf_brute_force(&f));
+    }
+
+    #[test]
+    fn cnf_dpll_count_matches_brute_force(f in cnf(10, 14)) {
+        prop_assert_eq!(count_cnf_dpll(&f), count_cnf_brute_force(&f));
+    }
+
+    #[test]
+    fn negated_dnf_count_is_the_complement(f in dnf(10, 6)) {
+        let n = f.num_vars() as u32;
+        prop_assert_eq!(count_dnf_exact(&f) + count_negated_dnf(&f), 1u128 << n);
+    }
+
+    #[test]
+    fn dnf_negation_to_cnf_is_the_complement_pointwise(f in dnf(8, 5)) {
+        let neg = f.negate_to_cnf();
+        let n = f.num_vars();
+        for value in 0..(1u64 << n) {
+            let a = assignment_from_u64(value, n);
+            prop_assert_eq!(f.eval(&a), !neg.eval(&a));
+        }
+        prop_assert_eq!(
+            count_cnf_brute_force(&neg),
+            (1u128 << n) - count_dnf_exact(&f)
+        );
+    }
+
+    #[test]
+    fn enumerated_solutions_match_counts_and_satisfy(f in dnf(9, 6)) {
+        let sols = enumerate_dnf_solutions(&f);
+        prop_assert_eq!(sols.len() as u128, count_dnf_exact(&f));
+        for s in &sols {
+            prop_assert!(f.eval(s));
+        }
+        // Enumeration returns distinct assignments.
+        let mut dedup = sols.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), sols.len());
+    }
+
+    #[test]
+    fn enumerated_cnf_solutions_match_counts_and_satisfy(f in cnf(9, 12)) {
+        let sols = enumerate_cnf_solutions(&f);
+        prop_assert_eq!(sols.len() as u128, count_cnf_dpll(&f));
+        for s in &sols {
+            prop_assert!(f.eval(s));
+        }
+    }
+
+    #[test]
+    fn union_count_is_bounded_by_sum_and_max(f in dnf(9, 5), g in dnf(9, 5)) {
+        // Align variable counts by rebuilding over the max width.
+        let n = f.num_vars().max(g.num_vars());
+        let f = DnfFormula::new(n, f.terms().to_vec());
+        let g = DnfFormula::new(n, g.terms().to_vec());
+        let cf = count_dnf_exact(&f);
+        let cg = count_dnf_exact(&g);
+        let union = count_dnf_exact(&f.or(&g));
+        prop_assert!(union >= cf.max(cg));
+        prop_assert!(union <= cf + cg);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural properties of terms, planted instances, partitions
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn planted_dnf_counts_exactly_the_planted_solutions(seed in any::<u64>(), n in 3usize..12, frac in 0.0f64..=1.0) {
+        let mut rng = rng_from(seed);
+        let max = 1usize << n.min(10);
+        let count = 1 + ((max - 1) as f64 * frac) as usize;
+        let (f, sols) = planted_dnf(&mut rng, n, count);
+        prop_assert_eq!(count_dnf_exact(&f), count as u128);
+        for s in &sols {
+            prop_assert!(f.eval(s));
+        }
+    }
+
+    #[test]
+    fn planted_cnf_counts_exactly_the_planted_solutions(seed in any::<u64>(), n in 3usize..10, count in 1usize..20) {
+        let mut rng = rng_from(seed);
+        let count = count.min(1 << n);
+        let (f, sols) = planted_cnf_small(&mut rng, n, count);
+        prop_assert_eq!(count_cnf_dpll(&f), count as u128);
+        for s in &sols {
+            prop_assert!(f.eval(s));
+        }
+    }
+
+    #[test]
+    fn partitioning_preserves_the_union_of_solutions(f in dnf(9, 8), k in 1usize..6, seed in any::<u64>()) {
+        let mut rng = rng_from(seed);
+        let parts = partition_dnf(&mut rng, &f, k);
+        prop_assert_eq!(parts.len(), k);
+        prop_assert_eq!(parts.iter().map(DnfFormula::num_terms).sum::<usize>(), f.num_terms());
+        // The disjunction of the parts has exactly the original solution set.
+        let mut union = DnfFormula::new(f.num_vars(), Vec::new());
+        for p in &parts {
+            prop_assert_eq!(p.num_vars(), f.num_vars());
+            union = union.or(p);
+        }
+        prop_assert_eq!(count_dnf_exact(&union), count_dnf_exact(&f));
+    }
+
+    #[test]
+    fn term_solution_count_is_two_to_the_free_variables(n in 1usize..20, width in 1usize..8, seed in any::<u64>()) {
+        let width = width.min(n);
+        let mut rng = rng_from(seed);
+        let vars = rng.sample_distinct(n, width);
+        let lits: Vec<Literal> = vars
+            .into_iter()
+            .map(|v| if rng.next_bool() { Literal::positive(v) } else { Literal::negative(v) })
+            .collect();
+        let term = Term::new(lits);
+        prop_assert_eq!(term.solution_count(n), 1u128 << (n - width));
+    }
+
+    #[test]
+    fn conjoining_a_term_with_itself_is_identity(f in dnf(8, 4)) {
+        for t in f.terms() {
+            let joined = t.conjoin(t).expect("a term is consistent with itself");
+            prop_assert_eq!(joined.literals(), t.literals());
+        }
+    }
+
+    #[test]
+    fn conjoining_opposite_literals_is_contradictory(var in 0usize..30) {
+        let a = Term::new(vec![Literal::positive(var)]);
+        let b = Term::new(vec![Literal::negative(var)]);
+        prop_assert!(a.conjoin(&b).is_none());
+    }
+
+    #[test]
+    fn from_assignments_builds_an_exact_formula(seed in any::<u64>(), n in 2usize..10, count in 1usize..30) {
+        let mut rng = rng_from(seed);
+        let count = count.min(1 << n);
+        let sols = mcf0_formula::generators::random_distinct_assignments(&mut rng, n, count);
+        let f = DnfFormula::from_assignments(n, &sols);
+        prop_assert_eq!(count_dnf_exact(&f), count as u128);
+        for value in 0..(1u64 << n) {
+            let a = assignment_from_u64(value, n);
+            prop_assert_eq!(f.eval(&a), sols.contains(&a));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text formats round-trip
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dnf_text_roundtrips(f in dnf(12, 10)) {
+        let text = f.to_text();
+        let parsed = DnfFormula::parse_text(&text).expect("own output must parse");
+        prop_assert_eq!(parsed.num_vars(), f.num_vars());
+        prop_assert_eq!(parsed.num_terms(), f.num_terms());
+        prop_assert_eq!(count_dnf_exact(&parsed), count_dnf_exact(&f));
+    }
+
+    #[test]
+    fn cnf_dimacs_roundtrips(f in cnf(12, 20)) {
+        let text = f.to_dimacs();
+        let parsed = CnfFormula::parse_dimacs(&text).expect("own output must parse");
+        prop_assert_eq!(parsed.num_vars(), f.num_vars());
+        prop_assert_eq!(parsed.num_clauses(), f.num_clauses());
+        prop_assert_eq!(count_cnf_dpll(&parsed), count_cnf_dpll(&f));
+    }
+
+    #[test]
+    fn dimacs_literal_encoding_roundtrips(var in 0usize..1000, positive in any::<bool>()) {
+        let lit = if positive { Literal::positive(var) } else { Literal::negative(var) };
+        prop_assert_eq!(Literal::from_dimacs(lit.to_dimacs()), lit);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weights
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dyadic_weights_and_complements_sum_to_one(numerator in 1u64..16, bits in 1u32..5) {
+        let bits = bits.max(64 - numerator.leading_zeros());
+        let w = DyadicWeight::new(numerator, bits);
+        prop_assert!((w.value() + w.complement().value() - 1.0).abs() < 1e-12);
+        prop_assert!(w.value() > 0.0 && w.value() < 1.0);
+    }
+
+    #[test]
+    fn assignment_weights_sum_to_one_over_the_cube(seed in any::<u64>(), n in 1usize..8) {
+        let mut rng = rng_from(seed);
+        let weights = WeightFn::new(
+            (0..n)
+                .map(|_| {
+                    let bits = 1 + (rng.gen_range(3)) as u32;
+                    let numerator = rng.gen_range_inclusive(1, (1 << bits) - 1);
+                    DyadicWeight::new(numerator, bits)
+                })
+                .collect(),
+        );
+        let total: f64 = (0..(1u64 << n))
+            .map(|v| weights.assignment_weight(&assignment_from_u64(v, n)))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total weight {total}");
+    }
+
+    #[test]
+    fn weighted_count_is_at_most_one_and_monotone(f in dnf(7, 4)) {
+        let weights = WeightFn::uniform_half(f.num_vars());
+        let wf = weights.weighted_count_brute_force(&f);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&wf));
+        // Adding a term can only increase the weighted count.
+        let mut bigger = f.clone();
+        bigger.push_term(Term::new(vec![Literal::positive(0)]));
+        let wb = weights.weighted_count_brute_force(&bigger);
+        prop_assert!(wb + 1e-12 >= wf);
+    }
+
+    #[test]
+    fn uniform_half_weighted_count_is_density(f in dnf(8, 5)) {
+        let weights = WeightFn::uniform_half(f.num_vars());
+        let wf = weights.weighted_count_brute_force(&f);
+        let density = count_dnf_exact(&f) as f64 / (1u128 << f.num_vars()) as f64;
+        prop_assert!((wf - density).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Arithmetic in the binary extension fields GF(2^w), 1 ≤ w ≤ 64.
+//!
+//! The s-wise independent hash family of Section 3.4 of the paper is realised
+//! as a random degree-(s−1) polynomial over GF(2^n) evaluated at the input.
+//! This module provides the field: elements are `u64` values interpreted as
+//! polynomials of degree < w over GF(2); multiplication is carry-less
+//! multiplication followed by reduction modulo an irreducible polynomial of
+//! degree w.
+//!
+//! Rather than embedding a table of irreducible polynomials (and risking a
+//! transcription error), the lexicographically smallest irreducible
+//! polynomial of each degree is found at first use by a Rabin irreducibility
+//! test and cached for the process lifetime.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Degree of a GF(2) polynomial stored in a `u128` (−1 → `None` for zero).
+fn degree(p: u128) -> Option<u32> {
+    if p == 0 {
+        None
+    } else {
+        Some(127 - p.leading_zeros())
+    }
+}
+
+/// Carry-less multiplication of two 64-bit GF(2) polynomials.
+fn clmul(mut a: u64, b: u64) -> u128 {
+    let mut acc: u128 = 0;
+    let b = b as u128;
+    // Iterate only over the set bits of `a` — the s-wise hash evaluates a
+    // polynomial per stream item, so this is a hot path.
+    while a != 0 {
+        let i = a.trailing_zeros();
+        acc ^= b << i;
+        a &= a - 1;
+    }
+    acc
+}
+
+/// Remainder of `a` modulo the non-zero polynomial `m` over GF(2).
+fn poly_mod(mut a: u128, m: u128) -> u128 {
+    let md = degree(m).expect("modulus must be non-zero");
+    while let Some(da) = degree(a) {
+        if da < md {
+            break;
+        }
+        a ^= m << (da - md);
+    }
+    a
+}
+
+/// Product of `a` and `b` modulo `m` (inputs already reduced, degree < 64).
+fn poly_mulmod(a: u128, b: u128, m: u128) -> u128 {
+    debug_assert!(degree(a).map_or(true, |d| d < 64));
+    debug_assert!(degree(b).map_or(true, |d| d < 64));
+    poly_mod(clmul(a as u64, b as u64), m)
+}
+
+/// Polynomial GCD over GF(2).
+fn poly_gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = poly_mod(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Rabin irreducibility test for a degree-`w` polynomial `p` over GF(2).
+fn is_irreducible(p: u128, w: u32) -> bool {
+    debug_assert_eq!(degree(p), Some(w));
+    // x^(2^w) ≡ x (mod p)
+    let x: u128 = 0b10;
+    let mut t = x;
+    for _ in 0..w {
+        t = poly_mulmod(t, t, p);
+    }
+    if t != poly_mod(x, p) {
+        return false;
+    }
+    // For each prime divisor d of w: gcd(x^(2^(w/d)) − x, p) = 1.
+    let mut n = w;
+    let mut primes = Vec::new();
+    let mut q = 2;
+    while q * q <= n {
+        if n % q == 0 {
+            primes.push(q);
+            while n % q == 0 {
+                n /= q;
+            }
+        }
+        q += 1;
+    }
+    if n > 1 {
+        primes.push(n);
+    }
+    for d in primes {
+        let e = w / d;
+        let mut t = x;
+        for _ in 0..e {
+            t = poly_mulmod(t, t, p);
+        }
+        let g = poly_gcd(t ^ poly_mod(x, p), p);
+        if degree(g) != Some(0) {
+            return false;
+        }
+    }
+    true
+}
+
+fn irreducible_modulus(width: u32) -> u128 {
+    static CACHE: OnceLock<Mutex<HashMap<u32, u128>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&m) = cache.lock().unwrap().get(&width) {
+        return m;
+    }
+    let found = if width == 1 {
+        0b11u128 // x + 1
+    } else {
+        // Constant term must be 1; search odd low parts in increasing order.
+        let mut candidate = None;
+        let mut low: u128 = 1;
+        while candidate.is_none() {
+            let p = (1u128 << width) | low;
+            if is_irreducible(p, width) {
+                candidate = Some(p);
+            }
+            low += 2;
+        }
+        candidate.unwrap()
+    };
+    cache.lock().unwrap().insert(width, found);
+    found
+}
+
+/// The finite field GF(2^w) for `1 ≤ w ≤ 64`.
+///
+/// Elements are `u64` values whose bits are the coefficients of a polynomial
+/// of degree < w; only the low `w` bits may be set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gf2Ext {
+    width: u32,
+    modulus: u128,
+}
+
+impl Gf2Ext {
+    /// Constructs the field GF(2^w). Panics if `w` is 0 or larger than 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        Gf2Ext {
+            width,
+            modulus: irreducible_modulus(width),
+        }
+    }
+
+    /// Field width `w` (elements live in `{0,1}^w`).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The irreducible modulus polynomial (including the leading `x^w` term).
+    pub fn modulus(&self) -> u128 {
+        self.modulus
+    }
+
+    /// Mask selecting the valid element bits.
+    pub fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Reduces an arbitrary `u64` into a field element by masking.
+    pub fn element(&self, raw: u64) -> u64 {
+        raw & self.mask()
+    }
+
+    /// Field addition (XOR).
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a <= self.mask() && b <= self.mask());
+        a ^ b
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a <= self.mask() && b <= self.mask());
+        poly_mod(clmul(a, b), self.modulus) as u64
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(&self, mut base: u64, mut exp: u128) -> u64 {
+        let mut acc: u64 = 1;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse of a non-zero element
+    /// (`a^(2^w − 2)`; panics on zero).
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a != 0, "zero has no multiplicative inverse");
+        let order_minus_2: u128 = (1u128 << self.width) - 2;
+        self.pow(a, order_minus_2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_field_matches_known_gf4() {
+        // GF(4) with modulus x^2 + x + 1: (x)·(x) = x+1, i.e. 2*2 = 3.
+        let f = Gf2Ext::new(2);
+        assert_eq!(f.modulus(), 0b111);
+        assert_eq!(f.mul(2, 2), 3);
+        assert_eq!(f.mul(2, 3), 1);
+        assert_eq!(f.mul(3, 3), 2);
+    }
+
+    #[test]
+    fn gf8_multiplication_table_is_a_group_on_nonzero() {
+        let f = Gf2Ext::new(3);
+        // Every non-zero element has an inverse and the non-zero elements are
+        // closed under multiplication.
+        for a in 1u64..8 {
+            let inv = f.inv(a);
+            assert_eq!(f.mul(a, inv), 1, "a={a}");
+            for b in 1u64..8 {
+                assert_ne!(f.mul(a, b), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn associativity_and_distributivity_sampled() {
+        for width in [5u32, 8, 16, 31, 64] {
+            let f = Gf2Ext::new(width);
+            let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                f.element(x)
+            };
+            for _ in 0..50 {
+                let (a, b, c) = (next(), next(), next());
+                assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                assert_eq!(f.mul(a, 1), a);
+                assert_eq!(f.mul(a, 0), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_in_gf2_64() {
+        let f = Gf2Ext::new(64);
+        for a in [1u64, 2, 3, 0xdead_beef_cafe_f00d, u64::MAX] {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "a={a:#x}");
+        }
+    }
+
+    #[test]
+    fn moduli_are_irreducible_for_all_supported_widths() {
+        for w in 1..=64u32 {
+            let f = Gf2Ext::new(w);
+            assert!(is_irreducible(f.modulus(), w), "width {w}");
+        }
+    }
+
+    #[test]
+    fn frobenius_fixes_prime_subfield() {
+        // In GF(2^w), x ↦ x² fixes exactly GF(2) = {0, 1}.
+        let f = Gf2Ext::new(16);
+        assert_eq!(f.mul(0, 0), 0);
+        assert_eq!(f.mul(1, 1), 1);
+        let mut fixed = 0;
+        for a in 0u64..=f.mask().min(1 << 12) {
+            if f.mul(a, a) == a {
+                fixed += 1;
+            }
+        }
+        assert_eq!(fixed, 2);
+    }
+}

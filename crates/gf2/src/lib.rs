@@ -1,0 +1,42 @@
+//! Linear algebra over GF(2) and small binary extension fields.
+//!
+//! This crate is the substrate that every other `mcf0` crate builds on:
+//!
+//! * [`BitVec`] — fixed-width bit vectors with *lexicographic* (MSB-first)
+//!   ordering, prefix slices and trailing-zero queries, matching the way the
+//!   paper "Model Counting meets F0 Estimation" (PODS 2021) treats hash
+//!   outputs `h(x) ∈ {0,1}^m`.
+//! * [`BitMatrix`] — dense GF(2) matrices with matrix–vector products,
+//!   Gaussian elimination, rank, solving `Ax = b`, nullspace and column-space
+//!   bases.
+//! * [`AffineSubspace`] — affine subspaces `c + span(B)` of GF(2)^m together
+//!   with lexicographic enumeration of their elements. The hashed solution set
+//!   of a DNF term (and of an affine-space stream item) under a linear hash is
+//!   exactly such a subspace, which is what makes the paper's `FindMin` and
+//!   `AffineFindMin` subroutines polynomial time.
+//! * [`prefix`] — the paper's prefix-search primitive (proof of Proposition 2)
+//!   formulated over an abstract [`prefix::PrefixOracle`], so the same driver
+//!   serves both the affine (polynomial-time) and the SAT/NP-oracle backends.
+//! * [`field`] / [`poly`] — arithmetic in GF(2^w) for `1 ≤ w ≤ 64` and
+//!   polynomials over it, used to realise the s-wise independent hash family
+//!   `H_{s-wise}(n, n)` of Section 3.4 of the paper.
+//!
+//! The crate is dependency-free and deterministic: all randomness is injected
+//! by callers (see `mcf0-hashing`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod bitvec;
+pub mod field;
+pub mod matrix;
+pub mod poly;
+pub mod prefix;
+
+pub use affine::AffineSubspace;
+pub use bitvec::BitVec;
+pub use field::Gf2Ext;
+pub use matrix::BitMatrix;
+pub use poly::Gf2Poly;
+pub use prefix::{lex_enumerate, lex_min, lex_successor, PrefixOracle};

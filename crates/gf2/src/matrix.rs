@@ -1,0 +1,371 @@
+//! Dense matrices over GF(2) with Gaussian elimination.
+//!
+//! A [`BitMatrix`] stores its rows as [`BitVec`]s. It supports the operations
+//! the paper's subroutines need: matrix–vector products (hash evaluation),
+//! rank / solving `Ax = b` (prefix-feasibility queries inside `FindMin` and
+//! `AffineFindMin`), nullspace and column-space bases (turning the hashed
+//! image of a DNF term or affine set into an explicit [`AffineSubspace`]).
+
+use crate::affine::AffineSubspace;
+use crate::bitvec::BitVec;
+
+/// A dense `rows × cols` matrix over GF(2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// All-zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        BitMatrix {
+            rows: vec![BitVec::zeros(ncols); nrows],
+            cols: ncols,
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.rows[i].set(i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from a bit-valued closure `f(row, col)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                if f(r, c) {
+                    m.rows[r].set(c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from explicit rows (all of equal length).
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        BitMatrix { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a bit vector.
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.rows[r]
+    }
+
+    /// Mutable access to row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut BitVec {
+        &mut self.rows[r]
+    }
+
+    /// Reads entry `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.rows[r].get(c)
+    }
+
+    /// Writes entry `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        self.rows[r].set(c, value);
+    }
+
+    /// Matrix–vector product `A·x` over GF(2).
+    pub fn mul_vec(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = BitVec::zeros(self.nrows());
+        for (r, row) in self.rows.iter().enumerate() {
+            if row.dot(x) {
+                out.set(r, true);
+            }
+        }
+        out
+    }
+
+    /// Returns the sub-matrix consisting of the first `m` rows (the prefix
+    /// slice `A_m` used by the hash families).
+    pub fn top_rows(&self, m: usize) -> BitMatrix {
+        assert!(m <= self.nrows());
+        BitMatrix {
+            rows: self.rows[..m].to_vec(),
+            cols: self.cols,
+        }
+    }
+
+    /// Appends the rows of `other` (with the same column count) below `self`.
+    pub fn stack(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.cols, "column mismatch in stack");
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        BitMatrix { rows, cols: self.cols }
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.cols, self.nrows());
+        for (r, row) in self.rows.iter().enumerate() {
+            for c in 0..self.cols {
+                if row.get(c) {
+                    t.rows[c].set(r, true);
+                }
+            }
+        }
+        t
+    }
+
+    /// Selects a subset of columns (in the given order) into a new matrix.
+    pub fn select_columns(&self, cols: &[usize]) -> BitMatrix {
+        let mut m = BitMatrix::zeros(self.nrows(), cols.len());
+        for (r, row) in self.rows.iter().enumerate() {
+            for (j, &c) in cols.iter().enumerate() {
+                if row.get(c) {
+                    m.rows[r].set(j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Rank of the matrix over GF(2).
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            if let Some(pivot) = (rank..rows.len()).find(|&r| rows[r].get(col)) {
+                rows.swap(rank, pivot);
+                let pivot_row = rows[rank].clone();
+                for (r, row) in rows.iter_mut().enumerate() {
+                    if r != rank && row.get(col) {
+                        row.xor_assign(&pivot_row);
+                    }
+                }
+                rank += 1;
+                if rank == rows.len() {
+                    break;
+                }
+            }
+        }
+        rank
+    }
+
+    /// Solves `A x = b`. Returns `None` if the system is inconsistent,
+    /// otherwise a particular solution together with a basis of the nullspace
+    /// of `A` (so that the full solution set is `x0 + span(nullspace)`).
+    pub fn solve(&self, b: &BitVec) -> Option<(BitVec, Vec<BitVec>)> {
+        assert_eq!(b.len(), self.nrows(), "rhs length must equal row count");
+        let n = self.cols;
+        // Augmented rows: [row | b_r]
+        let mut rows: Vec<(BitVec, bool)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(r, row)| (row.clone(), b.get(r)))
+            .collect();
+
+        let mut pivot_col_of_row: Vec<usize> = Vec::new();
+        let mut rank = 0usize;
+        for col in 0..n {
+            if let Some(p) = (rank..rows.len()).find(|&r| rows[r].0.get(col)) {
+                rows.swap(rank, p);
+                let (pivot_row, pivot_rhs) = rows[rank].clone();
+                for (r, (row, rhs)) in rows.iter_mut().enumerate() {
+                    if r != rank && row.get(col) {
+                        row.xor_assign(&pivot_row);
+                        *rhs ^= pivot_rhs;
+                    }
+                }
+                pivot_col_of_row.push(col);
+                rank += 1;
+                if rank == rows.len() {
+                    break;
+                }
+            }
+        }
+        // Inconsistency: a zero row with rhs = 1.
+        for (row, rhs) in rows.iter().skip(rank) {
+            if row.is_zero() && *rhs {
+                return None;
+            }
+        }
+        // Rows after elimination may still be non-zero only within the first
+        // `rank` rows; rows ≥ rank are zero rows (checked above for rhs).
+        let pivot_cols: Vec<usize> = pivot_col_of_row.clone();
+        let is_pivot = {
+            let mut v = vec![false; n];
+            for &c in &pivot_cols {
+                v[c] = true;
+            }
+            v
+        };
+
+        // Particular solution: free variables = 0, pivot variables = rhs.
+        let mut x0 = BitVec::zeros(n);
+        for (r, &c) in pivot_cols.iter().enumerate() {
+            if rows[r].1 {
+                x0.set(c, true);
+            }
+        }
+
+        // Nullspace basis: one vector per free column.
+        let mut basis = Vec::new();
+        for free in 0..n {
+            if is_pivot[free] {
+                continue;
+            }
+            let mut v = BitVec::zeros(n);
+            v.set(free, true);
+            for (r, &c) in pivot_cols.iter().enumerate() {
+                if rows[r].0.get(free) {
+                    v.set(c, true);
+                }
+            }
+            basis.push(v);
+        }
+        Some((x0, basis))
+    }
+
+    /// True if `A x = b` has at least one solution.
+    pub fn is_consistent(&self, b: &BitVec) -> bool {
+        self.solve(b).is_some()
+    }
+
+    /// The affine set `{ A x + offset : x ∈ {0,1}^cols }`, i.e. the image of
+    /// the affine map, as an [`AffineSubspace`] of GF(2)^rows.
+    ///
+    /// This is exactly the hashed solution set of a DNF term: fixing the
+    /// term's literals turns `h(x) = A x + b` into an affine map on the free
+    /// variables, and its image is `b_T + colspace(A_T)` (proof of
+    /// Proposition 2 in the paper).
+    pub fn affine_image(&self, offset: &BitVec) -> AffineSubspace {
+        assert_eq!(offset.len(), self.nrows());
+        // Column space basis: independent columns of A = independent rows of Aᵀ.
+        let transposed = self.transpose();
+        let mut basis: Vec<BitVec> = Vec::new();
+        for row in &transposed.rows {
+            let mut candidate = row.clone();
+            // Reduce against the current basis (each basis vector kept with a
+            // unique leading-one position).
+            for b in &basis {
+                if let Some(lead) = b.leading_one() {
+                    if candidate.get(lead) {
+                        candidate.xor_assign(b);
+                    }
+                }
+            }
+            if !candidate.is_zero() {
+                basis.push(candidate);
+            }
+        }
+        AffineSubspace::new(offset.clone(), basis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_matrix() -> BitMatrix {
+        // 3x4 matrix
+        // 1 0 1 1
+        // 0 1 1 0
+        // 1 1 0 1
+        BitMatrix::from_rows(vec![
+            BitVec::from_u64(0b1011, 4),
+            BitVec::from_u64(0b0110, 4),
+            BitVec::from_u64(0b1101, 4),
+        ])
+    }
+
+    #[test]
+    fn mul_vec_matches_manual_computation() {
+        let m = small_matrix();
+        let x = BitVec::from_u64(0b1010, 4);
+        // row0·x = 1*1+0*0+1*1+1*0 = 0, row1·x = 1, row2·x = 1
+        assert_eq!(m.mul_vec(&x), BitVec::from_u64(0b011, 3));
+    }
+
+    #[test]
+    fn identity_and_rank() {
+        let id = BitMatrix::identity(5);
+        assert_eq!(id.rank(), 5);
+        let m = small_matrix();
+        // row2 = row0 + row1, so rank is 2.
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn solve_consistent_system() {
+        let m = small_matrix();
+        let x = BitVec::from_u64(0b0111, 4);
+        let b = m.mul_vec(&x);
+        let (x0, null) = m.solve(&b).expect("system is consistent by construction");
+        assert_eq!(m.mul_vec(&x0), b);
+        for v in &null {
+            assert!(m.mul_vec(v).is_zero());
+        }
+        // nullspace dimension = cols - rank = 4 - 2 = 2
+        assert_eq!(null.len(), 2);
+    }
+
+    #[test]
+    fn solve_detects_inconsistency() {
+        let m = small_matrix();
+        // rows are dependent (r2 = r0 + r1); pick b violating that relation.
+        let b = BitVec::from_u64(0b001, 3);
+        assert!(m.solve(&b).is_none());
+        assert!(!m.is_consistent(&b));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = small_matrix();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn affine_image_contains_exactly_the_image() {
+        let m = small_matrix();
+        let offset = BitVec::from_u64(0b101, 3);
+        let aff = m.affine_image(&offset);
+        // Enumerate all inputs and collect outputs.
+        let mut expected: Vec<BitVec> = Vec::new();
+        for v in 0..16u64 {
+            let x = BitVec::from_u64(v, 4);
+            let y = m.mul_vec(&x).xor(&offset);
+            if !expected.contains(&y) {
+                expected.push(y);
+            }
+        }
+        assert_eq!(aff.size_hint(), Some(expected.len() as u128));
+        for y in &expected {
+            assert!(aff.contains(y), "missing image point {y}");
+        }
+    }
+
+    #[test]
+    fn top_rows_and_stack() {
+        let m = small_matrix();
+        let top = m.top_rows(2);
+        assert_eq!(top.nrows(), 2);
+        let stacked = top.stack(&m.top_rows(1));
+        assert_eq!(stacked.nrows(), 3);
+        assert_eq!(stacked.row(2), m.row(0));
+    }
+}

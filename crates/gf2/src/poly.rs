@@ -1,0 +1,105 @@
+//! Polynomials over GF(2^w), used to realise s-wise independent hash
+//! functions (a uniformly random degree-(s−1) polynomial evaluated at the
+//! input is an s-wise independent map GF(2^w) → GF(2^w)).
+
+use crate::field::Gf2Ext;
+
+/// A polynomial `c_0 + c_1·x + … + c_{s-1}·x^{s-1}` over GF(2^w).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gf2Poly {
+    field: Gf2Ext,
+    coeffs: Vec<u64>,
+}
+
+impl Gf2Poly {
+    /// Builds a polynomial from its coefficients (constant term first).
+    /// Coefficients are masked into the field.
+    pub fn new(field: Gf2Ext, coeffs: Vec<u64>) -> Self {
+        let coeffs = coeffs.into_iter().map(|c| field.element(c)).collect();
+        Gf2Poly { field, coeffs }
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> Gf2Ext {
+        self.field
+    }
+
+    /// Coefficients, constant term first.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Number of coefficients (`s` for an s-wise independent family).
+    pub fn num_coeffs(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Degree of the polynomial, ignoring leading zero coefficients
+    /// (`None` for the zero polynomial).
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.iter().rposition(|&c| c != 0)
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = self.field.element(x);
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = self.field.add(self.field.mul(acc, x), c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_polynomial() {
+        let f = Gf2Ext::new(8);
+        let p = Gf2Poly::new(f, vec![42]);
+        for x in 0..256u64 {
+            assert_eq!(p.eval(x), 42);
+        }
+        assert_eq!(p.degree(), Some(0));
+    }
+
+    #[test]
+    fn linear_polynomial_is_a_bijection() {
+        let f = Gf2Ext::new(8);
+        // p(x) = 3·x + 7 with 3 ≠ 0 is a bijection on GF(256).
+        let p = Gf2Poly::new(f, vec![7, 3]);
+        let mut seen = vec![false; 256];
+        for x in 0..256u64 {
+            let y = p.eval(x) as usize;
+            assert!(!seen[y], "collision at x={x}");
+            seen[y] = true;
+        }
+    }
+
+    #[test]
+    fn horner_matches_naive_evaluation() {
+        let f = Gf2Ext::new(16);
+        let p = Gf2Poly::new(f, vec![0x1234, 0x0042, 0x7777, 0x0001]);
+        for x in [0u64, 1, 2, 0x00ff, 0xffff, 0xabcd] {
+            let mut expected = 0u64;
+            let mut xp = 1u64;
+            for &c in p.coeffs() {
+                expected = f.add(expected, f.mul(c, xp));
+                xp = f.mul(xp, f.element(x));
+            }
+            assert_eq!(p.eval(x), expected, "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn degree_ignores_trailing_zero_coefficients() {
+        let f = Gf2Ext::new(8);
+        let p = Gf2Poly::new(f, vec![1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        let z = Gf2Poly::new(f, vec![0, 0]);
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(123), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Property-based tests for the GF(2) substrate: bit vectors, matrices,
+//! affine subspaces, the prefix-search primitive, and the extension field.
+//!
+//! These are the invariants every higher layer relies on (lexicographic
+//! order, Gaussian elimination, affine enumeration), so they get the densest
+//! random coverage in the workspace.
+
+use proptest::prelude::*;
+
+use mcf0_gf2::{lex_enumerate, BitMatrix, BitVec, Gf2Ext, Gf2Poly};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A bit vector of the given length built from a seed of bools.
+fn bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), len).prop_map(|bits| BitVec::from_bools(&bits))
+}
+
+/// A bit vector with a length in `1..=max_len`.
+fn bitvec_any(max_len: usize) -> impl Strategy<Value = BitVec> {
+    (1..=max_len).prop_flat_map(bitvec)
+}
+
+/// A random matrix with dimensions in `1..=max` each.
+fn bitmatrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(bitvec(c), r).prop_map(BitMatrix::from_rows)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// BitVec
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn from_u64_roundtrips(value in any::<u64>(), len in 1usize..=64) {
+        let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        let v = BitVec::from_u64(masked, len);
+        prop_assert_eq!(v.to_u64(), masked);
+        prop_assert_eq!(v.len(), len);
+    }
+
+    #[test]
+    fn lexicographic_order_matches_numeric_order(a in any::<u32>(), b in any::<u32>()) {
+        let va = BitVec::from_u64(a as u64, 32);
+        let vb = BitVec::from_u64(b as u64, 32);
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+    }
+
+    #[test]
+    fn xor_is_an_involution(len in 1usize..200, seed in any::<u64>()) {
+        let a = BitVec::fill_from_words(len, {
+            let mut s = seed;
+            move || { s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1); s }
+        });
+        let b = BitVec::fill_from_words(len, {
+            let mut s = seed ^ 0xABCD;
+            move || { s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(3); s }
+        });
+        prop_assert_eq!(a.xor(&b).xor(&b), a.clone());
+        prop_assert!(a.xor(&a).is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros_matches_naive(v in bitvec_any(200)) {
+        let mut naive = 0usize;
+        for i in (0..v.len()).rev() {
+            if v.get(i) { break; }
+            naive += 1;
+        }
+        prop_assert_eq!(v.trailing_zeros(), naive);
+    }
+
+    #[test]
+    fn prefix_is_zero_matches_naive(v in bitvec_any(200), frac in 0.0f64..=1.0) {
+        let m = ((v.len() as f64) * frac) as usize;
+        let naive = (0..m).all(|i| !v.get(i));
+        prop_assert_eq!(v.prefix_is_zero(m), naive);
+        prop_assert_eq!(v.prefix(m).is_zero(), naive);
+        prop_assert_eq!(v.prefix(m).len(), m);
+    }
+
+    #[test]
+    fn prefix_then_concat_suffix_reconstructs(v in bitvec_any(150), frac in 0.0f64..=1.0) {
+        let m = ((v.len() as f64) * frac) as usize;
+        let prefix = v.prefix(m);
+        let mut suffix = BitVec::zeros(v.len() - m);
+        for i in m..v.len() {
+            suffix.set(i - m, v.get(i));
+        }
+        prop_assert_eq!(prefix.concat(&suffix), v);
+    }
+
+    #[test]
+    fn successor_is_binary_increment(value in 0u64..u32::MAX as u64) {
+        let v = BitVec::from_u64(value, 33);
+        let next = v.successor().expect("not all ones");
+        prop_assert_eq!(next.to_u64(), value + 1);
+    }
+
+    #[test]
+    fn count_ones_agrees_with_popcount(value in any::<u64>()) {
+        let v = BitVec::from_u64(value, 64);
+        prop_assert_eq!(v.count_ones(), value.count_ones() as usize);
+    }
+
+    #[test]
+    fn dot_product_is_symmetric_and_bilinear(a in bitvec(96), b in bitvec(96), c in bitvec(96)) {
+        prop_assert_eq!(a.dot(&b), b.dot(&a));
+        // <a ⊕ c, b> = <a, b> ⊕ <c, b>
+        prop_assert_eq!(a.xor(&c).dot(&b), a.dot(&b) ^ c.dot(&b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BitMatrix: Gaussian elimination, rank, solve
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mul_vec_is_linear(m in bitmatrix(12, 12), seed in any::<u64>()) {
+        let cols = m.ncols();
+        let mut s = seed;
+        let mut next = move || { s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1); s };
+        let x = BitVec::fill_from_words(cols, &mut next);
+        let y = BitVec::fill_from_words(cols, &mut next);
+        prop_assert_eq!(m.mul_vec(&x.xor(&y)), m.mul_vec(&x).xor(&m.mul_vec(&y)));
+    }
+
+    #[test]
+    fn solve_returns_actual_solutions(m in bitmatrix(10, 10), rhs_seed in any::<u64>()) {
+        let rows = m.nrows();
+        let mut s = rhs_seed;
+        let b = BitVec::fill_from_words(rows, move || {
+            s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1); s
+        });
+        match m.solve(&b) {
+            Some((x0, nullspace)) => {
+                prop_assert_eq!(m.mul_vec(&x0), b.clone());
+                prop_assert!(m.is_consistent(&b));
+                for v in &nullspace {
+                    prop_assert!(m.mul_vec(v).is_zero());
+                    // A(x0 ⊕ v) = b as well.
+                    prop_assert_eq!(m.mul_vec(&x0.xor(v)), b.clone());
+                }
+                // Nullspace dimension complements the rank.
+                prop_assert_eq!(nullspace.len(), m.ncols() - m.rank());
+            }
+            None => prop_assert!(!m.is_consistent(&b)),
+        }
+    }
+
+    #[test]
+    fn consistent_rhs_built_from_a_known_solution_always_solves(
+        m in bitmatrix(10, 10),
+        x_seed in any::<u64>(),
+    ) {
+        let cols = m.ncols();
+        let mut s = x_seed;
+        let x = BitVec::fill_from_words(cols, move || {
+            s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1); s
+        });
+        let b = m.mul_vec(&x);
+        prop_assert!(m.is_consistent(&b));
+        let (x0, _) = m.solve(&b).expect("constructed to be consistent");
+        prop_assert_eq!(m.mul_vec(&x0), b);
+    }
+
+    #[test]
+    fn rank_is_invariant_under_transpose(m in bitmatrix(12, 12)) {
+        prop_assert_eq!(m.rank(), m.transpose().rank());
+        prop_assert!(m.rank() <= m.nrows().min(m.ncols()));
+    }
+
+    #[test]
+    fn identity_has_full_rank_and_solves_uniquely(n in 1usize..20, seed in any::<u64>()) {
+        let id = BitMatrix::identity(n);
+        prop_assert_eq!(id.rank(), n);
+        let mut s = seed;
+        let b = BitVec::fill_from_words(n, move || {
+            s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1); s
+        });
+        let (x0, nullspace) = id.solve(&b).expect("identity is always consistent");
+        prop_assert_eq!(x0, b);
+        prop_assert!(nullspace.is_empty());
+    }
+
+    #[test]
+    fn stacking_rows_never_decreases_rank(a in bitmatrix(8, 10), b_rows in 1usize..6) {
+        let b = BitMatrix::from_fn(b_rows, a.ncols(), |r, c| (r + c) % 3 == 0);
+        let stacked = a.stack(&b);
+        prop_assert!(stacked.rank() >= a.rank());
+        prop_assert!(stacked.rank() <= a.rank() + b_rows);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Affine subspaces and lexicographic enumeration
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn affine_image_enumeration_matches_exhaustive(
+        m in bitmatrix(8, 6),
+        offset_seed in any::<u64>(),
+        p in 1usize..40,
+    ) {
+        // The image {Ax + c : x ∈ {0,1}^ncols} enumerated two ways.
+        let rows = m.nrows();
+        let mut s = offset_seed;
+        let offset = BitVec::fill_from_words(rows, move || {
+            s = s.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1); s
+        });
+        let space = m.affine_image(&offset);
+
+        let mut exhaustive: Vec<BitVec> = (0..(1u64 << m.ncols()))
+            .map(|v| m.mul_vec(&BitVec::from_u64(v, m.ncols())).xor(&offset))
+            .collect();
+        exhaustive.sort();
+        exhaustive.dedup();
+        exhaustive.truncate(p);
+
+        prop_assert_eq!(space.lex_smallest_direct(p), exhaustive.clone());
+        prop_assert_eq!(space.lex_smallest(p), exhaustive.clone());
+        prop_assert_eq!(lex_enumerate(&mut space.clone(), p), exhaustive);
+    }
+
+    #[test]
+    fn affine_membership_agrees_with_enumeration(m in bitmatrix(6, 6), probe in any::<u64>()) {
+        let offset = BitVec::zeros(m.nrows());
+        let space = m.affine_image(&offset);
+        let all = space.lex_smallest_direct(1 << m.ncols());
+        let probe_vec = BitVec::from_u64(probe & ((1u64 << m.nrows()) - 1), m.nrows());
+        prop_assert_eq!(space.contains(&probe_vec), all.contains(&probe_vec));
+    }
+
+    #[test]
+    fn affine_size_hint_is_a_power_of_two_matching_dim(m in bitmatrix(8, 8)) {
+        let offset = BitVec::zeros(m.nrows());
+        let space = m.affine_image(&offset);
+        if let Some(size) = space.size_hint() {
+            prop_assert_eq!(size, 1u128 << space.dim());
+            let all = space.lex_smallest_direct(usize::MAX >> 1);
+            prop_assert_eq!(all.len() as u128, size);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GF(2^w) field and polynomials
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn field_axioms_hold(width in 1u32..=64, a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let f = Gf2Ext::new(width);
+        let (a, b, c) = (f.element(a), f.element(b), f.element(c));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        prop_assert_eq!(f.mul(a, 1), a);
+        prop_assert_eq!(f.mul(a, 0), 0);
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication(width in 2u32..=32, a in any::<u64>(), exp in 0u32..20) {
+        let f = Gf2Ext::new(width);
+        let a = f.element(a);
+        let mut expected = 1u64;
+        for _ in 0..exp {
+            expected = f.mul(expected, a);
+        }
+        prop_assert_eq!(f.pow(a, exp as u128), expected);
+    }
+
+    #[test]
+    fn polynomial_evaluation_is_horner_consistent(
+        width in 2u32..=48,
+        coeffs in prop::collection::vec(any::<u64>(), 1..8),
+        x in any::<u64>(),
+    ) {
+        let field = Gf2Ext::new(width);
+        let coeffs: Vec<u64> = coeffs.into_iter().map(|c| field.element(c)).collect();
+        let x = field.element(x);
+        let poly = Gf2Poly::new(field, coeffs.clone());
+        // Direct sum-of-monomials evaluation.
+        let mut expected = 0u64;
+        for (i, &c) in coeffs.iter().enumerate() {
+            expected = field.add(expected, field.mul(c, field.pow(x, i as u128)));
+        }
+        prop_assert_eq!(poly.eval(x), expected);
+    }
+}

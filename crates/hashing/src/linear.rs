@@ -1,0 +1,399 @@
+//! Affine hash families over GF(2): `H_Toeplitz(n, m)` and `H_xor(n, m)`.
+//!
+//! Both families consist of maps `h(x) = Ax + b` from `{0,1}^n` to `{0,1}^m`
+//! and are 2-wise independent. They differ only in how `A` is drawn:
+//! a uniformly random Toeplitz matrix (Θ(n + m) bits of randomness) versus a
+//! fully random matrix (Θ(n·m) bits). The `m'`-th *prefix slice* `h_{m'}` is
+//! the map given by the first `m'` rows of `A` and the first `m'` bits of
+//! `b` — the structural property that lets the bucketing algorithms tighten
+//! cells one level at a time without redrawing hash functions.
+
+use crate::rng::Xoshiro256StarStar;
+use mcf0_gf2::{AffineSubspace, BitMatrix, BitVec};
+
+/// Common interface of the affine (2-wise independent) hash families.
+pub trait LinearHash {
+    /// Input width `n`.
+    fn input_bits(&self) -> usize;
+
+    /// Output width `m`.
+    fn output_bits(&self) -> usize;
+
+    /// Row `i` of the matrix `A` (a vector of `n` bits).
+    fn matrix_row(&self, i: usize) -> BitVec;
+
+    /// Offset bit `b_i`.
+    fn offset_bit(&self, i: usize) -> bool;
+
+    /// Evaluates the full hash `h(x) = Ax + b`.
+    fn eval(&self, x: &BitVec) -> BitVec {
+        let n = self.input_bits();
+        let m = self.output_bits();
+        assert_eq!(x.len(), n, "input width mismatch");
+        let mut out = BitVec::zeros(m);
+        for i in 0..m {
+            let bit = self.matrix_row(i).dot(x) ^ self.offset_bit(i);
+            out.set(i, bit);
+        }
+        out
+    }
+
+    /// Evaluates the prefix slice `h_{m'}(x)` (first `m'` output bits).
+    fn eval_prefix(&self, x: &BitVec, m_prime: usize) -> BitVec {
+        assert!(m_prime <= self.output_bits());
+        let mut out = BitVec::zeros(m_prime);
+        for i in 0..m_prime {
+            let bit = self.matrix_row(i).dot(x) ^ self.offset_bit(i);
+            out.set(i, bit);
+        }
+        out
+    }
+
+    /// True iff `h_{m'}(x) = 0^{m'}` — the cell-membership test used by the
+    /// Bucketing strategy and by `ApproxMC`.
+    fn prefix_is_zero(&self, x: &BitVec, m_prime: usize) -> bool {
+        (0..m_prime).all(|i| self.matrix_row(i).dot(x) == self.offset_bit(i))
+    }
+
+    /// The affine representation `(A, b)` of the full hash.
+    fn to_affine(&self) -> (BitMatrix, BitVec) {
+        let m = self.output_bits();
+        let rows: Vec<BitVec> = (0..m).map(|i| self.matrix_row(i)).collect();
+        let mut b = BitVec::zeros(m);
+        for i in 0..m {
+            b.set(i, self.offset_bit(i));
+        }
+        (BitMatrix::from_rows(rows), b)
+    }
+
+    /// The affine representation of the prefix slice `h_{m'}`.
+    fn prefix_affine(&self, m_prime: usize) -> (BitMatrix, BitVec) {
+        assert!(m_prime <= self.output_bits());
+        let rows: Vec<BitVec> = (0..m_prime).map(|i| self.matrix_row(i)).collect();
+        let mut b = BitVec::zeros(m_prime);
+        for i in 0..m_prime {
+            b.set(i, self.offset_bit(i));
+        }
+        (BitMatrix::from_rows(rows), b)
+    }
+
+    /// Image of a sub-cube of the input space under the hash, as an affine
+    /// subspace of `{0,1}^m`.
+    ///
+    /// `fixed` assigns some input variables a constant; the remaining
+    /// variables are free. This is the "hashed solution set of a DNF term"
+    /// construction from the proof of Proposition 2.
+    fn image_of_cube(&self, fixed: &[(usize, bool)]) -> AffineSubspace {
+        let n = self.input_bits();
+        let m = self.output_bits();
+        let mut is_fixed = vec![false; n];
+        let mut x0 = BitVec::zeros(n);
+        for &(var, value) in fixed {
+            assert!(var < n, "fixed variable index out of range");
+            is_fixed[var] = true;
+            x0.set(var, value);
+        }
+        // Offset = h(x0) where free variables are zero.
+        let offset = self.eval(&x0);
+        // Generators: for each free variable j, the column A·e_j.
+        let mut generators = Vec::new();
+        for j in 0..n {
+            if is_fixed[j] {
+                continue;
+            }
+            let mut col = BitVec::zeros(m);
+            for i in 0..m {
+                if self.matrix_row(i).get(j) {
+                    col.set(i, true);
+                }
+            }
+            generators.push(col);
+        }
+        AffineSubspace::new(offset, generators)
+    }
+}
+
+/// A hash drawn from `H_Toeplitz(n, m)`: `A` is a random Toeplitz matrix
+/// (constant along diagonals), `b` a random vector. The randomness is the
+/// `n + m − 1` diagonal bits plus `b`, i.e. Θ(n + m) bits as in the paper;
+/// the expanded rows are cached at sampling time so that per-item evaluation
+/// in the streaming sketches does not re-materialise them.
+#[derive(Clone, Debug)]
+pub struct ToeplitzHash {
+    n: usize,
+    m: usize,
+    /// `diag[k]` is the matrix entry `A[i][j]` for all `i − j = k − (n − 1)`.
+    diag: BitVec,
+    b: BitVec,
+    rows: Vec<BitVec>,
+}
+
+impl ToeplitzHash {
+    /// Samples a uniformly random member of `H_Toeplitz(n, m)`.
+    pub fn sample(rng: &mut Xoshiro256StarStar, n: usize, m: usize) -> Self {
+        assert!(n > 0 && m > 0);
+        let diag = rng.random_bitvec(n + m - 1);
+        let rows = (0..m)
+            .map(|i| {
+                let mut row = BitVec::zeros(n);
+                for j in 0..n {
+                    // index into diag: (i - j) + (n - 1) ∈ 0..n+m-1
+                    if diag.get(i + (n - 1) - j) {
+                        row.set(j, true);
+                    }
+                }
+                row
+            })
+            .collect();
+        ToeplitzHash {
+            n,
+            m,
+            diag,
+            b: rng.random_bitvec(m),
+            rows,
+        }
+    }
+
+    /// Number of random bits this representation stores (Θ(n + m)); the
+    /// cached row expansion is derived data, not randomness.
+    pub fn representation_bits(&self) -> usize {
+        self.diag.len() + self.b.len()
+    }
+}
+
+impl LinearHash for ToeplitzHash {
+    fn input_bits(&self) -> usize {
+        self.n
+    }
+
+    fn output_bits(&self) -> usize {
+        self.m
+    }
+
+    fn matrix_row(&self, i: usize) -> BitVec {
+        self.rows[i].clone()
+    }
+
+    fn offset_bit(&self, i: usize) -> bool {
+        self.b.get(i)
+    }
+
+    fn eval(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.n, "input width mismatch");
+        let mut out = self.b.clone();
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.dot(x) {
+                out.flip(i);
+            }
+        }
+        out
+    }
+
+    fn eval_prefix(&self, x: &BitVec, m_prime: usize) -> BitVec {
+        assert!(m_prime <= self.m);
+        let mut out = self.b.prefix(m_prime);
+        for (i, row) in self.rows[..m_prime].iter().enumerate() {
+            if row.dot(x) {
+                out.flip(i);
+            }
+        }
+        out
+    }
+
+    fn prefix_is_zero(&self, x: &BitVec, m_prime: usize) -> bool {
+        self.rows[..m_prime]
+            .iter()
+            .enumerate()
+            .all(|(i, row)| row.dot(x) == self.b.get(i))
+    }
+}
+
+/// A hash drawn from `H_xor(n, m)`: `A` fully random, `b` random
+/// (Θ(n·m) representation bits).
+#[derive(Clone, Debug)]
+pub struct XorHash {
+    a: BitMatrix,
+    b: BitVec,
+}
+
+impl XorHash {
+    /// Samples a uniformly random member of `H_xor(n, m)`.
+    pub fn sample(rng: &mut Xoshiro256StarStar, n: usize, m: usize) -> Self {
+        assert!(n > 0 && m > 0);
+        let a = BitMatrix::from_rows((0..m).map(|_| rng.random_bitvec(n)).collect());
+        XorHash {
+            a,
+            b: rng.random_bitvec(m),
+        }
+    }
+
+    /// Builds a hash from an explicit affine representation (used in tests
+    /// and by the structured-stream reductions).
+    pub fn from_affine(a: BitMatrix, b: BitVec) -> Self {
+        assert_eq!(a.nrows(), b.len());
+        XorHash { a, b }
+    }
+
+    /// Number of random bits this representation stores (Θ(n·m)).
+    pub fn representation_bits(&self) -> usize {
+        self.a.nrows() * self.a.ncols() + self.b.len()
+    }
+}
+
+impl LinearHash for XorHash {
+    fn input_bits(&self) -> usize {
+        self.a.ncols()
+    }
+
+    fn output_bits(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn matrix_row(&self, i: usize) -> BitVec {
+        self.a.row(i).clone()
+    }
+
+    fn offset_bit(&self, i: usize) -> bool {
+        self.b.get(i)
+    }
+
+    fn eval(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.a.ncols(), "input width mismatch");
+        let mut out = self.b.clone();
+        for i in 0..self.a.nrows() {
+            if self.a.row(i).dot(x) {
+                out.flip(i);
+            }
+        }
+        out
+    }
+
+    fn eval_prefix(&self, x: &BitVec, m_prime: usize) -> BitVec {
+        assert!(m_prime <= self.a.nrows());
+        let mut out = self.b.prefix(m_prime);
+        for i in 0..m_prime {
+            if self.a.row(i).dot(x) {
+                out.flip(i);
+            }
+        }
+        out
+    }
+
+    fn prefix_is_zero(&self, x: &BitVec, m_prime: usize) -> bool {
+        (0..m_prime).all(|i| self.a.row(i).dot(x) == self.b.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(0xC0FF_EE00)
+    }
+
+    #[test]
+    fn eval_matches_affine_representation() {
+        let mut rng = rng();
+        for _ in 0..5 {
+            let h = ToeplitzHash::sample(&mut rng, 12, 8);
+            let (a, b) = h.to_affine();
+            for _ in 0..20 {
+                let x = rng.random_bitvec(12);
+                assert_eq!(h.eval(&x), a.mul_vec(&x).xor(&b));
+            }
+            let g = XorHash::sample(&mut rng, 12, 8);
+            let (a, b) = g.to_affine();
+            for _ in 0..20 {
+                let x = rng.random_bitvec(12);
+                assert_eq!(g.eval(&x), a.mul_vec(&x).xor(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_slice_is_prefix_of_full_hash() {
+        let mut rng = rng();
+        let h = ToeplitzHash::sample(&mut rng, 16, 10);
+        for _ in 0..20 {
+            let x = rng.random_bitvec(16);
+            let full = h.eval(&x);
+            for m in 0..=10 {
+                assert_eq!(h.eval_prefix(&x, m), full.prefix(m));
+                assert_eq!(h.prefix_is_zero(&x, m), full.prefix_is_zero(m));
+            }
+        }
+    }
+
+    #[test]
+    fn toeplitz_matrix_is_constant_on_diagonals() {
+        let mut rng = rng();
+        let h = ToeplitzHash::sample(&mut rng, 10, 7);
+        let (a, _) = h.to_affine();
+        for i in 1..7 {
+            for j in 1..10 {
+                assert_eq!(a.get(i, j), a.get(i - 1, j - 1), "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn representation_sizes_match_paper_claims() {
+        let mut rng = rng();
+        let t = ToeplitzHash::sample(&mut rng, 100, 60);
+        let x = XorHash::sample(&mut rng, 100, 60);
+        assert_eq!(t.representation_bits(), 100 + 60 - 1 + 60);
+        assert_eq!(x.representation_bits(), 100 * 60 + 60);
+        assert!(t.representation_bits() < x.representation_bits());
+    }
+
+    #[test]
+    fn image_of_cube_matches_exhaustive_image() {
+        let mut rng = rng();
+        let h = XorHash::sample(&mut rng, 6, 5);
+        // Fix x0 = 1, x3 = 0; free variables are x1, x2, x4, x5.
+        let fixed = [(0usize, true), (3usize, false)];
+        let image = h.image_of_cube(&fixed);
+        let mut expected: Vec<u64> = Vec::new();
+        for v in 0..64u64 {
+            let x = BitVec::from_u64(v, 6);
+            if x.get(0) && !x.get(3) {
+                let y = h.eval(&x).to_u64();
+                if !expected.contains(&y) {
+                    expected.push(y);
+                }
+            }
+        }
+        expected.sort_unstable();
+        let got: Vec<u64> = image
+            .lex_smallest(usize::MAX >> 1)
+            .iter()
+            .map(BitVec::to_u64)
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empirical_pairwise_independence_of_toeplitz() {
+        // For distinct x ≠ y, Pr[h(x) = h(y)] should be close to 2^-m.
+        let mut rng = rng();
+        let n = 10;
+        let m = 4;
+        let trials = 4000;
+        let x = BitVec::from_u64(0b1011001110, n);
+        let y = BitVec::from_u64(0b0000000001, n);
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let h = ToeplitzHash::sample(&mut rng, n, m);
+            if h.eval(&x) == h.eval(&y) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let expected = 1.0 / 16.0;
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "collision rate {rate} should be near {expected}"
+        );
+    }
+}

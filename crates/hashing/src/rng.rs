@@ -1,0 +1,218 @@
+//! Small deterministic pseudo-random generators.
+//!
+//! Everything random in the workspace — hash-function sampling, workload
+//! generation, Monte-Carlo baselines — flows through these generators so that
+//! every experiment is reproducible from a single printed seed. SplitMix64 is
+//! used to expand seeds; xoshiro256** is the workhorse generator.
+
+use mcf0_gf2::BitVec;
+
+/// SplitMix64: a tiny generator used to seed [`Xoshiro256StarStar`] and to
+/// derive independent child seeds.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — fast, high-quality, seedable PRNG.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator whose state is expanded from `seed` by SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // Guard against the (astronomically unlikely) all-zero state.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 1;
+        }
+        Xoshiro256StarStar { s }
+    }
+
+    /// Derives an independent child generator (for per-iteration hash draws,
+    /// per-site streams, etc.) without advancing shared state in surprising
+    /// ways.
+    pub fn fork(&mut self) -> Self {
+        let seed = self.next_u64() ^ 0xA5A5_A5A5_5A5A_5A5A;
+        Self::seed_from_u64(seed)
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform value in `0..bound` (rejection-free via 128-bit multiply;
+    /// negligible bias is irrelevant at our bounds). Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.gen_range(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniformly random bit vector of `len` bits.
+    pub fn random_bitvec(&mut self, len: usize) -> BitVec {
+        BitVec::fill_from_words(len, || self.next_u64())
+    }
+
+    /// Chooses `k` distinct indices from `0..n` (Floyd's algorithm);
+    /// `k` must not exceed `n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.gen_range((j + 1) as u64) as usize;
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(42);
+        let mut b = Xoshiro256StarStar::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256StarStar::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+        for _ in 0..200 {
+            let v = rng.gen_range_inclusive(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn random_bitvec_has_expected_density() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let v = rng.random_bitvec(10_000);
+        let ones = v.count_ones() as f64;
+        assert!((ones / 10_000.0 - 0.5).abs() < 0.03);
+        assert_eq!(v.len(), 10_000);
+    }
+
+    #[test]
+    fn sample_distinct_yields_distinct_indices() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut s = rng.sample_distinct(50, 20);
+            s.sort_unstable();
+            let before = s.len();
+            s.dedup();
+            assert_eq!(before, s.len());
+            assert!(s.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn fork_produces_divergent_streams() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut child = rng.fork();
+        let parent_vals: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+        let child_vals: Vec<u64> = (0..10).map(|_| child.next_u64()).collect();
+        assert_ne!(parent_vals, child_vals);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}

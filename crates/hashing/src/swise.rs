@@ -1,0 +1,150 @@
+//! The s-wise independent hash family `H_{s-wise}(w, w)`.
+//!
+//! A uniformly random polynomial of degree ≤ s−1 over GF(2^w), evaluated at
+//! the input, is an s-wise independent function GF(2^w) → GF(2^w). The
+//! Estimation strategy (Section 3.4 of the paper) needs s = O(log 1/ε)-wise
+//! independence; the Flajolet–Martin rough estimator only needs pairwise
+//! independence and can use `s = 2`.
+//!
+//! The family is limited to universes of width `w ≤ 64` (the input is a
+//! machine word); this is documented as a substitution in DESIGN.md — the
+//! streaming and counting experiments that use this family operate on
+//! universes of at most 2^64 items, which covers every workload in the
+//! evaluation.
+
+use crate::rng::Xoshiro256StarStar;
+use mcf0_gf2::{BitVec, Gf2Ext, Gf2Poly};
+
+/// A hash drawn from the s-wise independent polynomial family over GF(2^w).
+#[derive(Clone, Debug)]
+pub struct SWiseHash {
+    poly: Gf2Poly,
+}
+
+impl SWiseHash {
+    /// Samples a uniformly random degree-(s−1) polynomial hash over GF(2^w).
+    ///
+    /// `s` is the independence parameter (number of coefficients); it must be
+    /// at least 1. `width` is the universe width `w ≤ 64`.
+    pub fn sample(rng: &mut Xoshiro256StarStar, width: u32, s: usize) -> Self {
+        assert!(s >= 1, "independence parameter must be at least 1");
+        let field = Gf2Ext::new(width);
+        let coeffs: Vec<u64> = (0..s).map(|_| field.element(rng.next_u64())).collect();
+        SWiseHash {
+            poly: Gf2Poly::new(field, coeffs),
+        }
+    }
+
+    /// Builds the hash from explicit polynomial coefficients (tests).
+    pub fn from_coeffs(width: u32, coeffs: Vec<u64>) -> Self {
+        let field = Gf2Ext::new(width);
+        SWiseHash {
+            poly: Gf2Poly::new(field, coeffs),
+        }
+    }
+
+    /// Universe width `w`.
+    pub fn width(&self) -> u32 {
+        self.poly.field().width()
+    }
+
+    /// Independence parameter `s` (number of coefficients).
+    pub fn independence(&self) -> usize {
+        self.poly.num_coeffs()
+    }
+
+    /// Evaluates the hash on a `u64` item (only the low `w` bits are used).
+    pub fn eval_u64(&self, x: u64) -> u64 {
+        self.poly.eval(x)
+    }
+
+    /// Evaluates the hash on a bit-vector item of width `w`.
+    pub fn eval(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len() as u32, self.width(), "input width mismatch");
+        BitVec::from_u64(self.eval_u64(x.to_u64()), self.width() as usize)
+    }
+
+    /// The paper's `TrailZero(h(x))` statistic: number of trailing zero bits
+    /// of the hash value, in the `w`-bit output string.
+    pub fn trail_zero_u64(&self, x: u64) -> u32 {
+        let y = self.eval_u64(x);
+        if y == 0 {
+            self.width()
+        } else {
+            y.trailing_zeros()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_bitvec_matches_eval_u64() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let h = SWiseHash::sample(&mut rng, 16, 4);
+        for x in [0u64, 1, 2, 0xffff, 0x1234] {
+            let bv = BitVec::from_u64(x, 16);
+            assert_eq!(h.eval(&bv).to_u64(), h.eval_u64(x));
+        }
+    }
+
+    #[test]
+    fn trail_zero_matches_bitvec_trailing_zeros() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let h = SWiseHash::sample(&mut rng, 24, 6);
+        for x in 0..200u64 {
+            let expected = BitVec::from_u64(h.eval_u64(x), 24).trailing_zeros();
+            assert_eq!(h.trail_zero_u64(x) as usize, expected);
+        }
+    }
+
+    #[test]
+    fn degree_one_hash_is_a_bijection() {
+        // p(x) = a·x + b with a ≠ 0 must be a permutation of the field.
+        let h = SWiseHash::from_coeffs(10, vec![0b1010101010, 0b0000000011]);
+        let mut seen = vec![false; 1 << 10];
+        for x in 0..(1u64 << 10) {
+            let y = h.eval_u64(x) as usize;
+            assert!(!seen[y], "collision at {x}");
+            seen[y] = true;
+        }
+    }
+
+    #[test]
+    fn empirical_pairwise_collision_rate() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let width = 8;
+        let trials = 4000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let h = SWiseHash::sample(&mut rng, width, 4);
+            if h.eval_u64(17) == h.eval_u64(201) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let expected = 1.0 / 256.0;
+        assert!(
+            (rate - expected).abs() < 0.01,
+            "collision rate {rate} should be near {expected}"
+        );
+    }
+
+    #[test]
+    fn trailing_zero_distribution_is_geometric() {
+        // Over random hash draws, Pr[TrailZero ≥ r] ≈ 2^-r for a fixed item.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let trials = 8000;
+        let mut at_least_3 = 0;
+        for _ in 0..trials {
+            let h = SWiseHash::sample(&mut rng, 32, 4);
+            if h.trail_zero_u64(0xdead_beef) >= 3 {
+                at_least_3 += 1;
+            }
+        }
+        let rate = at_least_3 as f64 / trials as f64;
+        assert!((rate - 0.125).abs() < 0.02, "rate {rate}");
+    }
+}

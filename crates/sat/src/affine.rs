@@ -1,0 +1,164 @@
+//! `AffineFindMin` (Proposition 4): the `t` lexicographically smallest
+//! hashed values over an affine-space stream item `{x : Ax = b}`.
+//!
+//! Solving `Ax = b` gives the solution set as an affine subspace
+//! `x0 + null(A)` of the input space; pushing it through the affine hash
+//! `h(x) = Dx + c` gives another affine subspace
+//! `h(x0) + span{D·v : v ∈ null(A)}` of the output space, whose smallest
+//! elements are enumerated by the same machinery as `FindMin` for DNF terms.
+//! Everything is Gaussian elimination — `O(n⁴·t)` time and `O(t·n)` space as
+//! the paper states, no NP oracle involved.
+
+use mcf0_gf2::{AffineSubspace, BitMatrix, BitVec};
+use mcf0_hashing::LinearHash;
+
+/// An affine-space stream item: the set `{x ∈ {0,1}^n : Ax = b}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AffineSystem {
+    a: BitMatrix,
+    b: BitVec,
+}
+
+impl AffineSystem {
+    /// Builds the system; `a` has `n` columns and `b.len()` rows.
+    pub fn new(a: BitMatrix, b: BitVec) -> Self {
+        assert_eq!(a.nrows(), b.len(), "row/rhs mismatch");
+        AffineSystem { a, b }
+    }
+
+    /// Number of variables `n`.
+    pub fn num_vars(&self) -> usize {
+        self.a.ncols()
+    }
+
+    /// The constraint matrix.
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.a
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> &BitVec {
+        &self.b
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: &BitVec) -> bool {
+        self.a.mul_vec(x) == self.b
+    }
+
+    /// The solution set as an affine subspace of the input space, or `None`
+    /// if the system is inconsistent.
+    pub fn solution_space(&self) -> Option<AffineSubspace> {
+        let (x0, nullspace) = self.a.solve(&self.b)?;
+        Some(AffineSubspace::new(x0, nullspace))
+    }
+
+    /// Exact number of solutions (`2^{n − rank}` or 0).
+    pub fn solution_count(&self) -> u128 {
+        match self.solution_space() {
+            Some(space) => space.size_hint().unwrap_or(u128::MAX),
+            None => 0,
+        }
+    }
+
+    /// The hashed solution set `h({x : Ax = b})` as an affine subspace of the
+    /// hash output space, or `None` if the system is inconsistent.
+    pub fn hashed_solution_space<H: LinearHash>(&self, hash: &H) -> Option<AffineSubspace> {
+        assert_eq!(self.num_vars(), hash.input_bits(), "hash width mismatch");
+        let (x0, nullspace) = self.a.solve(&self.b)?;
+        let offset = hash.eval(&x0);
+        // Linear part of the hash applied to each nullspace generator:
+        // D·v = h(v) ⊕ h(0).
+        let h_zero = hash.eval(&BitVec::zeros(self.num_vars()));
+        let generators = nullspace
+            .iter()
+            .map(|v| hash.eval(v).xor(&h_zero))
+            .collect();
+        Some(AffineSubspace::new(offset, generators))
+    }
+}
+
+/// `AffineFindMin`: the `t` lexicographically smallest elements of
+/// `h({x : Ax = b})`, in increasing order (empty if the system is
+/// inconsistent).
+pub fn affine_find_min<H: LinearHash>(
+    system: &AffineSystem,
+    hash: &H,
+    t: usize,
+) -> Vec<BitVec> {
+    match system.hashed_solution_space(hash) {
+        Some(space) => space.lex_smallest_direct(t),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcf0_hashing::{ToeplitzHash, Xoshiro256StarStar};
+
+    fn random_system(rng: &mut Xoshiro256StarStar, n: usize, rows: usize) -> AffineSystem {
+        let a = BitMatrix::from_rows((0..rows).map(|_| rng.random_bitvec(n)).collect());
+        // Choose b = A·x* for a random x* so the system is consistent.
+        let x_star = rng.random_bitvec(n);
+        let b = a.mul_vec(&x_star);
+        AffineSystem::new(a, b)
+    }
+
+    #[test]
+    fn solution_count_matches_enumeration() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(41);
+        for _ in 0..10 {
+            let sys = random_system(&mut rng, 8, 5);
+            let expected = (0..256u64)
+                .filter(|&v| sys.contains(&BitVec::from_u64(v, 8)))
+                .count() as u128;
+            assert_eq!(sys.solution_count(), expected);
+        }
+    }
+
+    #[test]
+    fn inconsistent_system_has_no_solutions() {
+        // x0 = 0 and x0 = 1 simultaneously.
+        let a = BitMatrix::from_rows(vec![
+            BitVec::from_u64(0b100, 3),
+            BitVec::from_u64(0b100, 3),
+        ]);
+        let b = BitVec::from_u64(0b01, 2);
+        let sys = AffineSystem::new(a, b);
+        assert_eq!(sys.solution_count(), 0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        let h = ToeplitzHash::sample(&mut rng, 3, 5);
+        assert!(affine_find_min(&sys, &h, 4).is_empty());
+    }
+
+    #[test]
+    fn affine_find_min_matches_brute_force() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(43);
+        for _ in 0..10 {
+            let sys = random_system(&mut rng, 9, 4);
+            let h = ToeplitzHash::sample(&mut rng, 9, 12);
+            for t in [1usize, 3, 8, 100] {
+                let got = affine_find_min(&sys, &h, t);
+                let mut expected: Vec<BitVec> = (0..512u64)
+                    .map(|v| BitVec::from_u64(v, 9))
+                    .filter(|x| sys.contains(x))
+                    .map(|x| h.eval(&x))
+                    .collect();
+                expected.sort();
+                expected.dedup();
+                expected.truncate(t);
+                assert_eq!(got, expected, "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_space_size_never_exceeds_solution_space_size() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(44);
+        let sys = random_system(&mut rng, 10, 6);
+        let h = ToeplitzHash::sample(&mut rng, 10, 30);
+        let hashed = sys.hashed_solution_space(&h).unwrap();
+        assert!(hashed.size_hint().unwrap() <= sys.solution_count());
+    }
+}

@@ -1,0 +1,274 @@
+//! The abstract solution oracle and its two backends.
+//!
+//! The paper's algorithms are analysed in terms of NP-oracle calls. In this
+//! workspace an oracle call is a satisfiability or bounded-enumeration query
+//! about `φ ∧ (XOR constraints)`; [`OracleStats`] counts them so the
+//! experiments can check the claimed call complexities (e.g. Theorem 2's
+//! `O(n·ε⁻²·log δ⁻¹)` versus the binary-search variant's
+//! `O(log n·ε⁻²·log δ⁻¹)`).
+//!
+//! Two backends implement [`SolutionOracle`]:
+//!
+//! * [`SatOracle`] — the CNF-XOR DPLL solver of [`crate::solver`]; this is
+//!   the "real" oracle used at scale.
+//! * [`BruteForceOracle`] — exhaustive enumeration over `{0,1}^n` for
+//!   `n ≤ 26`; it provides ground truth in tests and supports predicates that
+//!   cannot be encoded as XOR constraints (such as trailing-zero constraints
+//!   on the s-wise polynomial hash used by the Estimation strategy).
+
+use crate::solver::{CnfXorSolver, SolveOutcome, XorConstraint};
+use mcf0_formula::{Assignment, CnfFormula, DnfFormula};
+use mcf0_gf2::BitVec;
+
+/// Counters describing how much work an oracle has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Number of satisfiability decisions issued (the paper's "NP calls").
+    pub sat_calls: u64,
+    /// Total number of solutions returned by enumeration queries.
+    pub solutions_enumerated: u64,
+}
+
+/// A solution space that can be interrogated with XOR side constraints.
+pub trait SolutionOracle {
+    /// Number of variables of the underlying formula.
+    fn num_vars(&self) -> usize;
+
+    /// Is there a solution satisfying all the given XOR constraints?
+    fn exists_with_xors(&mut self, xors: &[XorConstraint]) -> bool;
+
+    /// Up to `limit` distinct solutions satisfying the XOR constraints.
+    fn enumerate_with_xors(&mut self, xors: &[XorConstraint], limit: usize) -> Vec<Assignment>;
+
+    /// Work counters.
+    fn stats(&self) -> OracleStats;
+}
+
+/// Oracle backed by the CNF-XOR DPLL solver.
+#[derive(Clone, Debug)]
+pub struct SatOracle {
+    formula: CnfFormula,
+    stats: OracleStats,
+}
+
+impl SatOracle {
+    /// Creates an oracle over the solutions of a CNF formula.
+    pub fn new(formula: CnfFormula) -> Self {
+        SatOracle {
+            formula,
+            stats: OracleStats::default(),
+        }
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    fn solver_with(&self, xors: &[XorConstraint]) -> CnfXorSolver {
+        let mut solver = CnfXorSolver::from_cnf(&self.formula);
+        for xor in xors {
+            solver.add_xor(xor.clone());
+        }
+        solver
+    }
+}
+
+impl SolutionOracle for SatOracle {
+    fn num_vars(&self) -> usize {
+        self.formula.num_vars()
+    }
+
+    fn exists_with_xors(&mut self, xors: &[XorConstraint]) -> bool {
+        self.stats.sat_calls += 1;
+        let mut solver = self.solver_with(xors);
+        matches!(solver.solve(), SolveOutcome::Sat(_))
+    }
+
+    fn enumerate_with_xors(&mut self, xors: &[XorConstraint], limit: usize) -> Vec<Assignment> {
+        let mut solver = self.solver_with(xors);
+        let sols = solver.enumerate(limit);
+        // Each enumeration step (including the final failing one) is a
+        // satisfiability decision.
+        self.stats.sat_calls += sols.len() as u64 + 1;
+        self.stats.solutions_enumerated += sols.len() as u64;
+        sols
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.stats
+    }
+}
+
+/// Oracle backed by exhaustive enumeration of `{0,1}^n` (n ≤ 26). The
+/// predicate decides membership of the solution space; constructors are
+/// provided for CNF and DNF formulas as well as arbitrary closures
+/// (used by the structured-set reductions in tests).
+pub struct BruteForceOracle {
+    num_vars: usize,
+    predicate: Box<dyn Fn(&Assignment) -> bool>,
+    stats: OracleStats,
+}
+
+impl BruteForceOracle {
+    /// Oracle over the solutions of a CNF formula.
+    pub fn from_cnf(formula: CnfFormula) -> Self {
+        let n = formula.num_vars();
+        Self::from_predicate(n, move |a| formula.eval(a))
+    }
+
+    /// Oracle over the solutions of a DNF formula.
+    pub fn from_dnf(formula: DnfFormula) -> Self {
+        let n = formula.num_vars();
+        Self::from_predicate(n, move |a| formula.eval(a))
+    }
+
+    /// Oracle over an arbitrary predicate.
+    pub fn from_predicate(num_vars: usize, predicate: impl Fn(&Assignment) -> bool + 'static) -> Self {
+        assert!(num_vars <= 26, "brute-force oracle supports at most 26 variables");
+        BruteForceOracle {
+            num_vars,
+            predicate: Box::new(predicate),
+            stats: OracleStats::default(),
+        }
+    }
+
+    fn assignments(&self) -> impl Iterator<Item = Assignment> + '_ {
+        let n = self.num_vars;
+        (0..(1u64 << n)).map(move |value| {
+            let mut a = BitVec::zeros(n);
+            for i in 0..n {
+                if (value >> i) & 1 == 1 {
+                    a.set(i, true);
+                }
+            }
+            a
+        })
+    }
+
+    /// Maximum, over all solutions, of an arbitrary statistic; `None` if the
+    /// formula is unsatisfiable. Used for the genuinely s-wise variant of
+    /// `FindMaxRange` where the hash cannot be expressed as XOR constraints.
+    pub fn max_over_solutions<S: Ord>(
+        &mut self,
+        statistic: impl Fn(&Assignment) -> S,
+    ) -> Option<S> {
+        self.stats.sat_calls += 1;
+        self.assignments()
+            .filter(|a| (self.predicate)(a))
+            .map(|a| statistic(&a))
+            .max()
+    }
+
+    /// All hashed values `f(x)` over solutions `x`, deduplicated and sorted —
+    /// ground truth for `FindMin` style subroutines.
+    pub fn hashed_solution_values(
+        &mut self,
+        f: impl Fn(&Assignment) -> BitVec,
+    ) -> Vec<BitVec> {
+        self.stats.sat_calls += 1;
+        let mut values: Vec<BitVec> = self
+            .assignments()
+            .filter(|a| (self.predicate)(a))
+            .map(|a| f(&a))
+            .collect();
+        values.sort();
+        values.dedup();
+        values
+    }
+}
+
+impl SolutionOracle for BruteForceOracle {
+    fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    fn exists_with_xors(&mut self, xors: &[XorConstraint]) -> bool {
+        self.stats.sat_calls += 1;
+        self.assignments()
+            .any(|a| (self.predicate)(&a) && xors.iter().all(|x| x.eval(&a)))
+    }
+
+    fn enumerate_with_xors(&mut self, xors: &[XorConstraint], limit: usize) -> Vec<Assignment> {
+        self.stats.sat_calls += 1;
+        let mut out = Vec::new();
+        for a in self.assignments() {
+            if out.len() >= limit {
+                break;
+            }
+            if (self.predicate)(&a) && xors.iter().all(|x| x.eval(&a)) {
+                out.push(a);
+            }
+        }
+        self.stats.solutions_enumerated += out.len() as u64;
+        out
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcf0_formula::generators::{random_dnf, random_k_cnf};
+    use mcf0_hashing::Xoshiro256StarStar;
+
+    #[test]
+    fn sat_and_brute_force_agree_on_existence() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..10 {
+            let f = random_k_cnf(&mut rng, 8, 16, 3);
+            let row = rng.random_bitvec(8);
+            let xor = XorConstraint::from_row(&row, rng.next_bool());
+            let mut sat = SatOracle::new(f.clone());
+            let mut brute = BruteForceOracle::from_cnf(f);
+            assert_eq!(
+                sat.exists_with_xors(std::slice::from_ref(&xor)),
+                brute.exists_with_xors(std::slice::from_ref(&xor))
+            );
+        }
+    }
+
+    #[test]
+    fn sat_and_brute_force_agree_on_enumeration_counts() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        for _ in 0..6 {
+            let f = random_k_cnf(&mut rng, 7, 12, 3);
+            let xors: Vec<XorConstraint> = (0..2)
+                .map(|_| XorConstraint::from_row(&rng.random_bitvec(7), rng.next_bool()))
+                .collect();
+            let mut sat = SatOracle::new(f.clone());
+            let mut brute = BruteForceOracle::from_cnf(f);
+            let a = sat.enumerate_with_xors(&xors, 1000);
+            let b = brute.enumerate_with_xors(&xors, 1000);
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn stats_count_calls() {
+        let f = CnfFormula::tautology(4);
+        let mut oracle = SatOracle::new(f);
+        assert_eq!(oracle.stats().sat_calls, 0);
+        let _ = oracle.exists_with_xors(&[]);
+        let sols = oracle.enumerate_with_xors(&[], 3);
+        assert_eq!(sols.len(), 3);
+        let stats = oracle.stats();
+        assert_eq!(stats.sat_calls, 1 + 3 + 1);
+        assert_eq!(stats.solutions_enumerated, 3);
+    }
+
+    #[test]
+    fn brute_force_dnf_oracle_respects_limit() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let f = random_dnf(&mut rng, 10, 5, (2, 4));
+        let mut oracle = BruteForceOracle::from_dnf(f.clone());
+        let sols = oracle.enumerate_with_xors(&[], 7);
+        assert!(sols.len() <= 7);
+        for s in &sols {
+            assert!(f.eval(s));
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! A CNF-XOR DPLL solver: the workspace's NP oracle.
+//!
+//! The hashing-based algorithms only ever ask satisfiability / bounded
+//! enumeration questions about formulas of the form `φ ∧ (h(x) = c)` where
+//! `φ` is CNF and the hash constraint is a conjunction of XOR (parity)
+//! equations. The solver therefore carries two constraint stores — ordinary
+//! clauses and parity rows — and propagates over both:
+//!
+//! * unit propagation over clauses,
+//! * parity propagation over XOR rows (a row with a single unassigned
+//!   variable forces it; a fully assigned row with the wrong parity is a
+//!   conflict),
+//! * an up-front Gaussian elimination over the XOR rows that detects
+//!   inconsistent hash constraints before search and extracts forced units.
+//!
+//! This is deliberately a compact, readable solver rather than a CDCL engine;
+//! DESIGN.md documents it as the substitution for CryptoMiniSat. All the
+//! paper's complexity accounting is in terms of *oracle calls*, which the
+//! [`crate::oracle`] layer counts, so the solver's absolute speed only scales
+//! the time axis of the experiments.
+
+use mcf0_formula::{Assignment, CnfFormula, Literal};
+use mcf0_gf2::BitVec;
+
+/// A parity constraint `⊕_{v ∈ vars} x_v = parity`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XorConstraint {
+    /// Variables appearing in the constraint (deduplicated internally:
+    /// a variable appearing twice cancels).
+    pub vars: Vec<usize>,
+    /// Required parity of the sum.
+    pub parity: bool,
+}
+
+impl XorConstraint {
+    /// Builds a constraint, cancelling duplicate variables.
+    pub fn new(mut vars: Vec<usize>, parity: bool) -> Self {
+        vars.sort_unstable();
+        let mut deduped: Vec<usize> = Vec::with_capacity(vars.len());
+        let mut i = 0;
+        while i < vars.len() {
+            let mut run = 1;
+            while i + run < vars.len() && vars[i + run] == vars[i] {
+                run += 1;
+            }
+            if run % 2 == 1 {
+                deduped.push(vars[i]);
+            }
+            i += run;
+        }
+        XorConstraint {
+            vars: deduped,
+            parity,
+        }
+    }
+
+    /// Builds the constraint `row · x = target` from a hash-matrix row.
+    pub fn from_row(row: &BitVec, target: bool) -> Self {
+        let vars = (0..row.len()).filter(|&i| row.get(i)).collect();
+        XorConstraint::new(vars, target)
+    }
+
+    /// Evaluates the constraint under a total assignment.
+    pub fn eval(&self, assignment: &Assignment) -> bool {
+        let mut parity = false;
+        for &v in &self.vars {
+            parity ^= assignment.get(v);
+        }
+        parity == self.parity
+    }
+}
+
+/// Outcome of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found.
+    Sat(Assignment),
+    /// The formula (with its XOR constraints) is unsatisfiable.
+    Unsat,
+}
+
+/// The CNF-XOR solver.
+#[derive(Clone, Debug)]
+pub struct CnfXorSolver {
+    num_vars: usize,
+    clauses: Vec<Vec<Literal>>,
+    xors: Vec<XorConstraint>,
+    solve_calls: u64,
+}
+
+impl CnfXorSolver {
+    /// Creates an empty solver over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        CnfXorSolver {
+            num_vars,
+            clauses: Vec::new(),
+            xors: Vec::new(),
+            solve_calls: 0,
+        }
+    }
+
+    /// Creates a solver loaded with the clauses of a CNF formula.
+    pub fn from_cnf(formula: &CnfFormula) -> Self {
+        let mut s = Self::new(formula.num_vars());
+        for clause in formula.clauses() {
+            s.add_clause(clause.literals().to_vec());
+        }
+        s
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of `solve` invocations so far (the oracle-call metric).
+    pub fn solve_calls(&self) -> u64 {
+        self.solve_calls
+    }
+
+    /// Adds a clause (empty clause makes the instance unsatisfiable).
+    pub fn add_clause(&mut self, literals: Vec<Literal>) {
+        for l in &literals {
+            assert!(l.var() < self.num_vars, "literal variable out of range");
+        }
+        self.clauses.push(literals);
+    }
+
+    /// Adds an XOR constraint.
+    pub fn add_xor(&mut self, xor: XorConstraint) {
+        for &v in &xor.vars {
+            assert!(v < self.num_vars, "XOR variable out of range");
+        }
+        self.xors.push(xor);
+    }
+
+    /// Adds a blocking clause excluding exactly the given total assignment.
+    pub fn block_assignment(&mut self, assignment: &Assignment) {
+        assert_eq!(assignment.len(), self.num_vars);
+        let lits = (0..self.num_vars)
+            .map(|v| {
+                if assignment.get(v) {
+                    Literal::negative(v)
+                } else {
+                    Literal::positive(v)
+                }
+            })
+            .collect();
+        self.clauses.push(lits);
+    }
+
+    /// Decides satisfiability, returning a model if one exists.
+    pub fn solve(&mut self) -> SolveOutcome {
+        self.solve_calls += 1;
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+
+        // Gaussian elimination over the XOR rows: detect inconsistency early
+        // and replace the rows by an equivalent reduced system.
+        let reduced = match gaussian_reduce(self.num_vars, &self.xors) {
+            Some(rows) => rows,
+            None => return SolveOutcome::Unsat,
+        };
+
+        if self.search(&reduced, &mut assignment) {
+            let mut model = BitVec::zeros(self.num_vars);
+            for (v, value) in assignment.iter().enumerate() {
+                // Variables left unassigned by the search are unconstrained;
+                // fix them to false.
+                if value.unwrap_or(false) {
+                    model.set(v, true);
+                }
+            }
+            debug_assert!(self.verify(&model));
+            SolveOutcome::Sat(model)
+        } else {
+            SolveOutcome::Unsat
+        }
+    }
+
+    /// Enumerates up to `limit` distinct solutions (adding blocking clauses
+    /// to a scratch copy of the clause store, leaving `self` unchanged apart
+    /// from the call counter).
+    pub fn enumerate(&mut self, limit: usize) -> Vec<Assignment> {
+        let saved_clauses = self.clauses.clone();
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match self.solve() {
+                SolveOutcome::Sat(model) => {
+                    self.block_assignment(&model);
+                    out.push(model);
+                }
+                SolveOutcome::Unsat => break,
+            }
+        }
+        self.clauses = saved_clauses;
+        out
+    }
+
+    /// Checks a model against all clauses and XOR constraints.
+    pub fn verify(&self, model: &Assignment) -> bool {
+        let clauses_ok = self
+            .clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| l.eval(model.get(l.var()))));
+        let xors_ok = self.xors.iter().all(|x| x.eval(model));
+        clauses_ok && xors_ok
+    }
+
+    fn search(&self, xors: &[XorConstraint], assignment: &mut Vec<Option<bool>>) -> bool {
+        // Propagate to fixpoint; remember the trail for backtracking.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            match self.propagate_once(xors, assignment, &mut trail) {
+                Propagation::Conflict => {
+                    for &v in &trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                Propagation::Progress => continue,
+                Propagation::Fixpoint => break,
+            }
+        }
+
+        // Pick a branching variable: first unassigned variable mentioned by an
+        // unsatisfied clause or XOR row, else any unassigned variable that is
+        // actually constrained; if nothing is constrained, we are done.
+        let branch = self.pick_branch_variable(xors, assignment);
+        let Some(var) = branch else {
+            return true;
+        };
+
+        for value in [false, true] {
+            assignment[var] = Some(value);
+            if self.search(xors, assignment) {
+                return true;
+            }
+        }
+        assignment[var] = None;
+        for &v in &trail {
+            assignment[v] = None;
+        }
+        false
+    }
+
+    fn pick_branch_variable(
+        &self,
+        xors: &[XorConstraint],
+        assignment: &[Option<bool>],
+    ) -> Option<usize> {
+        for clause in &self.clauses {
+            let mut satisfied = false;
+            let mut candidate = None;
+            for lit in clause {
+                match assignment[lit.var()] {
+                    Some(v) if lit.eval(v) => {
+                        satisfied = true;
+                        break;
+                    }
+                    None if candidate.is_none() => candidate = Some(lit.var()),
+                    _ => {}
+                }
+            }
+            if !satisfied {
+                if let Some(v) = candidate {
+                    return Some(v);
+                }
+            }
+        }
+        for xor in xors {
+            let unassigned: Vec<usize> = xor
+                .vars
+                .iter()
+                .copied()
+                .filter(|&v| assignment[v].is_none())
+                .collect();
+            if !unassigned.is_empty() {
+                return Some(unassigned[0]);
+            }
+        }
+        None
+    }
+
+    fn propagate_once(
+        &self,
+        xors: &[XorConstraint],
+        assignment: &mut Vec<Option<bool>>,
+        trail: &mut Vec<usize>,
+    ) -> Propagation {
+        let mut progressed = false;
+        // Clause propagation.
+        for clause in &self.clauses {
+            let mut satisfied = false;
+            let mut unassigned: Option<Literal> = None;
+            let mut unassigned_count = 0;
+            for &lit in clause {
+                match assignment[lit.var()] {
+                    Some(v) => {
+                        if lit.eval(v) {
+                            satisfied = true;
+                            break;
+                        }
+                    }
+                    None => {
+                        unassigned_count += 1;
+                        unassigned = Some(lit);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => return Propagation::Conflict,
+                1 => {
+                    let lit = unassigned.unwrap();
+                    assignment[lit.var()] = Some(lit.is_positive());
+                    trail.push(lit.var());
+                    progressed = true;
+                }
+                _ => {}
+            }
+        }
+        // Parity propagation.
+        for xor in xors {
+            let mut parity = xor.parity;
+            let mut unassigned: Option<usize> = None;
+            let mut unassigned_count = 0;
+            for &v in &xor.vars {
+                match assignment[v] {
+                    Some(true) => parity = !parity,
+                    Some(false) => {}
+                    None => {
+                        unassigned_count += 1;
+                        unassigned = Some(v);
+                    }
+                }
+            }
+            match unassigned_count {
+                0 => {
+                    if parity {
+                        return Propagation::Conflict;
+                    }
+                }
+                1 => {
+                    let v = unassigned.unwrap();
+                    assignment[v] = Some(parity);
+                    trail.push(v);
+                    progressed = true;
+                }
+                _ => {}
+            }
+        }
+        if progressed {
+            Propagation::Progress
+        } else {
+            Propagation::Fixpoint
+        }
+    }
+}
+
+enum Propagation {
+    Conflict,
+    Progress,
+    Fixpoint,
+}
+
+/// Gaussian elimination over the XOR system. Returns an equivalent reduced
+/// row set, or `None` if the system is inconsistent on its own.
+fn gaussian_reduce(num_vars: usize, xors: &[XorConstraint]) -> Option<Vec<XorConstraint>> {
+    if xors.is_empty() {
+        return Some(Vec::new());
+    }
+    // Rows as (bitset over vars, parity).
+    let mut rows: Vec<(BitVec, bool)> = xors
+        .iter()
+        .map(|x| {
+            let mut v = BitVec::zeros(num_vars);
+            for &var in &x.vars {
+                v.set(var, true);
+            }
+            (v, x.parity)
+        })
+        .collect();
+    let mut rank = 0usize;
+    for col in 0..num_vars {
+        if let Some(p) = (rank..rows.len()).find(|&r| rows[r].0.get(col)) {
+            rows.swap(rank, p);
+            let (pivot_row, pivot_parity) = rows[rank].clone();
+            for (r, (row, parity)) in rows.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                    *parity ^= pivot_parity;
+                }
+            }
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+    }
+    let mut reduced = Vec::new();
+    for (row, parity) in rows {
+        if row.is_zero() {
+            if parity {
+                return None;
+            }
+            continue;
+        }
+        let vars = (0..num_vars).filter(|&i| row.get(i)).collect();
+        reduced.push(XorConstraint { vars, parity });
+    }
+    Some(reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcf0_formula::exact::{count_cnf_brute_force, enumerate_cnf_solutions};
+    use mcf0_formula::generators::random_k_cnf;
+    use mcf0_hashing::Xoshiro256StarStar;
+
+    #[test]
+    fn solves_simple_formula() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x2) ∧ (¬x1)
+        let mut s = CnfXorSolver::new(3);
+        s.add_clause(vec![Literal::positive(0), Literal::positive(1)]);
+        s.add_clause(vec![Literal::negative(0), Literal::positive(2)]);
+        s.add_clause(vec![Literal::negative(1)]);
+        match s.solve() {
+            SolveOutcome::Sat(model) => {
+                assert!(model.get(0));
+                assert!(!model.get(1));
+                assert!(model.get(2));
+            }
+            SolveOutcome::Unsat => panic!("formula is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn detects_unsat_via_clauses() {
+        let mut s = CnfXorSolver::new(2);
+        s.add_clause(vec![Literal::positive(0)]);
+        s.add_clause(vec![Literal::negative(0)]);
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn detects_unsat_via_inconsistent_xors() {
+        let mut s = CnfXorSolver::new(3);
+        s.add_xor(XorConstraint::new(vec![0, 1], false));
+        s.add_xor(XorConstraint::new(vec![1, 2], false));
+        s.add_xor(XorConstraint::new(vec![0, 2], true));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn xor_constraints_restrict_the_model() {
+        let mut s = CnfXorSolver::new(4);
+        s.add_xor(XorConstraint::new(vec![0, 1, 2], true));
+        s.add_xor(XorConstraint::new(vec![2, 3], false));
+        match s.solve() {
+            SolveOutcome::Sat(model) => {
+                assert!(model.get(0) ^ model.get(1) ^ model.get(2));
+                assert_eq!(model.get(2), model.get(3));
+            }
+            SolveOutcome::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn xor_duplicate_variables_cancel() {
+        let x = XorConstraint::new(vec![3, 1, 3, 3, 1], true);
+        assert_eq!(x.vars, vec![3]);
+        let y = XorConstraint::new(vec![2, 2], true);
+        assert!(y.vars.is_empty());
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_on_random_instances() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+        for _ in 0..10 {
+            let f = random_k_cnf(&mut rng, 8, 14, 3);
+            let expected = count_cnf_brute_force(&f);
+            let mut s = CnfXorSolver::from_cnf(&f);
+            let sols = s.enumerate(1 << 9);
+            assert_eq!(sols.len() as u128, expected, "{f}");
+            // All reported solutions are genuine and distinct.
+            let brute = enumerate_cnf_solutions(&f);
+            for sol in &sols {
+                assert!(brute.contains(sol));
+            }
+            let mut dedup = sols.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), sols.len());
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit_and_is_repeatable() {
+        let f = CnfFormula::tautology(5);
+        let mut s = CnfXorSolver::from_cnf(&f);
+        assert_eq!(s.enumerate(7).len(), 7);
+        // The scratch blocking clauses must not leak: a second enumeration
+        // sees the full solution set again.
+        assert_eq!(s.enumerate(40).len(), 32);
+    }
+
+    #[test]
+    fn solutions_with_xor_constraints_match_brute_force() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..10 {
+            let f = random_k_cnf(&mut rng, 7, 10, 3);
+            let row = rng.random_bitvec(7);
+            let parity = rng.next_bool();
+            let xor = XorConstraint::from_row(&row, parity);
+            let mut s = CnfXorSolver::from_cnf(&f);
+            s.add_xor(xor.clone());
+            let got = s.enumerate(1 << 8).len();
+            let expected = enumerate_cnf_solutions(&f)
+                .into_iter()
+                .filter(|a| xor.eval(a))
+                .count();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn solve_call_counter_increments() {
+        let mut s = CnfXorSolver::new(3);
+        s.add_clause(vec![Literal::positive(0)]);
+        assert_eq!(s.solve_calls(), 0);
+        let _ = s.solve();
+        let _ = s.solve();
+        assert_eq!(s.solve_calls(), 2);
+        let _ = s.enumerate(4);
+        assert!(s.solve_calls() >= 6);
+    }
+}

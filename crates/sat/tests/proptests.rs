@@ -1,0 +1,349 @@
+//! Property-based tests for the NP-oracle substrate: the CNF-XOR solver, the
+//! bounded enumeration used by `ApproxMC`, and the `FindMin` /
+//! `FindMaxRange` / `AffineFindMin` subroutines, all cross-checked against
+//! brute-force ground truth on small variable counts.
+
+use proptest::prelude::*;
+
+use mcf0_formula::exact::count_cnf_brute_force;
+use mcf0_formula::generators::{planted_dnf, random_dnf, random_k_cnf};
+use mcf0_formula::Assignment;
+use mcf0_gf2::BitVec;
+use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar, XorHash};
+use mcf0_sat::{
+    affine_find_min, bounded_sat_cnf, bounded_sat_dnf, find_max_range_cnf, find_max_range_dnf,
+    find_min_cnf, find_min_dnf, AffineSystem, BruteForceOracle, CnfXorSolver, SatOracle,
+    SolutionOracle, SolveOutcome, XorConstraint,
+};
+
+fn rng_from(seed: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed)
+}
+
+fn assignment_from_u64(value: u64, num_vars: usize) -> Assignment {
+    let mut a = Assignment::zeros(num_vars);
+    for i in 0..num_vars {
+        if (value >> i) & 1 == 1 {
+            a.set(i, true);
+        }
+    }
+    a
+}
+
+// ---------------------------------------------------------------------------
+// The CNF-XOR solver against brute force
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn solver_agrees_with_brute_force_on_satisfiability(
+        seed in any::<u64>(),
+        n in 3usize..9,
+        clauses in 1usize..16,
+        xor_rows in 0usize..4,
+    ) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let xors: Vec<XorConstraint> = (0..xor_rows)
+            .map(|_| XorConstraint::from_row(&rng.random_bitvec(n), rng.next_bool()))
+            .collect();
+
+        let brute_sat = (0..(1u64 << n)).any(|v| {
+            let a = assignment_from_u64(v, n);
+            f.eval(&a) && xors.iter().all(|x| x.eval(&a))
+        });
+
+        let mut solver = CnfXorSolver::from_cnf(&f);
+        for x in &xors {
+            solver.add_xor(x.clone());
+        }
+        match solver.solve() {
+            SolveOutcome::Sat(model) => {
+                prop_assert!(brute_sat);
+                prop_assert!(f.eval(&model));
+                prop_assert!(xors.iter().all(|x| x.eval(&model)));
+                prop_assert!(solver.verify(&model));
+            }
+            SolveOutcome::Unsat => prop_assert!(!brute_sat),
+        }
+    }
+
+    #[test]
+    fn solver_enumeration_finds_every_solution(seed in any::<u64>(), n in 3usize..8, clauses in 1usize..12) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let mut solver = CnfXorSolver::from_cnf(&f);
+        let mut found: Vec<u64> = solver
+            .enumerate(1 << n)
+            .iter()
+            .map(|a| (0..n).fold(0u64, |acc, i| acc | ((a.get(i) as u64) << i)))
+            .collect();
+        found.sort_unstable();
+        let expected: Vec<u64> = (0..(1u64 << n))
+            .filter(|&v| f.eval(&assignment_from_u64(v, n)))
+            .collect();
+        prop_assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn oracle_backends_agree(seed in any::<u64>(), n in 3usize..8, clauses in 1usize..12, xor_rows in 0usize..3) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let xors: Vec<XorConstraint> = (0..xor_rows)
+            .map(|_| XorConstraint::from_row(&rng.random_bitvec(n), rng.next_bool()))
+            .collect();
+        let mut sat = SatOracle::new(f.clone());
+        let mut brute = BruteForceOracle::from_cnf(f);
+        prop_assert_eq!(sat.exists_with_xors(&xors), brute.exists_with_xors(&xors));
+        prop_assert_eq!(
+            sat.enumerate_with_xors(&xors, 1 << n).len(),
+            brute.enumerate_with_xors(&xors, 1 << n).len()
+        );
+        prop_assert!(sat.stats().sat_calls > 0);
+    }
+
+    #[test]
+    fn xor_constraint_from_row_evaluates_the_affine_equation(
+        seed in any::<u64>(),
+        n in 1usize..32,
+        target in any::<bool>(),
+        x_raw in any::<u64>(),
+    ) {
+        let mut rng = rng_from(seed);
+        let row = rng.random_bitvec(n);
+        let constraint = XorConstraint::from_row(&row, target);
+        let x = BitVec::from_u64(x_raw & if n >= 64 { u64::MAX } else { (1 << n) - 1 }, n);
+        // The constraint holds iff <row, x> equals the target parity.
+        prop_assert_eq!(constraint.eval(&x), row.dot(&x) == target);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BoundedSAT (Proposition 1)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bounded_sat_cnf_counts_the_hash_cell(seed in any::<u64>(), n in 3usize..8, clauses in 1usize..12, m_frac in 0.0f64..=1.0) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let h = ToeplitzHash::sample(&mut rng, n, n);
+        let m = ((n as f64) * m_frac) as usize;
+
+        let expected = (0..(1u64 << n))
+            .filter(|&v| {
+                let a = assignment_from_u64(v, n);
+                f.eval(&a) && h.prefix_is_zero(&a, m)
+            })
+            .count();
+
+        let mut oracle = SatOracle::new(f.clone());
+        let result = bounded_sat_cnf(&mut oracle, &h, m, 1 << n);
+        prop_assert_eq!(result.count(), expected);
+        for sol in &result.solutions {
+            prop_assert!(f.eval(sol));
+            prop_assert!(h.prefix_is_zero(sol, m));
+        }
+    }
+
+    #[test]
+    fn bounded_sat_dnf_counts_the_hash_cell(seed in any::<u64>(), n in 3usize..8, terms in 1usize..6, m_frac in 0.0f64..=1.0) {
+        let mut rng = rng_from(seed);
+        let f = random_dnf(&mut rng, n, terms, (1, 3.min(n)));
+        let h = ToeplitzHash::sample(&mut rng, n, n);
+        let m = ((n as f64) * m_frac) as usize;
+
+        let expected = (0..(1u64 << n))
+            .filter(|&v| {
+                let a = assignment_from_u64(v, n);
+                f.eval(&a) && h.prefix_is_zero(&a, m)
+            })
+            .count();
+
+        let result = bounded_sat_dnf(&f, &h, m, 1 << n);
+        prop_assert_eq!(result.count(), expected);
+    }
+
+    #[test]
+    fn bounded_sat_respects_its_limit(seed in any::<u64>(), n in 4usize..8, limit in 1usize..10) {
+        let mut rng = rng_from(seed);
+        // A tautology-like DNF with one free term gives a big cell at m = 0.
+        let (f, _) = planted_dnf(&mut rng, n, (1 << n) / 2);
+        let h = ToeplitzHash::sample(&mut rng, n, n);
+        let result = bounded_sat_dnf(&f, &h, 0, limit);
+        prop_assert!(result.count() <= limit);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FindMin (Proposition 2) and AffineFindMin (Proposition 4)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn find_min_dnf_matches_ground_truth(seed in any::<u64>(), n in 3usize..8, terms in 1usize..6, p in 1usize..20) {
+        let mut rng = rng_from(seed);
+        let f = random_dnf(&mut rng, n, terms, (1, 3.min(n)));
+        let h = ToeplitzHash::sample(&mut rng, n, 3 * n);
+
+        let mut truth: Vec<BitVec> = (0..(1u64 << n))
+            .filter_map(|v| {
+                let a = assignment_from_u64(v, n);
+                f.eval(&a).then(|| h.eval(&a))
+            })
+            .collect();
+        truth.sort();
+        truth.dedup();
+        truth.truncate(p);
+
+        prop_assert_eq!(find_min_dnf(&f, &h, p), truth);
+    }
+
+    #[test]
+    fn find_min_cnf_matches_ground_truth(seed in any::<u64>(), n in 3usize..7, clauses in 1usize..10, p in 1usize..16) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let h = ToeplitzHash::sample(&mut rng, n, 2 * n);
+
+        let mut truth: Vec<BitVec> = (0..(1u64 << n))
+            .filter_map(|v| {
+                let a = assignment_from_u64(v, n);
+                f.eval(&a).then(|| h.eval(&a))
+            })
+            .collect();
+        truth.sort();
+        truth.dedup();
+        truth.truncate(p);
+
+        let mut oracle = SatOracle::new(f);
+        prop_assert_eq!(find_min_cnf(&mut oracle, &h, p), truth);
+    }
+
+    #[test]
+    fn find_min_is_monotone_in_p(seed in any::<u64>(), n in 3usize..8, terms in 1usize..5) {
+        let mut rng = rng_from(seed);
+        let f = random_dnf(&mut rng, n, terms, (1, 3.min(n)));
+        let h = ToeplitzHash::sample(&mut rng, n, 3 * n);
+        let small = find_min_dnf(&f, &h, 4);
+        let large = find_min_dnf(&f, &h, 12);
+        prop_assert!(large.len() >= small.len());
+        prop_assert_eq!(&large[..small.len()], &small[..]);
+    }
+
+    #[test]
+    fn affine_find_min_matches_ground_truth(seed in any::<u64>(), n in 2usize..7, rows in 1usize..7, t in 1usize..16) {
+        let mut rng = rng_from(seed);
+        let a = mcf0_gf2::BitMatrix::from_rows((0..rows).map(|_| rng.random_bitvec(n)).collect());
+        let b = rng.random_bitvec(rows);
+        let system = AffineSystem::new(a.clone(), b.clone());
+        let h = XorHash::sample(&mut rng, n, 3 * n);
+
+        let mut truth: Vec<BitVec> = (0..(1u64 << n))
+            .filter_map(|v| {
+                let x = BitVec::from_u64(v, n);
+                (a.mul_vec(&x) == b).then(|| h.eval(&x))
+            })
+            .collect();
+        truth.sort();
+        truth.dedup();
+        truth.truncate(t);
+
+        prop_assert_eq!(affine_find_min(&system, &h, t), truth);
+    }
+
+    #[test]
+    fn affine_solution_count_matches_brute_force(seed in any::<u64>(), n in 2usize..8, rows in 1usize..8) {
+        let mut rng = rng_from(seed);
+        let a = mcf0_gf2::BitMatrix::from_rows((0..rows).map(|_| rng.random_bitvec(n)).collect());
+        let b = rng.random_bitvec(rows);
+        let system = AffineSystem::new(a.clone(), b.clone());
+        let expected = (0..(1u64 << n))
+            .filter(|&v| a.mul_vec(&BitVec::from_u64(v, n)) == b)
+            .count() as u128;
+        prop_assert_eq!(system.solution_count(), expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FindMaxRange (Proposition 3)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn find_max_range_cnf_matches_ground_truth(seed in any::<u64>(), n in 3usize..8, clauses in 1usize..10) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let h = ToeplitzHash::sample(&mut rng, n, n);
+
+        let expected = (0..(1u64 << n))
+            .filter_map(|v| {
+                let a = assignment_from_u64(v, n);
+                f.eval(&a).then(|| h.eval(&a).trailing_zeros())
+            })
+            .max();
+
+        let mut oracle = SatOracle::new(f);
+        prop_assert_eq!(find_max_range_cnf(&mut oracle, &h), expected);
+    }
+
+    #[test]
+    fn find_max_range_dnf_matches_ground_truth(seed in any::<u64>(), n in 3usize..8, terms in 1usize..6) {
+        let mut rng = rng_from(seed);
+        let f = random_dnf(&mut rng, n, terms, (1, 3.min(n)));
+        let h = ToeplitzHash::sample(&mut rng, n, n);
+
+        let expected = (0..(1u64 << n))
+            .filter_map(|v| {
+                let a = assignment_from_u64(v, n);
+                f.eval(&a).then(|| h.eval(&a).trailing_zeros())
+            })
+            .max();
+
+        prop_assert_eq!(find_max_range_dnf(&f, &h), expected);
+    }
+
+    #[test]
+    fn find_max_range_is_consistent_across_cnf_and_dnf_views(seed in any::<u64>(), n in 3usize..7, count in 1usize..20) {
+        // The same planted solution set seen as a DNF and as its brute-force
+        // oracle must report the same maximum trailing-zero statistic.
+        let mut rng = rng_from(seed);
+        let count = count.min(1 << n);
+        let (f, _) = planted_dnf(&mut rng, n, count);
+        let h = ToeplitzHash::sample(&mut rng, n, n);
+        let via_dnf = find_max_range_dnf(&f, &h);
+        let mut oracle = BruteForceOracle::from_dnf(f);
+        let via_oracle = find_max_range_cnf(&mut oracle, &h);
+        prop_assert_eq!(via_dnf, via_oracle);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking clauses and oracle statistics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn blocking_an_assignment_removes_exactly_one_solution(seed in any::<u64>(), n in 3usize..8, clauses in 1usize..10) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let before = count_cnf_brute_force(&f);
+        let mut solver = CnfXorSolver::from_cnf(&f);
+        if let SolveOutcome::Sat(model) = solver.solve() {
+            solver.block_assignment(&model);
+            let remaining = solver.enumerate(1 << n).len() as u128;
+            prop_assert_eq!(remaining, before - 1);
+        } else {
+            prop_assert_eq!(before, 0);
+        }
+    }
+}

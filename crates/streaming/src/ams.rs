@@ -1,0 +1,208 @@
+//! AMS sketch for the second frequency moment F2.
+//!
+//! Section 6 of the paper ("Higher Moments") asks how the F0↔counting bridge
+//! extends to higher frequency moments. This module provides the classical
+//! Alon–Matias–Szegedy F2 estimator as the workspace's higher-moment
+//! substrate: it is used by the triangle-counting reduction of
+//! `mcf0-structured::reductions` (the Bar-Yossef–Kumar–Sivakumar application
+//! cited in Section 1), and it gives the experiments a concrete F_k (k > 0)
+//! baseline to contrast with the F0 algorithms.
+//!
+//! Each estimator keeps `rows × columns` counters `Z[i][j] = Σ_x f_x · σ_{ij}(x)`
+//! where `σ` is a ±1 hash drawn from a 4-wise independent family (here: one
+//! output bit of the degree-3 polynomial family over GF(2^w)). `Z²` is an
+//! unbiased estimate of F2; columns are averaged and rows are combined by a
+//! median.
+
+use crate::config::median;
+use mcf0_hashing::{SWiseHash, Xoshiro256StarStar};
+
+/// AMS estimator for the second frequency moment of a stream over
+/// `{0,1}^universe_bits`.
+pub struct AmsF2 {
+    universe_bits: usize,
+    rows: Vec<Vec<AmsCell>>,
+    items_processed: u64,
+}
+
+struct AmsCell {
+    sign_hash: SWiseHash,
+    accumulator: i64,
+}
+
+impl AmsF2 {
+    /// Creates a sketch with `rows` median groups of `columns` averaged
+    /// estimators each. The classical guarantee needs
+    /// `columns = O(1/ε²)` and `rows = O(log(1/δ))`.
+    pub fn new(
+        universe_bits: usize,
+        rows: usize,
+        columns: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        assert!(universe_bits >= 1 && universe_bits <= 64);
+        assert!(rows >= 1 && columns >= 1);
+        let rows = (0..rows)
+            .map(|_| {
+                (0..columns)
+                    .map(|_| AmsCell {
+                        // Degree-3 polynomials give 4-wise independence.
+                        sign_hash: SWiseHash::sample(rng, universe_bits as u32, 4),
+                        accumulator: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+        AmsF2 {
+            universe_bits,
+            rows,
+            items_processed: 0,
+        }
+    }
+
+    /// Universe width in bits.
+    pub fn universe_bits(&self) -> usize {
+        self.universe_bits
+    }
+
+    /// Number of items processed (stream length, with multiplicity).
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+
+    /// Processes one item with multiplicity `count`.
+    pub fn process_with_count(&mut self, item: u64, count: i64) {
+        if self.universe_bits < 64 {
+            debug_assert!(item < (1u64 << self.universe_bits));
+        }
+        self.items_processed += count.unsigned_abs();
+        for row in &mut self.rows {
+            for cell in row.iter_mut() {
+                // ±1 sign from the lowest output bit of the 4-wise hash.
+                let sign = if cell.sign_hash.eval_u64(item) & 1 == 1 { 1 } else { -1 };
+                cell.accumulator += sign * count;
+            }
+        }
+    }
+
+    /// Processes one occurrence of an item.
+    pub fn process(&mut self, item: u64) {
+        self.process_with_count(item, 1);
+    }
+
+    /// Processes a finite stream.
+    pub fn process_stream(&mut self, items: &[u64]) {
+        for &item in items {
+            self.process(item);
+        }
+    }
+
+    /// The F2 estimate (median over rows of the per-row average of `Z²`).
+    pub fn estimate(&self) -> f64 {
+        let row_estimates: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let total: f64 = row
+                    .iter()
+                    .map(|cell| (cell.accumulator as f64) * (cell.accumulator as f64))
+                    .sum();
+                total / row.len() as f64
+            })
+            .collect();
+        median(&row_estimates)
+    }
+
+    /// Approximate sketch size in bits.
+    pub fn space_bits(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|cell| cell.sign_hash.independence() * self.universe_bits + 64)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::planted_f0_stream;
+    use std::collections::HashMap;
+
+    fn exact_f2(stream: &[u64]) -> f64 {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &x in stream {
+            *counts.entry(x).or_default() += 1;
+        }
+        counts.values().map(|&c| (c as f64) * (c as f64)).sum()
+    }
+
+    #[test]
+    fn distinct_streams_have_f2_equal_to_their_length() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(71);
+        let stream = planted_f0_stream(&mut rng, 24, 500, 500);
+        let mut sketch = AmsF2::new(24, 7, 300, &mut rng);
+        sketch.process_stream(&stream);
+        let est = sketch.estimate();
+        assert!(
+            (est - 500.0).abs() / 500.0 < 0.35,
+            "estimate {est} too far from 500"
+        );
+    }
+
+    #[test]
+    fn skewed_streams_are_estimated_within_the_error_bound() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(72);
+        // One heavy item repeated 200 times plus 300 singletons:
+        // F2 = 200² + 300 = 40300.
+        let mut stream = planted_f0_stream(&mut rng, 20, 301, 301);
+        let heavy = stream[0];
+        for _ in 0..199 {
+            stream.push(heavy);
+        }
+        let truth = exact_f2(&stream);
+        let mut sketch = AmsF2::new(20, 7, 300, &mut rng);
+        sketch.process_stream(&stream);
+        let est = sketch.estimate();
+        assert!(
+            (est - truth).abs() / truth < 0.35,
+            "estimate {est} too far from {truth}"
+        );
+    }
+
+    #[test]
+    fn multiplicity_updates_match_repeated_single_updates() {
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(73);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(73);
+        let mut a = AmsF2::new(16, 3, 20, &mut rng_a);
+        let mut b = AmsF2::new(16, 3, 20, &mut rng_b);
+        for item in [5u64, 9, 5, 123, 9, 5] {
+            a.process(item);
+        }
+        b.process_with_count(5, 3);
+        b.process_with_count(9, 2);
+        b.process_with_count(123, 1);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn negative_counts_cancel_positive_ones() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(74);
+        let mut sketch = AmsF2::new(16, 3, 10, &mut rng);
+        sketch.process_with_count(42, 7);
+        sketch.process_with_count(42, -7);
+        assert_eq!(sketch.estimate(), 0.0);
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero_and_reports_space() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(75);
+        let sketch = AmsF2::new(32, 3, 8, &mut rng);
+        assert_eq!(sketch.estimate(), 0.0);
+        assert!(sketch.space_bits() > 0);
+        assert_eq!(sketch.items_processed(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The Bucketing strategy (Gibbons–Tirthapura adaptive sampling).
+//!
+//! Each of the `t` rows holds a pairwise-independent hash
+//! `h ∈ H_Toeplitz(n, n)`, a sampling level `m`, and the set of distinct
+//! stream items falling in the cell `h_m^{-1}(0^m)`. When the cell exceeds
+//! `Thresh` items the level increases and the cell is re-filtered. The row's
+//! estimate is `|cell| · 2^m`; the sketch reports the median over rows.
+//! This is the streaming algorithm whose transformation recipe yields
+//! `ApproxMC` (Section 3.2 of the paper).
+
+use crate::config::{median, F0Config};
+use crate::sketch::F0Sketch;
+use mcf0_gf2::BitVec;
+use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar};
+use std::collections::BTreeSet;
+
+struct BucketRow {
+    hash: ToeplitzHash,
+    level: usize,
+    cell: BTreeSet<u64>,
+}
+
+/// Bucketing-based (ε, δ) F0 sketch.
+pub struct BucketingF0 {
+    universe_bits: usize,
+    thresh: usize,
+    rows: Vec<BucketRow>,
+}
+
+impl BucketingF0 {
+    /// Creates the sketch, drawing `t` independent hash functions.
+    pub fn new(universe_bits: usize, config: &F0Config, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(universe_bits >= 1 && universe_bits <= 64);
+        let rows = (0..config.rows)
+            .map(|_| BucketRow {
+                hash: ToeplitzHash::sample(rng, universe_bits, universe_bits),
+                level: 0,
+                cell: BTreeSet::new(),
+            })
+            .collect();
+        BucketingF0 {
+            universe_bits,
+            thresh: config.thresh,
+            rows,
+        }
+    }
+
+    /// Sampling level of row `i` (used by tests and the distributed variant).
+    pub fn level(&self, row: usize) -> usize {
+        self.rows[row].level
+    }
+
+    fn item_bits(&self, item: u64) -> BitVec {
+        debug_assert!(
+            self.universe_bits == 64 || item < (1u64 << self.universe_bits),
+            "item outside the declared universe"
+        );
+        BitVec::from_u64(item, self.universe_bits)
+    }
+}
+
+impl F0Sketch for BucketingF0 {
+    fn universe_bits(&self) -> usize {
+        self.universe_bits
+    }
+
+    fn process(&mut self, item: u64) {
+        let bits = self.item_bits(item);
+        let thresh = self.thresh;
+        let universe_bits = self.universe_bits;
+        for row in &mut self.rows {
+            if row.hash.prefix_is_zero(&bits, row.level) {
+                row.cell.insert(item);
+                // Overflow: raise the level until the cell fits again
+                // (normally one step, but degenerate hash draws may need more).
+                while row.cell.len() > thresh && row.level < universe_bits {
+                    row.level += 1;
+                    let hash = &row.hash;
+                    let level = row.level;
+                    row.cell.retain(|&y| {
+                        hash.prefix_is_zero(&BitVec::from_u64(y, universe_bits), level)
+                    });
+                }
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let estimates: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|row| row.cell.len() as f64 * 2f64.powi(row.level as i32))
+            .collect();
+        median(&estimates)
+    }
+
+    fn space_bits(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.hash.representation_bits()
+                    + usize::BITS as usize
+                    + row.cell.len() * self.universe_bits
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::planted_f0_stream;
+
+    fn run(universe_bits: usize, distinct: usize, epsilon: f64) -> (f64, f64) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(101);
+        let config = F0Config::paper(epsilon, 0.2);
+        let mut sketch = BucketingF0::new(universe_bits, &config, &mut rng);
+        let stream = planted_f0_stream(&mut rng, universe_bits, distinct, 4 * distinct);
+        sketch.process_stream(&stream);
+        (sketch.estimate(), distinct as f64)
+    }
+
+    #[test]
+    fn small_streams_are_counted_exactly() {
+        // With F0 below Thresh no row ever overflows, so the sketch is exact.
+        let (est, truth) = run(32, 50, 0.8);
+        assert_eq!(est, truth);
+    }
+
+    #[test]
+    fn large_streams_are_within_the_error_bound() {
+        let (est, truth) = run(32, 20_000, 0.8);
+        assert!(
+            est >= truth / 1.8 && est <= truth * 1.8,
+            "estimate {est} too far from {truth}"
+        );
+    }
+
+    #[test]
+    fn duplicates_do_not_change_the_estimate() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let config = F0Config::explicit(0.8, 0.2, 150, 11);
+        let mut a = BucketingF0::new(24, &config, &mut rng);
+        let mut rng2 = Xoshiro256StarStar::seed_from_u64(5);
+        let mut b = BucketingF0::new(24, &config, &mut rng2);
+        let stream = planted_f0_stream(&mut rng, 24, 500, 500);
+        let mut doubled = stream.clone();
+        doubled.extend_from_slice(&stream);
+        a.process_stream(&stream);
+        b.process_stream(&doubled);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn levels_rise_with_stream_cardinality() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let config = F0Config::explicit(0.8, 0.2, 32, 5);
+        let mut sketch = BucketingF0::new(32, &config, &mut rng);
+        let stream = planted_f0_stream(&mut rng, 32, 5000, 5000);
+        sketch.process_stream(&stream);
+        for i in 0..5 {
+            assert!(sketch.level(i) > 0, "row {i} never overflowed");
+        }
+        assert!(sketch.space_bits() > 0);
+    }
+}

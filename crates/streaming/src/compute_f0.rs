@@ -1,0 +1,129 @@
+//! The unified `ComputeF0` driver (Algorithm 1 of the paper).
+//!
+//! All three sketch strategies share the same outer loop — choose hash
+//! functions, process every update, compute the estimate — differing only in
+//! the sketch they maintain. [`SketchStrategy`] names the strategy and
+//! [`compute_f0`] runs the full pipeline on a finite stream, mirroring the
+//! paper's presentation and providing the single entry point the experiment
+//! harness sweeps.
+
+use crate::bucketing::BucketingF0;
+use crate::config::F0Config;
+use crate::estimation::EstimationF0;
+use crate::flajolet_martin::FlajoletMartinF0;
+use crate::minimum::MinimumF0;
+use crate::sketch::F0Sketch;
+use mcf0_hashing::Xoshiro256StarStar;
+
+/// Which of the three sketch strategies `ComputeF0` should run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SketchStrategy {
+    /// Gibbons–Tirthapura adaptive bucketing.
+    Bucketing,
+    /// k-minimum-values.
+    Minimum,
+    /// Trailing-zero estimation (uses a Flajolet–Martin run for its `r`).
+    Estimation,
+}
+
+/// Outcome of a `ComputeF0` run.
+#[derive(Clone, Copy, Debug)]
+pub struct F0Outcome {
+    /// The (ε, δ) estimate of F0.
+    pub estimate: f64,
+    /// Approximate sketch size in bits.
+    pub space_bits: usize,
+}
+
+/// Runs Algorithm 1 end to end on a finite stream: draw hash functions,
+/// process every item, return the estimate.
+pub fn compute_f0(
+    strategy: SketchStrategy,
+    universe_bits: usize,
+    config: &F0Config,
+    stream: &[u64],
+    rng: &mut Xoshiro256StarStar,
+) -> F0Outcome {
+    match strategy {
+        SketchStrategy::Bucketing => {
+            let mut sketch = BucketingF0::new(universe_bits, config, rng);
+            sketch.process_stream(stream);
+            F0Outcome {
+                estimate: sketch.estimate(),
+                space_bits: sketch.space_bits(),
+            }
+        }
+        SketchStrategy::Minimum => {
+            let mut sketch = MinimumF0::new(universe_bits, config, rng);
+            sketch.process_stream(stream);
+            F0Outcome {
+                estimate: sketch.estimate(),
+                space_bits: sketch.space_bits(),
+            }
+        }
+        SketchStrategy::Estimation => {
+            // Run the rough estimator in parallel with the sketch, as the
+            // paper prescribes, then evaluate the sketch at a valid r.
+            let mut rough = FlajoletMartinF0::new(universe_bits, rng);
+            let mut sketch = EstimationF0::new(universe_bits, config, rng);
+            for &item in stream {
+                rough.process(item);
+                sketch.process(item);
+            }
+            let space = sketch.space_bits() + rough.space_bits();
+            // 2^r ≈ 10 × rough estimate targets the middle of the window
+            // 2·F0 ≤ 2^r ≤ 50·F0 given the rough estimate's 5-factor error.
+            let r = ((rough.estimate().max(1.0) * 10.0).log2().round()) as u32;
+            let estimate = sketch
+                .estimate_with_r(r.max(1))
+                .unwrap_or_else(|| sketch.estimate());
+            F0Outcome {
+                estimate,
+                space_bits: space,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::planted_f0_stream;
+
+    #[test]
+    fn all_strategies_produce_reasonable_estimates() {
+        let truth = 4000usize;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(77);
+        let stream = planted_f0_stream(&mut rng, 32, truth, 2 * truth);
+        let config = F0Config::explicit(0.5, 0.2, 200, 9);
+        for strategy in [
+            SketchStrategy::Bucketing,
+            SketchStrategy::Minimum,
+            SketchStrategy::Estimation,
+        ] {
+            let outcome = compute_f0(strategy, 32, &config, &stream, &mut rng);
+            assert!(
+                outcome.estimate >= truth as f64 / 2.0
+                    && outcome.estimate <= truth as f64 * 2.0,
+                "{strategy:?}: estimate {} too far from {truth}",
+                outcome.estimate
+            );
+            assert!(outcome.space_bits > 0);
+        }
+    }
+
+    #[test]
+    fn sketch_space_is_far_below_exact_space_for_large_streams() {
+        let truth = 30_000usize;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(78);
+        let stream = planted_f0_stream(&mut rng, 48, truth, truth);
+        let config = F0Config::explicit(0.8, 0.2, 150, 7);
+        let outcome = compute_f0(SketchStrategy::Bucketing, 48, &config, &stream, &mut rng);
+        let exact_bits = truth * 48;
+        assert!(
+            outcome.space_bits < exact_bits / 2,
+            "sketch uses {} bits, exact uses {exact_bits}",
+            outcome.space_bits
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Exact distinct counting (hash-set baseline).
+
+use crate::sketch::F0Sketch;
+use std::collections::HashSet;
+
+/// Exact F0 via a hash set — the ground-truth baseline for every streaming
+/// experiment and the space-cost reference point.
+#[derive(Default)]
+pub struct ExactDistinct {
+    universe_bits: usize,
+    seen: HashSet<u64>,
+}
+
+impl ExactDistinct {
+    /// Creates an empty counter over `{0,1}^n`.
+    pub fn new(universe_bits: usize) -> Self {
+        assert!(universe_bits >= 1 && universe_bits <= 64);
+        ExactDistinct {
+            universe_bits,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Exact number of distinct items seen.
+    pub fn count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+impl F0Sketch for ExactDistinct {
+    fn universe_bits(&self) -> usize {
+        self.universe_bits
+    }
+
+    fn process(&mut self, item: u64) {
+        self.seen.insert(item);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.seen.len() as f64
+    }
+
+    fn space_bits(&self) -> usize {
+        self.seen.len() * self.universe_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct_items() {
+        let mut c = ExactDistinct::new(16);
+        for item in [1u64, 2, 3, 2, 1, 4, 4, 4] {
+            c.process(item);
+        }
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.estimate(), 4.0);
+        assert_eq!(c.space_bits(), 4 * 16);
+    }
+}

@@ -1,0 +1,48 @@
+//! F0 (distinct elements) estimation over data streams.
+//!
+//! This crate implements the streaming side of the paper: the three sketch
+//! strategies of Bar-Yossef et al. in the unified architecture of
+//! Algorithms 1–4 ("ComputeF0" = ChooseHashFunctions → ProcessUpdate →
+//! ComputeEst), plus the Flajolet–Martin rough estimator and an exact
+//! baseline:
+//!
+//! * [`BucketingF0`] — Gibbons–Tirthapura adaptive sampling: keep the items
+//!   falling in the cell `h_m^{-1}(0^m)`, doubling the cell count (increasing
+//!   `m`) whenever the bucket overflows `Thresh`;
+//! * [`MinimumF0`] — KMV: keep the `Thresh` lexicographically smallest hash
+//!   values seen;
+//! * [`EstimationF0`] — trailing-zero sketches over s-wise independent
+//!   hashes, estimated through the `ln(1 − ρ)/ln(1 − 2^{-r})` formula;
+//! * [`FlajoletMartinF0`] — the constant-factor estimator used to supply the
+//!   rough estimate `r` the Estimation strategy needs;
+//! * [`ExactDistinct`] — hash-set ground truth.
+//!
+//! Every sketch consumes `u64` items from a universe `{0,1}^n` (`n ≤ 64`) and
+//! implements the common [`F0Sketch`] trait, so the experiment harness can
+//! sweep strategies uniformly. The model-counting transformations of these
+//! sketches live in `mcf0-counting`; the correspondence (same sketch
+//! property, different way of building the sketch) is the heart of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ams;
+pub mod bucketing;
+pub mod compute_f0;
+pub mod config;
+pub mod estimation;
+pub mod exact;
+pub mod flajolet_martin;
+pub mod minimum;
+pub mod sketch;
+pub mod workloads;
+
+pub use ams::AmsF2;
+pub use bucketing::BucketingF0;
+pub use compute_f0::{compute_f0, SketchStrategy};
+pub use config::F0Config;
+pub use estimation::EstimationF0;
+pub use exact::ExactDistinct;
+pub use flajolet_martin::FlajoletMartinF0;
+pub use minimum::MinimumF0;
+pub use sketch::F0Sketch;

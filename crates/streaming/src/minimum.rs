@@ -1,0 +1,178 @@
+//! The Minimum strategy (k minimum values).
+//!
+//! Each row hashes items with `h ∈ H_Toeplitz(n, 3n)` — the 3n-bit output
+//! makes the hash injective on the stream with high probability — and keeps
+//! the `Thresh` lexicographically smallest distinct hash values. If the row
+//! holds fewer than `Thresh` values the stream's F0 is exactly their number;
+//! otherwise the row estimates `Thresh · 2^{3n} / max(S)`. The sketch reports
+//! the median over rows. The transformation recipe applied to this strategy
+//! yields `ApproxModelCountMin` (Section 3.3 of the paper).
+
+use crate::config::{median, F0Config};
+use crate::sketch::F0Sketch;
+use mcf0_gf2::BitVec;
+use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar};
+use std::collections::BTreeSet;
+
+struct MinimumRow {
+    hash: ToeplitzHash,
+    smallest: BTreeSet<BitVec>,
+}
+
+/// Minimum-value-based (ε, δ) F0 sketch.
+pub struct MinimumF0 {
+    universe_bits: usize,
+    thresh: usize,
+    rows: Vec<MinimumRow>,
+}
+
+impl MinimumF0 {
+    /// Creates the sketch, drawing `t` independent hash functions with
+    /// 3n-bit outputs.
+    pub fn new(universe_bits: usize, config: &F0Config, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(universe_bits >= 1 && universe_bits <= 64);
+        let rows = (0..config.rows)
+            .map(|_| MinimumRow {
+                hash: ToeplitzHash::sample(rng, universe_bits, 3 * universe_bits),
+                smallest: BTreeSet::new(),
+            })
+            .collect();
+        MinimumF0 {
+            universe_bits,
+            thresh: config.thresh,
+            rows,
+        }
+    }
+
+    /// Estimate contributed by a set of `p` smallest hash values of width
+    /// `3n`: `p / (max value as a fraction of 2^{3n})`, or the set size when
+    /// it is not full. Shared with the counting and structured crates so the
+    /// streaming and counting sides compute the estimate identically.
+    pub fn estimate_from_minima(smallest: &BTreeSet<BitVec>, thresh: usize) -> f64 {
+        if smallest.len() < thresh {
+            return smallest.len() as f64;
+        }
+        let max = smallest.iter().next_back().expect("non-empty set");
+        let frac = bitvec_to_unit_fraction(max);
+        if frac == 0.0 {
+            f64::INFINITY
+        } else {
+            thresh as f64 / frac
+        }
+    }
+}
+
+/// Interprets a bit vector as a binary fraction in `[0, 1)` (most significant
+/// bit = 1/2).
+pub fn bitvec_to_unit_fraction(v: &BitVec) -> f64 {
+    let mut value = 0.0f64;
+    let mut weight = 0.5f64;
+    // 64 leading bits are ample precision for the ratio estimate.
+    for i in 0..v.len().min(64) {
+        if v.get(i) {
+            value += weight;
+        }
+        weight *= 0.5;
+    }
+    value
+}
+
+impl F0Sketch for MinimumF0 {
+    fn universe_bits(&self) -> usize {
+        self.universe_bits
+    }
+
+    fn process(&mut self, item: u64) {
+        let bits = BitVec::from_u64(item, self.universe_bits);
+        for row in &mut self.rows {
+            let value = row.hash.eval(&bits);
+            // Insert only if it improves the reservoir.
+            if row.smallest.len() < self.thresh {
+                row.smallest.insert(value);
+            } else {
+                let current_max = row
+                    .smallest
+                    .iter()
+                    .next_back()
+                    .expect("reservoir is non-empty")
+                    .clone();
+                if value < current_max && row.smallest.insert(value) {
+                    row.smallest.remove(&current_max);
+                }
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        let estimates: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|row| Self::estimate_from_minima(&row.smallest, self.thresh))
+            .collect();
+        median(&estimates)
+    }
+
+    fn space_bits(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.hash.representation_bits() + row.smallest.len() * 3 * self.universe_bits
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::planted_f0_stream;
+
+    #[test]
+    fn unit_fraction_conversion() {
+        assert_eq!(bitvec_to_unit_fraction(&BitVec::from_u64(0, 4)), 0.0);
+        assert_eq!(bitvec_to_unit_fraction(&BitVec::from_u64(0b1000, 4)), 0.5);
+        assert_eq!(bitvec_to_unit_fraction(&BitVec::from_u64(0b1100, 4)), 0.75);
+        assert!((bitvec_to_unit_fraction(&BitVec::ones(10)) - (1.0 - 2f64.powi(-10))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_streams_are_counted_exactly() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let config = F0Config::paper(0.8, 0.2);
+        let mut sketch = MinimumF0::new(32, &config, &mut rng);
+        let stream = planted_f0_stream(&mut rng, 32, 80, 400);
+        sketch.process_stream(&stream);
+        assert_eq!(sketch.estimate(), 80.0);
+    }
+
+    #[test]
+    fn large_streams_are_within_the_error_bound() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        let config = F0Config::paper(0.8, 0.2);
+        let mut sketch = MinimumF0::new(32, &config, &mut rng);
+        let truth = 20_000usize;
+        let stream = planted_f0_stream(&mut rng, 32, truth, 2 * truth);
+        sketch.process_stream(&stream);
+        let est = sketch.estimate();
+        assert!(
+            est >= truth as f64 / 1.8 && est <= truth as f64 * 1.8,
+            "estimate {est} too far from {truth}"
+        );
+    }
+
+    #[test]
+    fn order_of_the_stream_does_not_matter() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let config = F0Config::explicit(0.8, 0.2, 100, 7);
+        let stream = planted_f0_stream(&mut rng, 24, 1000, 3000);
+        let mut reversed = stream.clone();
+        reversed.reverse();
+        let mut r1 = Xoshiro256StarStar::seed_from_u64(77);
+        let mut r2 = Xoshiro256StarStar::seed_from_u64(77);
+        let mut a = MinimumF0::new(24, &config, &mut r1);
+        let mut b = MinimumF0::new(24, &config, &mut r2);
+        a.process_stream(&stream);
+        b.process_stream(&reversed);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+}

@@ -1,0 +1,25 @@
+//! The common interface of the F0 sketches.
+
+/// A streaming sketch estimating the number of distinct elements of a stream
+/// over the universe `{0,1}^n`, `n ≤ 64`.
+pub trait F0Sketch {
+    /// Universe width `n` in bits.
+    fn universe_bits(&self) -> usize;
+
+    /// Processes one stream item (only the low `n` bits are significant).
+    fn process(&mut self, item: u64);
+
+    /// Current estimate of F0 (may be called at any point in the stream).
+    fn estimate(&self) -> f64;
+
+    /// Approximate size of the sketch state, in bits, for the space
+    /// experiments (hash-function representations included).
+    fn space_bits(&self) -> usize;
+
+    /// Processes a whole stream.
+    fn process_stream(&mut self, items: &[u64]) {
+        for &item in items {
+            self.process(item);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Synthetic stream generators for the F0 experiments.
+//!
+//! The theorems being reproduced are worst-case statements over any stream,
+//! so the workloads are parameterised by the quantities the guarantees depend
+//! on — the true F0, the universe width, and the duplication structure —
+//! rather than by any particular dataset (see DESIGN.md §5).
+
+use mcf0_hashing::Xoshiro256StarStar;
+
+/// A stream of `length ≥ distinct` items over `{0,1}^universe_bits` whose
+/// exact F0 equals `distinct`: the first `distinct` items are fresh, the rest
+/// are uniform repeats of earlier items, and the whole stream is shuffled.
+pub fn planted_f0_stream(
+    rng: &mut Xoshiro256StarStar,
+    universe_bits: usize,
+    distinct: usize,
+    length: usize,
+) -> Vec<u64> {
+    assert!(universe_bits >= 1 && universe_bits <= 64);
+    assert!(length >= distinct, "stream length must be at least the distinct count");
+    if universe_bits < 64 {
+        assert!(
+            (distinct as u128) <= (1u128 << universe_bits),
+            "universe too small for the requested distinct count"
+        );
+    }
+    let mask = if universe_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << universe_bits) - 1
+    };
+    let mut fresh: Vec<u64> = Vec::with_capacity(distinct);
+    let mut seen = std::collections::HashSet::with_capacity(distinct);
+    while fresh.len() < distinct {
+        let item = rng.next_u64() & mask;
+        if seen.insert(item) {
+            fresh.push(item);
+        }
+    }
+    let mut stream = fresh.clone();
+    while stream.len() < length {
+        let idx = rng.gen_range(distinct as u64) as usize;
+        stream.push(fresh[idx]);
+    }
+    rng.shuffle(&mut stream);
+    stream
+}
+
+/// A stream of uniform random items (duplicates arise naturally by birthday
+/// collisions); returns the stream and its exact F0.
+pub fn uniform_stream(
+    rng: &mut Xoshiro256StarStar,
+    universe_bits: usize,
+    length: usize,
+) -> (Vec<u64>, usize) {
+    assert!(universe_bits >= 1 && universe_bits <= 64);
+    let mask = if universe_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << universe_bits) - 1
+    };
+    let stream: Vec<u64> = (0..length).map(|_| rng.next_u64() & mask).collect();
+    let distinct = stream.iter().collect::<std::collections::HashSet<_>>().len();
+    (stream, distinct)
+}
+
+/// A heavily skewed stream: `heavy_fraction` of the items are copies of a
+/// single heavy hitter, the rest follow [`planted_f0_stream`]. Returns the
+/// stream and its exact F0. Exercises robustness of the sketches to extreme
+/// duplication.
+pub fn skewed_stream(
+    rng: &mut Xoshiro256StarStar,
+    universe_bits: usize,
+    distinct: usize,
+    length: usize,
+    heavy_fraction: f64,
+) -> (Vec<u64>, usize) {
+    assert!((0.0..1.0).contains(&heavy_fraction));
+    let heavy_count = (length as f64 * heavy_fraction) as usize;
+    let light_len = length - heavy_count;
+    let base = planted_f0_stream(rng, universe_bits, distinct, light_len.max(distinct));
+    let heavy_item = base[0];
+    let mut stream = base;
+    stream.extend(std::iter::repeat(heavy_item).take(heavy_count));
+    rng.shuffle(&mut stream);
+    let f0 = stream.iter().collect::<std::collections::HashSet<_>>().len();
+    (stream, f0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_stream_has_exactly_the_requested_f0() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for (d, len) in [(10usize, 10usize), (100, 400), (1000, 1000)] {
+            let s = planted_f0_stream(&mut rng, 32, d, len);
+            assert_eq!(s.len(), len);
+            let f0 = s.iter().collect::<std::collections::HashSet<_>>().len();
+            assert_eq!(f0, d);
+        }
+    }
+
+    #[test]
+    fn planted_stream_respects_small_universes() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let s = planted_f0_stream(&mut rng, 4, 16, 64);
+        assert!(s.iter().all(|&x| x < 16));
+        let f0 = s.iter().collect::<std::collections::HashSet<_>>().len();
+        assert_eq!(f0, 16);
+    }
+
+    #[test]
+    fn uniform_stream_reports_its_own_f0() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let (s, f0) = uniform_stream(&mut rng, 8, 2000);
+        let recount = s.iter().collect::<std::collections::HashSet<_>>().len();
+        assert_eq!(f0, recount);
+        assert!(f0 <= 256);
+    }
+
+    #[test]
+    fn skewed_stream_keeps_requested_length_and_reports_f0() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let (s, f0) = skewed_stream(&mut rng, 20, 50, 1000, 0.9);
+        assert!(s.len() >= 1000);
+        let recount = s.iter().collect::<std::collections::HashSet<_>>().len();
+        assert_eq!(f0, recount);
+        assert!(f0 >= 50 && f0 <= 60);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the streaming F0 sketches: estimates depend only
+//! on the set of distinct items (order- and duplication-invariance), small
+//! streams are counted exactly, and the sketches degrade gracefully on
+//! adversarial inputs.
+
+use proptest::prelude::*;
+
+use mcf0_hashing::Xoshiro256StarStar;
+use mcf0_streaming::{
+    compute_f0, BucketingF0, EstimationF0, ExactDistinct, F0Config, F0Sketch, FlajoletMartinF0,
+    MinimumF0, SketchStrategy,
+};
+use std::collections::HashSet;
+
+fn rng_from(seed: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed)
+}
+
+/// A stream of up to `max_len` items over a `bits`-bit universe, plus a
+/// permutation seed used by the order-invariance properties.
+fn stream(bits: usize, max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    prop::collection::vec(any::<u64>().prop_map(move |v| v & mask), 0..max_len)
+}
+
+fn exact_f0(stream: &[u64]) -> usize {
+    stream.iter().collect::<HashSet<_>>().len()
+}
+
+const BITS: usize = 24;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_distinct_counts_exactly(items in stream(BITS, 400)) {
+        let mut sketch = ExactDistinct::new(BITS);
+        sketch.process_stream(&items);
+        prop_assert_eq!(sketch.estimate() as usize, exact_f0(&items));
+    }
+
+    #[test]
+    fn minimum_sketch_is_order_and_duplication_invariant(items in stream(BITS, 200), seed in any::<u64>(), perm_seed in any::<u64>()) {
+        let config = F0Config::explicit(0.8, 0.3, 40, 5);
+        let mut rng_a = rng_from(seed);
+        let mut rng_b = rng_from(seed);
+        let mut a = MinimumF0::new(BITS, &config, &mut rng_a);
+        let mut b = MinimumF0::new(BITS, &config, &mut rng_b);
+
+        // Same distinct set, permuted and with every item duplicated.
+        let mut shuffled = items.clone();
+        let mut perm_rng = rng_from(perm_seed);
+        perm_rng.shuffle(&mut shuffled);
+        let mut doubled = shuffled.clone();
+        doubled.extend_from_slice(&items);
+
+        a.process_stream(&items);
+        b.process_stream(&doubled);
+        prop_assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn bucketing_sketch_is_order_and_duplication_invariant(items in stream(BITS, 200), seed in any::<u64>(), perm_seed in any::<u64>()) {
+        let config = F0Config::explicit(0.8, 0.3, 40, 5);
+        let mut rng_a = rng_from(seed);
+        let mut rng_b = rng_from(seed);
+        let mut a = BucketingF0::new(BITS, &config, &mut rng_a);
+        let mut b = BucketingF0::new(BITS, &config, &mut rng_b);
+
+        let mut shuffled = items.clone();
+        let mut perm_rng = rng_from(perm_seed);
+        perm_rng.shuffle(&mut shuffled);
+        let mut doubled = shuffled.clone();
+        doubled.extend_from_slice(&items);
+
+        a.process_stream(&items);
+        b.process_stream(&doubled);
+        prop_assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn estimation_sketch_cells_are_duplication_invariant(items in stream(BITS, 120), seed in any::<u64>()) {
+        let config = F0Config::explicit(0.5, 0.3, 12, 3);
+        let mut rng_a = rng_from(seed);
+        let mut rng_b = rng_from(seed);
+        let mut a = EstimationF0::new(BITS, &config, &mut rng_a);
+        let mut b = EstimationF0::new(BITS, &config, &mut rng_b);
+
+        let mut doubled = items.clone();
+        doubled.extend_from_slice(&items);
+        doubled.reverse();
+
+        a.process_stream(&items);
+        b.process_stream(&doubled);
+        for i in 0..a.num_rows() {
+            for j in 0..a.thresh() {
+                prop_assert_eq!(a.cell(i, j), b.cell(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn small_streams_are_counted_exactly_by_minimum_and_bucketing(items in stream(BITS, 30), seed in any::<u64>()) {
+        // F0 < Thresh means no row ever overflows/evicts, so both sketches
+        // are exact regardless of the hash draws.
+        let config = F0Config::explicit(0.8, 0.3, 64, 5);
+        let truth = exact_f0(&items) as f64;
+
+        let mut rng = rng_from(seed);
+        let mut min_sketch = MinimumF0::new(BITS, &config, &mut rng);
+        min_sketch.process_stream(&items);
+        prop_assert_eq!(min_sketch.estimate(), truth);
+
+        let mut rng = rng_from(seed);
+        let mut bucket_sketch = BucketingF0::new(BITS, &config, &mut rng);
+        bucket_sketch.process_stream(&items);
+        prop_assert_eq!(bucket_sketch.estimate(), truth);
+    }
+
+    #[test]
+    fn empty_streams_estimate_zero(seed in any::<u64>()) {
+        let config = F0Config::explicit(0.8, 0.3, 16, 3);
+        let mut rng = rng_from(seed);
+        prop_assert_eq!(MinimumF0::new(BITS, &config, &mut rng).estimate(), 0.0);
+        let mut rng = rng_from(seed);
+        prop_assert_eq!(BucketingF0::new(BITS, &config, &mut rng).estimate(), 0.0);
+        let mut rng = rng_from(seed);
+        let fm = FlajoletMartinF0::new(BITS, &mut rng);
+        prop_assert_eq!(fm.estimate(), 0.0);
+    }
+
+    #[test]
+    fn flajolet_martin_statistic_is_monotone(items in stream(BITS, 150), split in 0.0f64..=1.0, seed in any::<u64>()) {
+        let cut = ((items.len() as f64) * split) as usize;
+        let mut rng = rng_from(seed);
+        let mut full = FlajoletMartinF0::new(BITS, &mut rng);
+        let mut rng = rng_from(seed);
+        let mut partial = FlajoletMartinF0::new(BITS, &mut rng);
+        full.process_stream(&items);
+        partial.process_stream(&items[..cut]);
+        prop_assert!(full.estimate() >= partial.estimate());
+    }
+
+    #[test]
+    fn sketch_space_is_reported_and_bounded(items in stream(BITS, 200), seed in any::<u64>()) {
+        let config = F0Config::explicit(0.8, 0.3, 32, 4);
+        let mut rng = rng_from(seed);
+        let mut sketch = MinimumF0::new(BITS, &config, &mut rng);
+        sketch.process_stream(&items);
+        let space = sketch.space_bits();
+        prop_assert!(space > 0);
+        // The reservoir never stores more than rows × Thresh hashed values of
+        // 3n bits each, plus Θ(n) representation bits per Toeplitz hash.
+        let bound = 4 * (32 * 3 * BITS + 8 * BITS);
+        prop_assert!(space <= bound, "space {space} exceeds bound {bound}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified ComputeF0 driver
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn compute_f0_is_accurate_on_planted_streams(seed in any::<u64>(), truth in 50usize..400) {
+        let mut rng = rng_from(seed);
+        let stream = mcf0_streaming::workloads::planted_f0_stream(&mut rng, BITS, truth, truth + 50);
+        for strategy in [SketchStrategy::Bucketing, SketchStrategy::Minimum] {
+            let config = F0Config::explicit(0.5, 0.2, 128, 9);
+            let mut rng = rng_from(seed ^ 0x5EED);
+            let outcome = compute_f0(strategy, BITS, &config, &stream, &mut rng);
+            let est = outcome.estimate;
+            prop_assert!(
+                est >= truth as f64 / 2.0 && est <= truth as f64 * 2.0,
+                "strategy {strategy:?}: estimate {est} vs truth {truth}"
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Affine-space stream items (Theorem 7 / Proposition 4).
+//!
+//! An item is a linear system `Ax = b`; the set it represents is the affine
+//! subspace of solutions. `AffineFindMin` supplies the per-item minima in
+//! `O(n⁴·t)` time with no oracle, so the Minimum-strategy sketch gives an
+//! (ε, δ) estimate of the union size with `O(n·ε⁻²·log δ⁻¹)` space and
+//! `O(n⁴·ε⁻²·log δ⁻¹)` per-item time — Theorem 7's bounds.
+
+use crate::stream_f0::StructuredSet;
+use mcf0_gf2::{BitMatrix, BitVec};
+use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar};
+use mcf0_sat::{affine_find_min, AffineSystem};
+
+/// An affine-space stream item `{x : Ax = b}`.
+#[derive(Clone, Debug)]
+pub struct AffineSet {
+    system: AffineSystem,
+}
+
+impl AffineSet {
+    /// Wraps a linear system as a stream item.
+    pub fn new(system: AffineSystem) -> Self {
+        AffineSet { system }
+    }
+
+    /// Builds an item from a matrix and right-hand side.
+    pub fn from_parts(a: BitMatrix, b: BitVec) -> Self {
+        AffineSet {
+            system: AffineSystem::new(a, b),
+        }
+    }
+
+    /// A random consistent system with `rows` constraints over `n` variables
+    /// (used by the workload generators and benches).
+    pub fn random_consistent(rng: &mut Xoshiro256StarStar, n: usize, rows: usize) -> Self {
+        let a = BitMatrix::from_rows((0..rows).map(|_| rng.random_bitvec(n)).collect());
+        let x_star = rng.random_bitvec(n);
+        let b = a.mul_vec(&x_star);
+        Self::from_parts(a, b)
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &AffineSystem {
+        &self.system
+    }
+}
+
+impl StructuredSet for AffineSet {
+    fn num_vars(&self) -> usize {
+        self.system.num_vars()
+    }
+
+    fn smallest_hashed(&self, hash: &ToeplitzHash, p: usize) -> Vec<BitVec> {
+        affine_find_min(&self.system, hash, p)
+    }
+
+    fn members_in_cell(&self, hash: &ToeplitzHash, level: usize, limit: usize) -> Vec<BitVec> {
+        // Members of {x : Ax = b, h_level(x) = 0^level}: stack the hash-prefix
+        // rows onto the system and enumerate the combined solution space.
+        let n = self.system.num_vars();
+        let combined = if level == 0 {
+            self.system.clone()
+        } else {
+            let (prefix_matrix, prefix_offset) = hash.prefix_affine(level);
+            let combined_a = self.system.matrix().stack(&prefix_matrix);
+            let combined_b = self.system.rhs().concat(&prefix_offset);
+            AffineSystem::new(combined_a, combined_b)
+        };
+        match combined.solution_space() {
+            None => Vec::new(),
+            Some(space) => {
+                let mut out = space.lex_smallest_direct(limit);
+                out.truncate(limit);
+                debug_assert!(out.iter().all(|x| x.len() == n));
+                out
+            }
+        }
+    }
+
+    fn exact_size(&self) -> Option<u128> {
+        Some(self.system.solution_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream_f0::{StructuredMinimumF0, StructuredSet};
+    use mcf0_counting::config::CountingConfig;
+    use std::collections::HashSet;
+
+    #[test]
+    fn union_of_affine_spaces_is_estimated_exactly_when_small() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(921);
+        let n = 12;
+        let config = CountingConfig::explicit(0.8, 0.2, 400, 5);
+        let mut sketch = StructuredMinimumF0::new(n, &config, &mut rng);
+        let mut union: HashSet<u64> = HashSet::new();
+        for _ in 0..6 {
+            let item = AffineSet::random_consistent(&mut rng, n, 6); // ≤ 2^6 solutions
+            for v in 0..(1u64 << n) {
+                let x = BitVec::from_u64(v, n);
+                if item.system().contains(&x) {
+                    union.insert(v);
+                }
+            }
+            sketch.process_item(&item);
+        }
+        assert_eq!(sketch.estimate(), union.len() as f64);
+    }
+
+    #[test]
+    fn large_affine_unions_are_estimated_within_the_error_bound() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(922);
+        let n = 16;
+        let config = CountingConfig::explicit(0.8, 0.2, 150, 9);
+        let mut sketch = StructuredMinimumF0::new(n, &config, &mut rng);
+        let mut union: HashSet<u64> = HashSet::new();
+        for _ in 0..4 {
+            let item = AffineSet::random_consistent(&mut rng, n, 4); // 2^12 solutions each
+            for v in 0..(1u64 << n) {
+                let x = BitVec::from_u64(v, n);
+                if item.system().contains(&x) {
+                    union.insert(v);
+                }
+            }
+            sketch.process_item(&item);
+        }
+        let truth = union.len() as f64;
+        let est = sketch.estimate();
+        assert!(
+            est >= truth / 2.0 && est <= truth * 2.0,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn members_in_cell_are_solutions_with_zero_hash_prefix() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(923);
+        let n = 10;
+        let item = AffineSet::random_consistent(&mut rng, n, 3);
+        let hash = ToeplitzHash::sample(&mut rng, n, n);
+        for level in [0usize, 1, 2, 4] {
+            let members = item.members_in_cell(&hash, level, 10_000);
+            let expected: Vec<BitVec> = (0..(1u64 << n))
+                .map(|v| BitVec::from_u64(v, n))
+                .filter(|x| item.system().contains(x) && hash.prefix_is_zero(x, level))
+                .collect();
+            assert_eq!(members.len(), expected.len(), "level={level}");
+            for m in &members {
+                assert!(item.system().contains(m));
+                assert!(hash.prefix_is_zero(m, level));
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_systems_contribute_nothing() {
+        let a = BitMatrix::from_rows(vec![
+            BitVec::from_u64(0b1000, 4),
+            BitVec::from_u64(0b1000, 4),
+        ]);
+        let b = BitVec::from_u64(0b01, 2);
+        let item = AffineSet::from_parts(a, b);
+        assert_eq!(item.exact_size(), Some(0));
+        let mut rng = Xoshiro256StarStar::seed_from_u64(924);
+        let hash = ToeplitzHash::sample(&mut rng, 4, 12);
+        assert!(item.smallest_hashed(&hash, 5).is_empty());
+    }
+}

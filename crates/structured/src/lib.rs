@@ -1,0 +1,50 @@
+//! F0 estimation over structured set streams (Section 5 of the paper).
+//!
+//! Each stream item is a *succinct representation of a set* over the universe
+//! `{0,1}^n`, and the goal is to estimate the size of the union of all items
+//! with per-item time polynomial in the representation size (not in the set
+//! size). The paper's key observation is that all of the structured sets
+//! below are small DNF formulas in disguise, so the model-counting
+//! subroutines (`FindMin`, `BoundedSAT`, `AffineFindMin`) yield per-item
+//! updates directly:
+//!
+//! * [`dnf_stream::DnfSet`] — the general case (Theorem 5);
+//! * [`ranges::MultiDimRange`] — d-dimensional ranges via the Lemma 4
+//!   range→DNF decomposition (Theorem 6), with the Observation 1 worst case
+//!   and the Observation 2 CNF encoding;
+//! * [`progressions::MultiDimProgression`] — multidimensional arithmetic
+//!   progressions with power-of-two strides (Corollary 1);
+//! * [`affine_stream::AffineSet`] — affine spaces `Ax = b` (Theorem 7 /
+//!   Proposition 4);
+//! * [`weighted`] — weighted #DNF reduced to d-dimensional ranges.
+//!
+//! The estimator itself ([`stream_f0::StructuredMinimumF0`]) is the
+//! Minimum-strategy sketch of Section 3.3 run over the per-item `FindMin`
+//! results; [`stream_f0::StructuredBucketingF0`] is the Bucketing-strategy
+//! alternative the paper mentions, provided for the ablation experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine_stream;
+pub mod baseline;
+pub mod delphic;
+pub mod dnf_stream;
+pub mod progressions;
+pub mod ranges;
+pub mod reductions;
+pub mod stream_f0;
+pub mod weighted;
+
+pub use affine_stream::AffineSet;
+pub use baseline::NaiveUnionBaseline;
+pub use delphic::{ApsConfig, ApsEstimator, DelphicSet};
+pub use dnf_stream::DnfSet;
+pub use progressions::{MultiDimProgression, Progression};
+pub use ranges::{MultiDimRange, RangeDim};
+pub use reductions::{
+    edge_triple_boxes, exact_triangle_moments, key_value_box, triangles_from_moments,
+    DistinctSummation, MaxDominanceNorm, TriangleCounter, TriangleEstimate,
+};
+pub use stream_f0::{StructuredBucketingF0, StructuredMinimumF0, StructuredSet};
+pub use weighted::{weighted_dnf_boxes, weighted_dnf_count, weighted_to_unweighted_dnf};

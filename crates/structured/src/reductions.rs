@@ -1,0 +1,539 @@
+//! Applications reduced to F0 over structured sets (Section 1 of the paper).
+//!
+//! The introduction motivates range-efficient F0 with three classical
+//! problems that reduce to it:
+//!
+//! * **distinct summation** (Considine–Li–Kollios–Byers): sum a value per
+//!   distinct key when every occurrence of a key carries the same value;
+//! * **max-dominance norm** (Cormode–Muthukrishnan): `Σ_i max_j a_j[i]` over
+//!   several streams of (index, value) pairs;
+//! * **triangle counting** (Bar-Yossef–Kumar–Sivakumar): count triangles of a
+//!   graph given as an edge stream.
+//!
+//! The first two reduce *exactly* to the size of a union of 2-dimensional
+//! ranges — each pair `(key, value)` contributes the box
+//! `[key, key] × [0, value − 1]` — so the paper's range-efficient sketches
+//! apply verbatim. Triangle counting needs the first three frequency moments
+//! of a derived stream of vertex triples: F0 comes from 3-dimensional ranges
+//! (three boxes per edge), F1 is known in closed form, and F2 comes from the
+//! AMS sketch of `mcf0-streaming` (the Section 6 "higher moments" substrate);
+//! the triangle count is the linear combination `F0 − 1.5·F1 + 0.5·F2`.
+
+use crate::ranges::{MultiDimRange, RangeDim};
+use crate::stream_f0::StructuredMinimumF0;
+use mcf0_counting::CountingConfig;
+use mcf0_hashing::Xoshiro256StarStar;
+use mcf0_streaming::AmsF2;
+
+// ---------------------------------------------------------------------------
+// Key/value unions: distinct summation and max-dominance norm
+// ---------------------------------------------------------------------------
+
+/// The box `[key, key] × [0, value − 1]` contributed by one `(key, value)`
+/// pair, or `None` for `value = 0` (which contributes nothing to either
+/// aggregate).
+pub fn key_value_box(
+    key: u64,
+    value: u64,
+    key_bits: usize,
+    value_bits: usize,
+) -> Option<MultiDimRange> {
+    if value == 0 {
+        return None;
+    }
+    Some(MultiDimRange::new(vec![
+        RangeDim::new(key, key, key_bits),
+        RangeDim::new(0, value - 1, value_bits),
+    ]))
+}
+
+/// Shared machinery of the two key/value reductions: a range-efficient
+/// Minimum-strategy sketch over the `(key, counter)` universe.
+struct KeyValueUnion {
+    key_bits: usize,
+    value_bits: usize,
+    sketch: StructuredMinimumF0,
+    pairs_processed: u64,
+}
+
+impl KeyValueUnion {
+    fn new(
+        key_bits: usize,
+        value_bits: usize,
+        config: &CountingConfig,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        assert!(key_bits >= 1 && value_bits >= 1);
+        assert!(
+            key_bits <= 48 && value_bits <= 48,
+            "per-dimension widths are limited to 48 bits"
+        );
+        KeyValueUnion {
+            key_bits,
+            value_bits,
+            sketch: StructuredMinimumF0::new(key_bits + value_bits, config, rng),
+            pairs_processed: 0,
+        }
+    }
+
+    fn add(&mut self, key: u64, value: u64) {
+        assert!(key < (1u64 << self.key_bits), "key {key} out of range");
+        assert!(
+            value <= (1u64 << self.value_bits),
+            "value {value} does not fit in {} bits",
+            self.value_bits
+        );
+        self.pairs_processed += 1;
+        if let Some(range) = key_value_box(key, value, self.key_bits, self.value_bits) {
+            self.sketch.process_item(&range);
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.sketch.estimate()
+    }
+}
+
+/// Streaming estimator for the **distinct summation** problem: the input is a
+/// stream of `(key, value)` pairs in which every occurrence of a key carries
+/// the same value, and the quantity of interest is `Σ_{distinct keys} value`.
+///
+/// The union of the per-pair boxes has exactly that size, so the estimate
+/// inherits the (ε, δ) guarantee of the underlying range-efficient sketch.
+pub struct DistinctSummation {
+    inner: KeyValueUnion,
+}
+
+impl DistinctSummation {
+    /// Creates an estimator for keys of `key_bits` bits and values up to
+    /// `2^value_bits`.
+    pub fn new(
+        key_bits: usize,
+        value_bits: usize,
+        config: &CountingConfig,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        DistinctSummation {
+            inner: KeyValueUnion::new(key_bits, value_bits, config, rng),
+        }
+    }
+
+    /// Processes one `(key, value)` pair.
+    pub fn add(&mut self, key: u64, value: u64) {
+        self.inner.add(key, value);
+    }
+
+    /// Number of pairs processed so far.
+    pub fn pairs_processed(&self) -> u64 {
+        self.inner.pairs_processed
+    }
+
+    /// The estimate of `Σ_{distinct keys} value`.
+    pub fn estimate(&self) -> f64 {
+        self.inner.estimate()
+    }
+}
+
+/// Streaming estimator for the **max-dominance norm**: the input is a stream
+/// of `(index, value)` pairs (possibly interleaving several logical streams),
+/// and the quantity of interest is `Σ_i max{ value : (i, value) in the
+/// stream }`.
+///
+/// Boxes for the same key are nested, so the union keeps exactly the largest
+/// value per key — duplicates and smaller updates are absorbed for free.
+pub struct MaxDominanceNorm {
+    inner: KeyValueUnion,
+}
+
+impl MaxDominanceNorm {
+    /// Creates an estimator for indices of `key_bits` bits and values up to
+    /// `2^value_bits`.
+    pub fn new(
+        key_bits: usize,
+        value_bits: usize,
+        config: &CountingConfig,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        MaxDominanceNorm {
+            inner: KeyValueUnion::new(key_bits, value_bits, config, rng),
+        }
+    }
+
+    /// Processes one `(index, value)` observation.
+    pub fn add(&mut self, index: u64, value: u64) {
+        self.inner.add(index, value);
+    }
+
+    /// Number of observations processed so far.
+    pub fn pairs_processed(&self) -> u64 {
+        self.inner.pairs_processed
+    }
+
+    /// The estimate of the max-dominance norm.
+    pub fn estimate(&self) -> f64 {
+        self.inner.estimate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Triangle counting
+// ---------------------------------------------------------------------------
+
+/// The three boxes of ordered triples contributed by an edge `{u, v}` of a
+/// graph on `num_vertices` vertices: all sorted triples containing both
+/// endpoints. Degenerate boxes (no possible third vertex on that side) are
+/// omitted.
+pub fn edge_triple_boxes(
+    u: u64,
+    v: u64,
+    num_vertices: u64,
+    vertex_bits: usize,
+) -> Vec<MultiDimRange> {
+    assert!(u != v, "self-loops have no triangles");
+    let (u, v) = (u.min(v), u.max(v));
+    assert!(v < num_vertices);
+    let dim = |lo: u64, hi: u64| RangeDim::new(lo, hi, vertex_bits);
+    let mut boxes = Vec::with_capacity(3);
+    if u > 0 {
+        boxes.push(MultiDimRange::new(vec![dim(0, u - 1), dim(u, u), dim(v, v)]));
+    }
+    if v > u + 1 {
+        boxes.push(MultiDimRange::new(vec![dim(u, u), dim(u + 1, v - 1), dim(v, v)]));
+    }
+    if v + 1 < num_vertices {
+        boxes.push(MultiDimRange::new(vec![
+            dim(u, u),
+            dim(v, v),
+            dim(v + 1, num_vertices - 1),
+        ]));
+    }
+    boxes
+}
+
+/// The triangle count as a linear combination of the first three frequency
+/// moments of the derived triple stream: a triple spanned by `i` of its three
+/// edges is counted `i` times, so with `T_i` triples of multiplicity `i`,
+/// `F0 = T_1 + T_2 + T_3`, `F1 = T_1 + 2T_2 + 3T_3`, `F2 = T_1 + 4T_2 + 9T_3`
+/// and therefore `T_3 = F0 − 1.5·F1 + 0.5·F2`.
+pub fn triangles_from_moments(f0: f64, f1: f64, f2: f64) -> f64 {
+    f0 - 1.5 * f1 + 0.5 * f2
+}
+
+/// Result of a [`TriangleCounter`] run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriangleEstimate {
+    /// Estimated F0 of the derived triple stream.
+    pub f0: f64,
+    /// Exact F1 of the derived triple stream (`m · (n − 2)`).
+    pub f1: f64,
+    /// Estimated F2 of the derived triple stream.
+    pub f2: f64,
+    /// The triangle-count estimate `F0 − 1.5·F1 + 0.5·F2`.
+    pub triangles: f64,
+}
+
+/// Streaming triangle counter over an edge stream (each undirected edge seen
+/// exactly once).
+///
+/// F0 of the derived triple stream is estimated range-efficiently (three
+/// 3-dimensional boxes per edge); F2 uses the AMS sketch and therefore costs
+/// `O(n)` per edge, matching the original reduction of Bar-Yossef et al.,
+/// which predates range-efficient higher-moment sketches.
+pub struct TriangleCounter {
+    num_vertices: u64,
+    vertex_bits: usize,
+    f0_sketch: StructuredMinimumF0,
+    f2_sketch: AmsF2,
+    edges: u64,
+}
+
+impl TriangleCounter {
+    /// Creates a counter for graphs on `num_vertices ≥ 3` vertices.
+    pub fn new(
+        num_vertices: u64,
+        config: &CountingConfig,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
+        assert!(num_vertices >= 3, "triangles need at least three vertices");
+        let vertex_bits = (64 - (num_vertices - 1).leading_zeros()).max(1) as usize;
+        assert!(
+            vertex_bits * 3 <= 48,
+            "vertex identifiers of up to 16 bits are supported"
+        );
+        TriangleCounter {
+            num_vertices,
+            vertex_bits,
+            f0_sketch: StructuredMinimumF0::new(3 * vertex_bits, config, rng),
+            f2_sketch: AmsF2::new(3 * vertex_bits, 7, 4 * config.thresh.max(16), rng),
+            edges: 0,
+        }
+    }
+
+    /// Number of bits used per vertex identifier.
+    pub fn vertex_bits(&self) -> usize {
+        self.vertex_bits
+    }
+
+    /// Number of edges processed.
+    pub fn edges_processed(&self) -> u64 {
+        self.edges
+    }
+
+    /// Processes one undirected edge `{u, v}`.
+    pub fn add_edge(&mut self, u: u64, v: u64) {
+        assert!(u != v, "self-loops are not part of any triangle");
+        assert!(u < self.num_vertices && v < self.num_vertices);
+        let (u, v) = (u.min(v), u.max(v));
+        self.edges += 1;
+
+        for range in edge_triple_boxes(u, v, self.num_vertices, self.vertex_bits) {
+            self.f0_sketch.process_item(&range);
+        }
+        // F2 path: one derived triple per third vertex.
+        for w in 0..self.num_vertices {
+            if w == u || w == v {
+                continue;
+            }
+            let mut triple = [u, v, w];
+            triple.sort_unstable();
+            self.f2_sketch.process(self.encode_triple(triple));
+        }
+    }
+
+    fn encode_triple(&self, triple: [u64; 3]) -> u64 {
+        let k = self.vertex_bits;
+        (triple[0] << (2 * k)) | (triple[1] << k) | triple[2]
+    }
+
+    /// The current estimate of the triangle count together with the moments
+    /// it was derived from.
+    pub fn estimate(&self) -> TriangleEstimate {
+        let f0 = self.f0_sketch.estimate();
+        let f1 = self.edges as f64 * (self.num_vertices as f64 - 2.0);
+        let f2 = self.f2_sketch.estimate();
+        TriangleEstimate {
+            f0,
+            f1,
+            f2,
+            triangles: triangles_from_moments(f0, f1, f2),
+        }
+    }
+}
+
+/// Exact moments of the derived triple stream and the exact triangle count of
+/// an edge list — the ground truth the tests and experiments compare against.
+pub fn exact_triangle_moments(edges: &[(u64, u64)], num_vertices: u64) -> TriangleEstimate {
+    use std::collections::HashMap;
+    let mut multiplicity: HashMap<[u64; 3], u64> = HashMap::new();
+    for &(u, v) in edges {
+        let (u, v) = (u.min(v), u.max(v));
+        for w in 0..num_vertices {
+            if w == u || w == v {
+                continue;
+            }
+            let mut triple = [u, v, w];
+            triple.sort_unstable();
+            *multiplicity.entry(triple).or_default() += 1;
+        }
+    }
+    let f0 = multiplicity.len() as f64;
+    let f1: f64 = multiplicity.values().map(|&c| c as f64).sum();
+    let f2: f64 = multiplicity.values().map(|&c| (c * c) as f64).sum();
+    TriangleEstimate {
+        f0,
+        f1,
+        f2,
+        triangles: triangles_from_moments(f0, f1, f2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(0xAB5)
+    }
+
+    fn config() -> CountingConfig {
+        CountingConfig::explicit(0.3, 0.2, 1100, 7)
+    }
+
+    #[test]
+    fn key_value_box_has_value_many_points() {
+        let range = key_value_box(7, 12, 8, 8).expect("non-zero value");
+        assert_eq!(range.cardinality(), 12);
+        assert!(key_value_box(7, 0, 8, 8).is_none());
+    }
+
+    #[test]
+    fn distinct_summation_is_exact_on_small_inputs() {
+        // Union size < Thresh → the Minimum sketch is exact, so the reduction
+        // must reproduce the sum exactly regardless of hash draws.
+        let mut rng = rng();
+        let mut summation = DistinctSummation::new(10, 10, &config(), &mut rng);
+        let pairs = [(3u64, 120u64), (9, 250), (3, 120), (77, 31), (9, 250), (1023, 4)];
+        for &(k, v) in &pairs {
+            summation.add(k, v);
+        }
+        assert_eq!(summation.estimate(), (120 + 250 + 31 + 4) as f64);
+        assert_eq!(summation.pairs_processed(), 6);
+    }
+
+    #[test]
+    fn distinct_summation_tracks_larger_random_inputs() {
+        let mut rng = rng();
+        let mut summation = DistinctSummation::new(12, 8, &config(), &mut rng);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..600 {
+            let key = rng.gen_range(1 << 12);
+            let value = rng.gen_range(200) + 1;
+            // Distinct-summation contract: a key always carries the same value.
+            let value = *truth.entry(key).or_insert(value);
+            summation.add(key, value);
+        }
+        let exact: u64 = truth.values().sum();
+        let est = summation.estimate();
+        assert!(
+            (est - exact as f64).abs() / exact as f64 <= 0.35,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn max_dominance_norm_keeps_the_largest_value_per_index() {
+        let mut rng = rng();
+        let mut norm = MaxDominanceNorm::new(8, 8, &config(), &mut rng);
+        // Index 5 sees values 10, 90, 40 → contributes 90; index 9 sees 7.
+        for (i, v) in [(5u64, 10u64), (9, 7), (5, 90), (5, 40)] {
+            norm.add(i, v);
+        }
+        assert_eq!(norm.estimate(), 97.0);
+    }
+
+    #[test]
+    fn max_dominance_norm_tracks_interleaved_streams() {
+        let mut rng = rng();
+        let mut norm = MaxDominanceNorm::new(10, 9, &config(), &mut rng);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..800 {
+            let index = rng.gen_range(1 << 10);
+            let value = rng.gen_range(500) + 1;
+            norm.add(index, value);
+            let best = truth.entry(index).or_default();
+            *best = (*best).max(value);
+        }
+        let exact: u64 = truth.values().sum();
+        let est = norm.estimate();
+        assert!(
+            (est - exact as f64).abs() / exact as f64 <= 0.35,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn edge_boxes_cover_exactly_the_sorted_triples_containing_the_edge() {
+        let n = 10u64;
+        let bits = 4usize;
+        for &(u, v) in &[(0u64, 1u64), (0, 9), (3, 7), (8, 9), (4, 5)] {
+            let boxes = edge_triple_boxes(u, v, n, bits);
+            let mut covered = HashSet::new();
+            for b in &boxes {
+                let dims = b.dims();
+                for x in dims[0].lo..=dims[0].hi {
+                    for y in dims[1].lo..=dims[1].hi {
+                        for z in dims[2].lo..=dims[2].hi {
+                            assert!(x < y && y < z, "box emitted an unsorted triple");
+                            assert!(!covered.contains(&[x, y, z]), "triple covered twice");
+                            covered.insert([x, y, z]);
+                        }
+                    }
+                }
+            }
+            let expected: HashSet<[u64; 3]> = (0..n)
+                .filter(|&w| w != u && w != v)
+                .map(|w| {
+                    let mut t = [u, v, w];
+                    t.sort_unstable();
+                    t
+                })
+                .collect();
+            assert_eq!(covered, expected, "edge ({u}, {v})");
+        }
+    }
+
+    #[test]
+    fn moment_combination_recovers_exact_triangle_counts() {
+        // Brute-force graphs: the linear combination of exact moments must
+        // equal the exact triangle count.
+        let graphs: Vec<(u64, Vec<(u64, u64)>)> = vec![
+            // A triangle plus a pendant edge.
+            (5, vec![(0, 1), (1, 2), (0, 2), (2, 3)]),
+            // Complete graph K5: C(5,3) = 10 triangles.
+            (5, (0..5).flat_map(|u| ((u + 1)..5).map(move |v| (u, v))).collect()),
+            // A 6-cycle: no triangles.
+            (6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+            // Two disjoint triangles.
+            (7, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]),
+        ];
+        for (n, edges) in graphs {
+            let exact_triangles = brute_force_triangles(&edges);
+            let moments = exact_triangle_moments(&edges, n);
+            assert!(
+                (moments.triangles - exact_triangles as f64).abs() < 1e-9,
+                "moment combination {} vs brute force {exact_triangles}",
+                moments.triangles
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_triangle_counter_tracks_a_dense_graph() {
+        // K9 has C(9,3) = 84 triangles; the derived universe is small enough
+        // that the sketches stay accurate.
+        let n = 9u64;
+        let edges: Vec<(u64, u64)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let exact = brute_force_triangles(&edges) as f64;
+
+        let mut rng = rng();
+        let mut counter = TriangleCounter::new(n, &config(), &mut rng);
+        for &(u, v) in &edges {
+            counter.add_edge(u, v);
+        }
+        let estimate = counter.estimate();
+        assert_eq!(estimate.f1, edges.len() as f64 * (n as f64 - 2.0));
+        assert!(
+            estimate.triangles >= exact * 0.5 && estimate.triangles <= exact * 1.5,
+            "triangle estimate {} vs exact {exact}",
+            estimate.triangles
+        );
+        assert_eq!(counter.edges_processed(), edges.len() as u64);
+    }
+
+    fn brute_force_triangles(edges: &[(u64, u64)]) -> usize {
+        let set: HashSet<(u64, u64)> = edges
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        let vertices: HashSet<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+        let mut vs: Vec<u64> = vertices.into_iter().collect();
+        vs.sort_unstable();
+        let mut count = 0;
+        for (i, &a) in vs.iter().enumerate() {
+            for (j, &b) in vs.iter().enumerate().skip(i + 1) {
+                if !set.contains(&(a, b)) {
+                    continue;
+                }
+                for &c in vs.iter().skip(j + 1) {
+                    if set.contains(&(a, c)) && set.contains(&(b, c)) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+}

@@ -1,0 +1,258 @@
+//! Weighted #DNF via reduction to d-dimensional ranges (Section 5,
+//! "From Weighted #DNF to d-Dimensional Ranges").
+//!
+//! With dyadic weights `ρ(x_i) = k_i / 2^{m_i}`, every DNF term maps to a box
+//! (a d-dimensional range with one dimension per variable): a positive
+//! literal `x_i` becomes the interval `[0, k_i − 1]`, a negative literal the
+//! interval `[k_i, 2^{m_i} − 1]`, and an unconstrained variable the full
+//! interval. A point of the product space `Π_i [0, 2^{m_i})` corresponds to
+//! the assignment `σ_i = [coordinate_i < k_i]`, so the union of the boxes has
+//! exactly `2^{Σ_i m_i} · W(φ)` points. Streaming the boxes through the
+//! range-efficient F0 estimator therefore yields a hashing-based weighted
+//! DNF counter — the application the paper highlights as an open problem for
+//! per-item-polynomial algorithms.
+
+use crate::ranges::{MultiDimRange, RangeDim};
+use crate::stream_f0::StructuredMinimumF0;
+use mcf0_counting::config::CountingConfig;
+use mcf0_formula::weights::WeightFn;
+use mcf0_formula::DnfFormula;
+use mcf0_hashing::Xoshiro256StarStar;
+
+/// Converts every term of a weighted DNF into its box (d-dimensional range),
+/// one box per term, in term order.
+pub fn weighted_dnf_boxes(formula: &DnfFormula, weights: &WeightFn) -> Vec<MultiDimRange> {
+    assert_eq!(
+        formula.num_vars(),
+        weights.num_vars(),
+        "weight function must cover every variable"
+    );
+    let n = formula.num_vars();
+    formula
+        .terms()
+        .iter()
+        .filter(|t| !t.is_contradictory())
+        .map(|term| {
+            let dims: Vec<RangeDim> = (0..n)
+                .map(|v| {
+                    let w = weights.weight_of(v);
+                    let full = (1u64 << w.bits) - 1;
+                    match term.polarity_of(v) {
+                        Some(true) => RangeDim::new(0, w.numerator - 1, w.bits as usize),
+                        Some(false) => RangeDim::new(w.numerator, full, w.bits as usize),
+                        None => RangeDim::new(0, full, w.bits as usize),
+                    }
+                })
+                .collect();
+            MultiDimRange::new(dims)
+        })
+        .collect()
+}
+
+/// The weighted-to-unweighted reduction in formula form (Chakraborty et al.,
+/// the construction the paper's range reduction is inspired by): an
+/// *unweighted* DNF over `Σ_i m_i` fresh variables whose model count equals
+/// `2^{Σ_i m_i} · W(φ)` exactly.
+///
+/// Variable `x_i` of the original formula is represented by the `m_i`-bit
+/// block of fresh variables encoding the `i`-th box coordinate; a positive
+/// literal becomes "coordinate < k_i" and a negative literal
+/// "coordinate ≥ k_i", exactly the per-dimension intervals of
+/// [`weighted_dnf_boxes`]. This gives the exact-count dual of the streaming
+/// estimate of [`weighted_dnf_count`]: any unweighted counter (exact or
+/// hashing-based) applied to the returned formula yields a weighted count of
+/// the original.
+pub fn weighted_to_unweighted_dnf(formula: &DnfFormula, weights: &WeightFn) -> DnfFormula {
+    let total_bits: usize = (0..weights.num_vars())
+        .map(|v| weights.weight_of(v).bits as usize)
+        .sum();
+    let mut out = DnfFormula::new(total_bits, Vec::new());
+    for range in weighted_dnf_boxes(formula, weights) {
+        out = out.or(&range.to_dnf());
+    }
+    out
+}
+
+/// Outcome of the weighted counting reduction.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightedCountOutcome {
+    /// Estimated weighted model count `W(φ)`.
+    pub weight: f64,
+    /// The F0 estimate of the underlying range stream (before scaling by
+    /// `2^{Σ_i m_i}`).
+    pub f0_estimate: f64,
+}
+
+/// Estimates the weighted model count `W(φ)` by streaming the term boxes
+/// through the range-efficient Minimum-strategy F0 sketch and scaling by
+/// `2^{Σ_i m_i}`.
+pub fn weighted_dnf_count(
+    formula: &DnfFormula,
+    weights: &WeightFn,
+    config: &CountingConfig,
+    rng: &mut Xoshiro256StarStar,
+) -> WeightedCountOutcome {
+    let boxes = weighted_dnf_boxes(formula, weights);
+    let total_bits: usize = (0..weights.num_vars())
+        .map(|v| weights.weight_of(v).bits as usize)
+        .sum();
+    let mut sketch = StructuredMinimumF0::new(total_bits, config, rng);
+    for range in &boxes {
+        sketch.process_item(range);
+    }
+    let f0_estimate = if boxes.is_empty() { 0.0 } else { sketch.estimate() };
+    WeightedCountOutcome {
+        weight: f0_estimate / 2f64.powi(total_bits as i32),
+        f0_estimate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcf0_formula::weights::DyadicWeight;
+    use mcf0_formula::{Literal, Term};
+
+    fn example_weights() -> WeightFn {
+        WeightFn::new(vec![
+            DyadicWeight::new(1, 2), // 0.25
+            DyadicWeight::new(3, 2), // 0.75
+            DyadicWeight::new(5, 3), // 0.625
+            DyadicWeight::new(1, 1), // 0.5
+        ])
+    }
+
+    fn example_formula() -> DnfFormula {
+        DnfFormula::new(
+            4,
+            vec![
+                Term::new(vec![Literal::positive(0), Literal::negative(2)]),
+                Term::new(vec![Literal::positive(1), Literal::positive(3)]),
+                Term::new(vec![Literal::negative(0), Literal::negative(1)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn box_union_size_equals_scaled_weight() {
+        let f = example_formula();
+        let w = example_weights();
+        let boxes = weighted_dnf_boxes(&f, &w);
+        assert_eq!(boxes.len(), 3);
+        // Exact union size by enumerating the product space (8 bits total).
+        let total_bits: usize = 2 + 2 + 3 + 1;
+        let mut union = 0u64;
+        for p0 in 0..4u64 {
+            for p1 in 0..4u64 {
+                for p2 in 0..8u64 {
+                    for p3 in 0..2u64 {
+                        let point = [p0, p1, p2, p3];
+                        if boxes.iter().any(|b| b.contains_point(&point)) {
+                            union += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let expected = w.weighted_count_brute_force(&f) * 2f64.powi(total_bits as i32);
+        assert!((union as f64 - expected).abs() < 1e-6, "{union} vs {expected}");
+    }
+
+    #[test]
+    fn streaming_reduction_recovers_the_exact_weight_when_small() {
+        let f = example_formula();
+        let w = example_weights();
+        let exact = w.weighted_count_brute_force(&f);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(931);
+        // The union has at most 256 points, so a Thresh of 512 keeps the
+        // Minimum sketch exact.
+        let config = CountingConfig::explicit(0.8, 0.2, 512, 5);
+        let out = weighted_dnf_count(&f, &w, &config, &mut rng);
+        assert!(
+            (out.weight - exact).abs() < 1e-9,
+            "estimate {} vs exact {exact}",
+            out.weight
+        );
+    }
+
+    #[test]
+    fn uniform_half_weights_recover_unweighted_counting() {
+        let f = example_formula();
+        let w = WeightFn::uniform_half(4);
+        let unweighted = mcf0_formula::exact::count_dnf_exact(&f) as f64;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(932);
+        let config = CountingConfig::explicit(0.8, 0.2, 64, 5);
+        let out = weighted_dnf_count(&f, &w, &config, &mut rng);
+        assert!((out.weight * 16.0 - unweighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unweighted_reduction_count_equals_the_scaled_weight() {
+        // Exact duals: |Sol(ψ)| = 2^{Σ m_i} · W(φ) for the reduction formula ψ.
+        let f = example_formula();
+        let w = example_weights();
+        let psi = weighted_to_unweighted_dnf(&f, &w);
+        let total_bits: u32 = 2 + 2 + 3 + 1;
+        assert_eq!(psi.num_vars(), total_bits as usize);
+        let exact_unweighted = mcf0_formula::exact::count_dnf_exact(&psi) as f64;
+        let expected = w.weighted_count_brute_force(&f) * 2f64.powi(total_bits as i32);
+        assert!(
+            (exact_unweighted - expected).abs() < 1e-6,
+            "{exact_unweighted} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn unweighted_reduction_agrees_with_the_streaming_estimate() {
+        // The two faces of the same reduction — materialised formula versus
+        // streamed boxes — must agree on the weight they report.
+        let f = example_formula();
+        let w = example_weights();
+        let total_bits = 8i32;
+        let psi = weighted_to_unweighted_dnf(&f, &w);
+        let via_formula =
+            mcf0_formula::exact::count_dnf_exact(&psi) as f64 / 2f64.powi(total_bits);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(934);
+        let config = CountingConfig::explicit(0.8, 0.2, 512, 5);
+        let via_stream = weighted_dnf_count(&f, &w, &config, &mut rng).weight;
+        assert!((via_formula - via_stream).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unweighted_reduction_composes_with_approx_mc() {
+        // A hashing-based *unweighted* counter applied to the reduction
+        // formula produces a weighted count, closing the loop with Section 3.
+        let f = example_formula();
+        let w = example_weights();
+        let psi = weighted_to_unweighted_dnf(&f, &w);
+        let exact_weight = w.weighted_count_brute_force(&f);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(935);
+        let config = CountingConfig::explicit(0.5, 0.2, 200, 7);
+        let out = mcf0_counting::approx_mc(
+            &mcf0_counting::FormulaInput::Dnf(psi),
+            &config,
+            mcf0_counting::LevelSearch::Linear,
+            &mut rng,
+        );
+        let weight = out.estimate / 2f64.powi(8);
+        assert!(
+            (weight - exact_weight).abs() <= 0.5 * exact_weight,
+            "approx weighted count {weight} vs exact {exact_weight}"
+        );
+    }
+
+    #[test]
+    fn contradictory_terms_and_empty_formulas_yield_zero() {
+        let w = example_weights();
+        let empty = DnfFormula::contradiction(4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(933);
+        let config = CountingConfig::explicit(0.8, 0.2, 32, 3);
+        let out = weighted_dnf_count(&empty, &w, &config, &mut rng);
+        assert_eq!(out.weight, 0.0);
+        let contradictory = DnfFormula::new(
+            4,
+            vec![Term::new(vec![Literal::positive(0), Literal::negative(0)])],
+        );
+        assert!(weighted_dnf_boxes(&contradictory, &w).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Distributed DNF counting across k sites (Section 4 of the paper).
+//!
+//! A DNF formula (e.g. the union of per-shard lineage formulas in a
+//! distributed probabilistic database) is partitioned over `k` sites that can
+//! only talk to a central coordinator. This example runs the three
+//! distributed strategies and reports estimates and exact communication cost
+//! as `k` grows.
+//!
+//! Run with: `cargo run --release --example distributed_counting`
+
+use mcf0::counting::CountingConfig;
+use mcf0::distributed::{distributed_bucketing, distributed_estimation, distributed_minimum};
+use mcf0::formula::exact::count_dnf_exact;
+use mcf0::formula::generators::{partition_dnf, random_dnf};
+use mcf0::hashing::Xoshiro256StarStar;
+
+fn main() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+    let formula = random_dnf(&mut rng, 20, 48, (4, 9));
+    let exact = count_dnf_exact(&formula) as f64;
+    println!(
+        "formula: 20 variables, {} terms, exact count {exact}",
+        formula.num_terms()
+    );
+    println!();
+    println!(
+        "{:<6} {:<12} {:>14} {:>9} {:>14} {:>10}",
+        "sites", "strategy", "estimate", "error", "uplink bits", "messages"
+    );
+
+    let config = CountingConfig::explicit(0.8, 0.2, 150, 9);
+    let est_config = CountingConfig::explicit(0.5, 0.2, 60, 5);
+    let r = (exact * 2.0).log2().ceil() as u32;
+
+    for k in [2usize, 4, 8, 16] {
+        let sites = partition_dnf(&mut rng, &formula, k);
+
+        let bucketing = distributed_bucketing(&sites, &config, &mut rng);
+        print_row("Bucketing", k, bucketing.estimate, exact, &bucketing.ledger);
+
+        let minimum = distributed_minimum(&sites, &config, &mut rng);
+        print_row("Minimum", k, minimum.estimate, exact, &minimum.ledger);
+
+        let estimation = distributed_estimation(&sites, &est_config, r, &mut rng);
+        print_row("Estimation", k, estimation.estimate, exact, &estimation.ledger);
+    }
+
+    println!();
+    println!(
+        "Bucketing and Estimation communicate Õ(k·(n + 1/ε²)) bits; Minimum pays an extra factor \
+         n for shipping 3n-bit hash values. The Ω(k/ε²) lower bound (via the F0 reduction) shows \
+         the k and ε dependence cannot be improved."
+    );
+}
+
+fn print_row(
+    name: &str,
+    k: usize,
+    estimate: f64,
+    exact: f64,
+    ledger: &mcf0::distributed::CommLedger,
+) {
+    println!(
+        "{:<6} {:<12} {:>14.0} {:>8.1}% {:>14} {:>10}",
+        k,
+        name,
+        estimate,
+        100.0 * (estimate - exact) / exact,
+        ledger.uplink_bits(),
+        ledger.messages()
+    );
+}

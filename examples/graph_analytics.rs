@@ -1,0 +1,103 @@
+//! Graph and sensor analytics through the F0-over-structured-sets lens.
+//!
+//! Section 1 of the paper motivates range-efficient F0 estimation with three
+//! classical applications; this example runs all three on synthetic data:
+//!
+//! * distinct summation — aggregate sensor readings with duplicate reports;
+//! * max-dominance norm — the coordinate-wise maximum over interleaved
+//!   load-metric streams;
+//! * triangle counting — an edge stream whose derived triple stream is
+//!   summarised by F0 (range-efficient), F1 (closed form) and F2 (AMS).
+//!
+//! Run with: `cargo run --release --example graph_analytics`
+
+use mcf0::counting::CountingConfig;
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::structured::{exact_triangle_moments, DistinctSummation, MaxDominanceNorm, TriangleCounter};
+use std::collections::HashMap;
+
+fn main() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+    let config = CountingConfig::explicit(0.3, 0.2, 1100, 7);
+
+    // ----------------------------------------------------------------- //
+    // 1. Distinct summation: sensors report (sensor id, reading) pairs,  //
+    //    possibly many times; we want the sum over distinct sensors.     //
+    // ----------------------------------------------------------------- //
+    let mut summation = DistinctSummation::new(12, 10, &config, &mut rng);
+    let mut readings: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..3000 {
+        let sensor = rng.gen_range(1 << 12);
+        let reading = *readings
+            .entry(sensor)
+            .or_insert_with(|| rng.gen_range(900) + 1);
+        summation.add(sensor, reading); // duplicates are free
+    }
+    let exact_sum: u64 = readings.values().sum();
+    println!("distinct summation");
+    println!("  reports processed : {}", summation.pairs_processed());
+    println!("  exact sum         : {exact_sum}");
+    println!(
+        "  estimated sum     : {:.0}  ({:+.1}% error)\n",
+        summation.estimate(),
+        100.0 * (summation.estimate() - exact_sum as f64) / exact_sum as f64
+    );
+
+    // ----------------------------------------------------------------- //
+    // 2. Max-dominance norm over interleaved metric streams.             //
+    // ----------------------------------------------------------------- //
+    let mut norm = MaxDominanceNorm::new(10, 9, &config, &mut rng);
+    let mut maxima: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..4000 {
+        let index = rng.gen_range(1 << 10);
+        let value = rng.gen_range(500) + 1;
+        norm.add(index, value);
+        let best = maxima.entry(index).or_default();
+        *best = (*best).max(value);
+    }
+    let exact_norm: u64 = maxima.values().sum();
+    println!("max-dominance norm");
+    println!("  observations      : {}", norm.pairs_processed());
+    println!("  exact norm        : {exact_norm}");
+    println!(
+        "  estimated norm    : {:.0}  ({:+.1}% error)\n",
+        norm.estimate(),
+        100.0 * (norm.estimate() - exact_norm as f64) / exact_norm as f64
+    );
+
+    // ----------------------------------------------------------------- //
+    // 3. Triangle counting on an edge stream.                            //
+    // ----------------------------------------------------------------- //
+    let n = 14u64;
+    // A dense random graph: each edge present with probability 0.7.
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.next_f64() < 0.7 {
+                edges.push((u, v));
+            }
+        }
+    }
+    let exact = exact_triangle_moments(&edges, n);
+
+    let mut counter = TriangleCounter::new(n, &config, &mut rng);
+    for &(u, v) in &edges {
+        counter.add_edge(u, v);
+    }
+    let estimate = counter.estimate();
+    println!("triangle counting ({} vertices, {} edges)", n, edges.len());
+    println!(
+        "  moments (exact)    : F0 = {:.0}, F1 = {:.0}, F2 = {:.0}",
+        exact.f0, exact.f1, exact.f2
+    );
+    println!(
+        "  moments (estimated): F0 = {:.0}, F1 = {:.0}, F2 = {:.0}",
+        estimate.f0, estimate.f1, estimate.f2
+    );
+    println!("  exact triangles    : {:.0}", exact.triangles);
+    println!("  estimated triangles: {:.0}", estimate.triangles);
+    println!(
+        "\nThe triangle estimate combines three moment estimates, so its error is larger\n\
+         than each individual sketch's — exactly the behaviour the reduction predicts."
+    );
+}

@@ -1,0 +1,60 @@
+//! Network monitoring: counting distinct flows in a packet stream.
+//!
+//! The classic F0 motivation — a router sees a long stream of packets and
+//! wants the number of distinct (source, destination) pairs without storing
+//! them all. This example runs the three sketch strategies of the paper's
+//! unified `ComputeF0` architecture over a synthetic flow stream and reports
+//! accuracy and sketch size against the exact hash-set baseline.
+//!
+//! Run with: `cargo run --release --example network_monitoring`
+
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::streaming::{compute_f0, ExactDistinct, F0Config, F0Sketch, SketchStrategy};
+
+fn main() {
+    let universe_bits = 48; // 24-bit source id × 24-bit destination id
+    let distinct_flows = 50_000usize;
+    let packets = 400_000usize;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+
+    // Synthetic packet stream: `distinct_flows` flows, heavy repetition.
+    let stream = mcf0::streaming::workloads::planted_f0_stream(
+        &mut rng,
+        universe_bits,
+        distinct_flows,
+        packets,
+    );
+
+    let mut exact = ExactDistinct::new(universe_bits);
+    exact.process_stream(&stream);
+    println!(
+        "packets = {packets}, exact distinct flows = {}, exact state = {} KiB",
+        exact.count(),
+        exact.space_bits() / 8 / 1024
+    );
+    println!();
+    println!("{:<12} {:>14} {:>10} {:>12}", "strategy", "estimate", "error", "sketch KiB");
+
+    let config = F0Config::explicit(0.4, 0.1, 600, 11);
+    for (name, strategy) in [
+        ("Bucketing", SketchStrategy::Bucketing),
+        ("Minimum", SketchStrategy::Minimum),
+        ("Estimation", SketchStrategy::Estimation),
+    ] {
+        let outcome = compute_f0(strategy, universe_bits, &config, &stream, &mut rng);
+        let error = 100.0 * (outcome.estimate - distinct_flows as f64) / distinct_flows as f64;
+        println!(
+            "{:<12} {:>14.0} {:>9.1}% {:>12.1}",
+            name,
+            outcome.estimate,
+            error,
+            outcome.space_bits as f64 / 8.0 / 1024.0
+        );
+    }
+
+    println!();
+    println!(
+        "Each sketch stores a small constant amount of state per (ε, δ) target, independent of \
+         the number of packets, while the exact counter grows linearly with the flow count."
+    );
+}

@@ -1,0 +1,87 @@
+//! Range analytics: distinct coverage of rectangle streams.
+//!
+//! A monitoring system receives a stream of 2-dimensional rectangles
+//! (e.g. [source-prefix] × [port-range] firewall rules, or spatial bounding
+//! boxes) and wants the total number of distinct points covered — F0 of a
+//! union of multidimensional ranges. Processing each rectangle point by point
+//! is hopeless; the paper's range→DNF decomposition (Lemma 4) makes the
+//! per-item work polynomial in the number of bits.
+//!
+//! This example also demonstrates Corollary 1 (arithmetic progressions) and
+//! the Observation 1 / Observation 2 representation gap.
+//!
+//! Run with: `cargo run --release --example range_analytics`
+
+use mcf0::counting::CountingConfig;
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::structured::{MultiDimProgression, MultiDimRange, Progression, RangeDim, StructuredMinimumF0};
+
+fn main() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+    let bits = 16; // each dimension is a 16-bit coordinate
+    let dims = 2;
+    let universe_bits = bits * dims;
+
+    // A stream of 40 random rectangles.
+    let mut rectangles = Vec::new();
+    for _ in 0..40 {
+        let w = 1 + rng.gen_range(1 << 10);
+        let h = 1 + rng.gen_range(1 << 10);
+        let x_lo = rng.gen_range((1u64 << bits) - w);
+        let y_lo = rng.gen_range((1u64 << bits) - h);
+        rectangles.push(MultiDimRange::new(vec![
+            RangeDim::new(x_lo, x_lo + w - 1, bits),
+            RangeDim::new(y_lo, y_lo + h - 1, bits),
+        ]));
+    }
+
+    let config = CountingConfig::explicit(0.4, 0.1, 600, 11);
+    let mut sketch = StructuredMinimumF0::new(universe_bits, &config, &mut rng);
+    let mut total_terms = 0u128;
+    for r in &rectangles {
+        total_terms += r.term_count();
+        sketch.process_item(r);
+    }
+    println!(
+        "processed {} rectangles over a {}-bit universe ({} DNF terms in total)",
+        rectangles.len(),
+        universe_bits,
+        total_terms
+    );
+    println!("estimated distinct covered points : {:.0}", sketch.estimate());
+    let naive_upper: u128 = rectangles.iter().map(|r| r.cardinality()).sum();
+    println!("sum of individual areas (upper bd): {naive_upper}");
+
+    // Arithmetic progressions: every 4th port in a range, in two dimensions.
+    let progression = MultiDimProgression::new(vec![
+        Progression::new(1000, 9000, 2, bits),
+        Progression::new(0, 4000, 3, bits),
+    ]);
+    let mut prog_sketch = StructuredMinimumF0::new(universe_bits, &config, &mut rng);
+    prog_sketch.process_item(&progression);
+    println!();
+    println!(
+        "arithmetic progression item: exact size {} vs sketch estimate {:.0}",
+        progression.cardinality(),
+        prog_sketch.estimate()
+    );
+
+    // Observation 1 vs Observation 2: the worst-case range.
+    println!();
+    println!("representation gap for the worst-case range [1, 2^n-1]^d (n = 8):");
+    println!("{:>3} {:>16} {:>14}", "d", "DNF terms", "CNF clauses");
+    for d in 1..=4usize {
+        let worst = MultiDimRange::worst_case(8, d);
+        println!(
+            "{:>3} {:>16} {:>14}",
+            d,
+            worst.term_count(),
+            worst.to_cnf().num_clauses()
+        );
+    }
+    println!(
+        "\nThe DNF blow-up is n^d while the CNF stays linear in n·d — the reason a hashing-based \
+         algorithm with per-item time poly(n, d) would imply P = NP-style consequences, as the \
+         paper discusses."
+    );
+}

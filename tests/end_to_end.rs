@@ -1,0 +1,218 @@
+//! Cross-crate integration tests: every counter and every sketch against
+//! exact ground truth on shared workloads.
+
+use mcf0::counting::est_based::EstBackend;
+use mcf0::counting::{
+    approx_mc, approx_model_count_est, approx_model_count_min, CountingConfig, FormulaInput,
+    LevelSearch,
+};
+use mcf0::formula::exact::{count_cnf_dpll, count_dnf_exact};
+use mcf0::formula::generators::{partition_dnf, planted_dnf, random_dnf, random_k_cnf};
+use mcf0::formula::karp_luby::{karp_luby_count, KarpLubyConfig};
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::streaming::{compute_f0, F0Config, SketchStrategy};
+use mcf0::structured::{DnfSet, StructuredMinimumF0};
+
+/// All three counters agree with the exact count (to within loose factors —
+/// the PAC guarantees are checked statistically in the experiment harness,
+/// here we check end-to-end plumbing) on the same DNF instance.
+#[test]
+fn all_counters_agree_on_a_shared_dnf_instance() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let formula = random_dnf(&mut rng, 15, 10, (3, 6));
+    let exact = count_dnf_exact(&formula) as f64;
+    let input = FormulaInput::Dnf(formula.clone());
+
+    let config = CountingConfig::explicit(0.8, 0.2, 150, 9);
+    let bucketing = approx_mc(&input, &config, LevelSearch::Galloping, &mut rng);
+    let minimum = approx_model_count_min(&input, &config, &mut rng);
+    let r = (exact * 2.0).log2().ceil() as u32;
+    let est_config = CountingConfig::explicit(0.5, 0.2, 50, 5);
+    let estimation =
+        approx_model_count_est(&input, &est_config, r, EstBackend::Enumerative, &mut rng);
+    let kl = karp_luby_count(&formula, &KarpLubyConfig::new(0.2, 0.2), &mut rng);
+
+    for (name, estimate, slack) in [
+        ("bucketing", bucketing.estimate, 2.0),
+        ("minimum", minimum.estimate, 2.0),
+        ("estimation", estimation.estimate, 2.5),
+        ("karp-luby", kl.estimate, 1.5),
+    ] {
+        assert!(
+            estimate >= exact / slack && estimate <= exact * slack,
+            "{name}: estimate {estimate} too far from exact {exact}"
+        );
+    }
+}
+
+/// The oracle-backed CNF path and the polynomial DNF path agree when fed the
+/// same solution set.
+#[test]
+fn cnf_and_dnf_paths_count_the_same_planted_set() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+    let (dnf, solutions) = planted_dnf(&mut rng, 12, 45);
+    // CNF with the same solution set, built by blocking every non-solution.
+    let (cnf, _) = {
+        // planted_cnf_small regenerates its own random set, so instead block
+        // the complement of the planted DNF's solutions directly.
+        let mut clauses = Vec::new();
+        for value in 0..(1u64 << 12) {
+            let mut a = mcf0::gf2::BitVec::zeros(12);
+            for i in 0..12 {
+                a.set(i, (value >> i) & 1 == 1);
+            }
+            if !dnf.eval(&a) {
+                let lits = (0..12)
+                    .map(|i| {
+                        if a.get(i) {
+                            mcf0::formula::Literal::negative(i)
+                        } else {
+                            mcf0::formula::Literal::positive(i)
+                        }
+                    })
+                    .collect();
+                clauses.push(mcf0::formula::Clause::new(lits));
+            }
+        }
+        (mcf0::formula::CnfFormula::new(12, clauses), solutions)
+    };
+    assert_eq!(count_cnf_dpll(&cnf), 45);
+
+    let config = CountingConfig::explicit(0.8, 0.2, 150, 5);
+    let via_dnf = approx_mc(
+        &FormulaInput::Dnf(dnf),
+        &config,
+        LevelSearch::Linear,
+        &mut rng,
+    );
+    let via_cnf = approx_mc(
+        &FormulaInput::Cnf(cnf),
+        &config,
+        LevelSearch::Galloping,
+        &mut rng,
+    );
+    // Both are exact because the count is below Thresh.
+    assert_eq!(via_dnf.estimate, 45.0);
+    assert_eq!(via_cnf.estimate, 45.0);
+    assert!(via_cnf.oracle_calls > 0);
+    assert_eq!(via_dnf.oracle_calls, 0);
+}
+
+/// Streaming and counting answer the same question on the same set: the
+/// distinct elements of a stream equal the model count of the DNF whose
+/// solutions are the stream items (the introduction's two viewpoints).
+#[test]
+fn a_stream_and_its_dnf_encoding_have_the_same_cardinality() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+    let universe_bits = 14;
+    let stream = mcf0::streaming::workloads::planted_f0_stream(&mut rng, universe_bits, 120, 600);
+
+    // Streaming estimate.
+    let f0_config = F0Config::explicit(0.8, 0.2, 150, 9);
+    let streamed = compute_f0(
+        SketchStrategy::Bucketing,
+        universe_bits,
+        &f0_config,
+        &stream,
+        &mut rng,
+    );
+
+    // Counting estimate of the DNF encoding the distinct items.
+    let assignments: Vec<mcf0::gf2::BitVec> = {
+        let distinct: std::collections::BTreeSet<u64> = stream.iter().copied().collect();
+        distinct
+            .into_iter()
+            .map(|v| {
+                let mut a = mcf0::gf2::BitVec::zeros(universe_bits);
+                for i in 0..universe_bits {
+                    a.set(i, (v >> i) & 1 == 1);
+                }
+                a
+            })
+            .collect()
+    };
+    let dnf = mcf0::formula::DnfFormula::from_assignments(universe_bits, &assignments);
+    let counted = approx_mc(
+        &FormulaInput::Dnf(dnf),
+        &CountingConfig::explicit(0.8, 0.2, 150, 9),
+        LevelSearch::Linear,
+        &mut rng,
+    );
+
+    // Both are exact here (120 < Thresh), hence equal.
+    assert_eq!(streamed.estimate, 120.0);
+    assert_eq!(counted.estimate, 120.0);
+}
+
+/// Distributed counting agrees with centralised counting on the same formula.
+#[test]
+fn distributed_and_centralised_counting_agree() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+    let formula = random_dnf(&mut rng, 14, 14, (3, 6));
+    let exact = count_dnf_exact(&formula) as f64;
+    let config = CountingConfig::explicit(0.8, 0.2, 150, 9);
+
+    let centralised = approx_mc(
+        &FormulaInput::Dnf(formula.clone()),
+        &config,
+        LevelSearch::Galloping,
+        &mut rng,
+    );
+    let sites = partition_dnf(&mut rng, &formula, 4);
+    let distributed = mcf0::distributed::distributed_bucketing(&sites, &config, &mut rng);
+
+    for (name, estimate) in [
+        ("centralised", centralised.estimate),
+        ("distributed", distributed.estimate),
+    ] {
+        assert!(
+            estimate >= exact / 2.0 && estimate <= exact * 2.0,
+            "{name}: {estimate} vs exact {exact}"
+        );
+    }
+}
+
+/// Structured streaming over DNF sets matches the exact union cardinality.
+#[test]
+fn structured_stream_union_matches_exact_union() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+    let n = 13;
+    let config = CountingConfig::explicit(0.8, 0.2, 150, 9);
+    let mut sketch = StructuredMinimumF0::new(n, &config, &mut rng);
+    let mut union = mcf0::formula::DnfFormula::contradiction(n);
+    for _ in 0..5 {
+        let f = random_dnf(&mut rng, n, 4, (3, 6));
+        union = union.or(&f);
+        sketch.process_item(&DnfSet::new(f));
+    }
+    let exact = count_dnf_exact(&union) as f64;
+    let est = sketch.estimate();
+    assert!(
+        est >= exact / 2.0 && est <= exact * 2.0,
+        "estimate {est} vs exact union {exact}"
+    );
+}
+
+/// Random CNF counting end to end through the SAT oracle.
+#[test]
+fn cnf_counting_through_the_sat_oracle() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+    let formula = random_k_cnf(&mut rng, 10, 20, 3);
+    let exact = count_cnf_dpll(&formula) as f64;
+    if exact == 0.0 {
+        return;
+    }
+    let config = CountingConfig::explicit(0.8, 0.3, 60, 5);
+    let out = approx_mc(
+        &FormulaInput::Cnf(formula),
+        &config,
+        LevelSearch::Galloping,
+        &mut rng,
+    );
+    assert!(
+        out.estimate >= exact / 3.0 && out.estimate <= exact * 3.0,
+        "estimate {} vs exact {exact}",
+        out.estimate
+    );
+    assert!(out.oracle_calls > 0);
+}

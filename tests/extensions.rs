@@ -1,0 +1,231 @@
+//! Cross-crate integration tests for the Section 6 / Remark 2 extensions:
+//! sparse XOR hashing inside the counters, almost-uniform sampling, the
+//! Delphic-set sampling estimator, and the application reductions — all
+//! exercised through the public `mcf0` umbrella API exactly as a downstream
+//! user would.
+
+use mcf0::counting::{
+    approx_mc, approx_mc_with_sampler, ApproxSampler, CountingConfig, FormulaInput, LevelSearch,
+    SamplerConfig,
+};
+use mcf0::formula::exact::{count_cnf_dpll, count_dnf_exact};
+use mcf0::formula::generators::{planted_dnf, random_dnf, random_k_cnf};
+use mcf0::hashing::{RowDensity, SparseXorHash, Xoshiro256StarStar};
+use mcf0::streaming::AmsF2;
+use mcf0::structured::{
+    exact_triangle_moments, ApsConfig, ApsEstimator, DelphicSet, DistinctSummation,
+    MaxDominanceNorm, MultiDimRange, RangeDim, StructuredMinimumF0, TriangleCounter,
+};
+use std::collections::{HashMap, HashSet};
+
+fn rng(seed: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed)
+}
+
+#[test]
+fn sparse_and_dense_hash_families_agree_on_cnf_counts() {
+    let mut rng = rng(901);
+    let n = 10usize;
+    let formula = random_k_cnf(&mut rng, n, 16, 3);
+    let exact = count_cnf_dpll(&formula) as f64;
+    if exact == 0.0 {
+        return;
+    }
+    let config = CountingConfig::explicit(0.8, 0.2, 60, 7);
+    let input = FormulaInput::Cnf(formula);
+
+    let dense = approx_mc(&input, &config, LevelSearch::Galloping, &mut rng);
+    let sparse = approx_mc_with_sampler(&input, &config, LevelSearch::Galloping, &mut rng, |rng| {
+        SparseXorHash::sample(rng, n, n, RowDensity::LogOverN(2.0))
+    });
+
+    for (label, estimate) in [("dense", dense.estimate), ("sparse", sparse.estimate)] {
+        assert!(
+            estimate >= exact / 3.0 && estimate <= exact * 3.0,
+            "{label} estimate {estimate} too far from exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn sampler_output_feeds_back_into_counting_consistently() {
+    // Counting and sampling are built from the same cells; the sampler's
+    // samples must all satisfy the formula whose count ApproxMC estimates.
+    let mut rng = rng(902);
+    let (formula, _) = planted_dnf(&mut rng, 13, 200);
+    let exact = count_dnf_exact(&formula) as f64;
+    let input = FormulaInput::Dnf(formula.clone());
+
+    let config = CountingConfig::explicit(0.8, 0.2, 300, 7);
+    let count = approx_mc(&input, &config, LevelSearch::Linear, &mut rng);
+    assert_eq!(count.estimate, exact, "below Thresh the count is exact");
+
+    let mut sampler =
+        ApproxSampler::new(input, SamplerConfig::default(), &mut rng).expect("satisfiable");
+    let samples = sampler.sample_many(100, &mut rng);
+    assert!(samples.len() >= 90);
+    for s in &samples {
+        assert!(formula.eval(s));
+    }
+}
+
+#[test]
+fn ams_f2_distinguishes_flat_from_skewed_streams() {
+    // F0 cannot tell a flat stream from a skewed one with the same support;
+    // F2 (the higher-moment substrate) must.
+    let mut rng = rng(903);
+    let flat: Vec<u64> = (0..2000u64).collect();
+    let mut skewed: Vec<u64> = (0..1000u64).collect();
+    skewed.extend(std::iter::repeat(12345u64).take(1000));
+
+    let mut f2_flat = AmsF2::new(16, 5, 200, &mut rng);
+    f2_flat.process_stream(&flat);
+    let mut f2_skewed = AmsF2::new(16, 5, 200, &mut rng);
+    f2_skewed.process_stream(&skewed);
+
+    // Exact values: 2000 vs 1000 + 1000² ≈ 1.0e6.
+    assert!(f2_flat.estimate() < 10_000.0);
+    assert!(f2_skewed.estimate() > 200_000.0);
+}
+
+#[test]
+fn delphic_and_hashing_union_estimates_bracket_the_truth() {
+    let mut rng = rng(904);
+    let bits = 12usize;
+    let items: Vec<MultiDimRange> = (0..30u64)
+        .map(|_| {
+            let lo = rng.gen_range(1 << bits);
+            let len = rng.gen_range(400) + 1;
+            let hi = (lo + len).min((1 << bits) - 1);
+            MultiDimRange::new(vec![RangeDim::new(lo, hi, bits)])
+        })
+        .collect();
+    let mut exact: HashSet<u64> = HashSet::new();
+    for r in &items {
+        let d = &r.dims()[0];
+        exact.extend(d.lo..=d.hi);
+    }
+    let exact = exact.len() as f64;
+
+    let config = CountingConfig::explicit(0.3, 0.2, 1100, 5);
+    let mut hashing = StructuredMinimumF0::new(bits, &config, &mut rng);
+    for r in &items {
+        hashing.process_item(r);
+    }
+    let mut aps = ApsEstimator::new(bits, ApsConfig::for_epsilon(0.3));
+    for r in &items {
+        aps.process_item(r, &mut rng);
+    }
+
+    for (label, estimate) in [("hashing", hashing.estimate()), ("APS", aps.estimate())] {
+        assert!(
+            (estimate - exact).abs() / exact < 0.4,
+            "{label} estimate {estimate} too far from exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn delphic_queries_agree_with_structured_set_sizes() {
+    // The Delphic `size` query and the StructuredSet `exact_size` query are
+    // two views of the same set and must agree.
+    use mcf0::structured::StructuredSet;
+    let range = MultiDimRange::new(vec![RangeDim::new(7, 3000, 12), RangeDim::new(0, 63, 6)]);
+    assert_eq!(DelphicSet::size(&range), StructuredSet::exact_size(&range).unwrap());
+
+    let mut rng = rng(905);
+    for _ in 0..50 {
+        let member = DelphicSet::sample(&range, &mut rng);
+        assert!(DelphicSet::contains(&range, &member));
+    }
+}
+
+#[test]
+fn application_reductions_track_their_ground_truth_end_to_end() {
+    let mut rng = rng(906);
+    let config = CountingConfig::explicit(0.3, 0.2, 1100, 5);
+
+    // Distinct summation.
+    let mut summation = DistinctSummation::new(10, 8, &config, &mut rng);
+    let mut readings: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..400 {
+        let key = rng.gen_range(1 << 10);
+        let value = *readings.entry(key).or_insert_with(|| rng.gen_range(200) + 1);
+        summation.add(key, value);
+    }
+    let exact_sum: u64 = readings.values().sum();
+    assert!(
+        (summation.estimate() - exact_sum as f64).abs() / exact_sum as f64 <= 0.35,
+        "distinct summation {} vs {exact_sum}",
+        summation.estimate()
+    );
+
+    // Max-dominance norm.
+    let mut norm = MaxDominanceNorm::new(9, 8, &config, &mut rng);
+    let mut maxima: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..500 {
+        let index = rng.gen_range(1 << 9);
+        let value = rng.gen_range(250) + 1;
+        norm.add(index, value);
+        let best = maxima.entry(index).or_default();
+        *best = (*best).max(value);
+    }
+    let exact_norm: u64 = maxima.values().sum();
+    assert!(
+        (norm.estimate() - exact_norm as f64).abs() / exact_norm as f64 <= 0.35,
+        "max-dominance norm {} vs {exact_norm}",
+        norm.estimate()
+    );
+
+    // Triangle counting on a complete graph (the densest case).
+    let n = 10u64;
+    let edges: Vec<(u64, u64)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    let exact = exact_triangle_moments(&edges, n);
+    let mut counter = TriangleCounter::new(n, &config, &mut rng);
+    for &(u, v) in &edges {
+        counter.add_edge(u, v);
+    }
+    let estimate = counter.estimate();
+    assert!(
+        estimate.triangles >= exact.triangles * 0.5 && estimate.triangles <= exact.triangles * 1.5,
+        "triangles {} vs exact {}",
+        estimate.triangles,
+        exact.triangles
+    );
+}
+
+#[test]
+fn weighted_counting_and_uniform_sampling_compose_on_the_same_formula() {
+    // The same DNF formula pushed through two different pipelines of the
+    // workspace: weighted counting via the range reduction and unweighted
+    // sampling via the hash cells. Checks the public APIs compose cleanly.
+    use mcf0::formula::weights::WeightFn;
+    use mcf0::structured::weighted_dnf_count;
+
+    let mut rng = rng(907);
+    let formula = random_dnf(&mut rng, 8, 5, (2, 4));
+    let weights = WeightFn::uniform_half(8);
+    let exact_weight = weights.weighted_count_brute_force(&formula);
+
+    let config = CountingConfig::explicit(0.4, 0.2, 600, 5);
+    let weighted = weighted_dnf_count(&formula, &weights, &config, &mut rng);
+    assert!(
+        (weighted.weight - exact_weight).abs() <= 0.3 * exact_weight + 1e-9,
+        "weighted count {} vs exact {exact_weight}",
+        weighted.weight
+    );
+
+    if count_dnf_exact(&formula) > 0 {
+        let mut sampler = ApproxSampler::new(
+            FormulaInput::Dnf(formula.clone()),
+            SamplerConfig::default(),
+            &mut rng,
+        )
+        .expect("satisfiable");
+        for s in sampler.sample_many(30, &mut rng) {
+            assert!(formula.eval(&s));
+        }
+    }
+}

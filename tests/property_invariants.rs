@@ -1,0 +1,214 @@
+//! Property-based tests (proptest) of the core invariants the algorithms
+//! rely on: GF(2) algebra, hash-family structure, the prefix-search driver,
+//! exact counters, and the range/progression decompositions.
+
+use mcf0::formula::exact::{
+    count_cnf_brute_force, count_cnf_dpll, count_dnf_brute_force, count_dnf_exact,
+};
+use mcf0::formula::{Clause, CnfFormula, DnfFormula, Literal, Term};
+use mcf0::gf2::prefix::ExplicitSetOracle;
+use mcf0::gf2::{lex_enumerate, AffineSubspace, BitMatrix, BitVec, Gf2Ext};
+use mcf0::hashing::{LinearHash, ToeplitzHash, XorHash, Xoshiro256StarStar};
+use proptest::prelude::*;
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|bits| BitVec::from_bools(&bits))
+}
+
+fn clause_strategy(num_vars: usize) -> impl Strategy<Value = Clause> {
+    proptest::collection::vec((0..num_vars, any::<bool>()), 1..=3).prop_map(|lits| {
+        Clause::new(
+            lits.into_iter()
+                .map(|(v, pos)| {
+                    if pos {
+                        Literal::positive(v)
+                    } else {
+                        Literal::negative(v)
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+fn term_strategy(num_vars: usize) -> impl Strategy<Value = Term> {
+    proptest::collection::vec((0..num_vars, any::<bool>()), 1..=4).prop_map(|lits| {
+        Term::new(
+            lits.into_iter()
+                .map(|(v, pos)| {
+                    if pos {
+                        Literal::positive(v)
+                    } else {
+                        Literal::negative(v)
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lexicographic order on BitVec equals numeric order of the encoded value.
+    #[test]
+    fn bitvec_order_is_numeric_order(a in 0u64..1024, b in 0u64..1024) {
+        let va = BitVec::from_u64(a, 10);
+        let vb = BitVec::from_u64(b, 10);
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+    }
+
+    /// XOR is an involution and dot products are bilinear over GF(2).
+    #[test]
+    fn bitvec_xor_involution(a in bitvec_strategy(40), b in bitvec_strategy(40)) {
+        let c = a.xor(&b);
+        prop_assert_eq!(c.xor(&b), a.clone());
+        // dot(a ⊕ b, x) = dot(a, x) ⊕ dot(b, x)
+        let x = BitVec::from_bools(&(0..40).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        prop_assert_eq!(c.dot(&x), a.dot(&x) ^ b.dot(&x));
+    }
+
+    /// Solving A·x = b returns a genuine solution whose nullspace shifts stay
+    /// solutions, and membership of the affine image is decided correctly.
+    #[test]
+    fn matrix_solve_produces_solutions(seed in 0u64..500) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let rows = 1 + (seed % 6) as usize;
+        let a = BitMatrix::from_rows((0..rows).map(|_| rng.random_bitvec(8)).collect());
+        let x_star = rng.random_bitvec(8);
+        let b = a.mul_vec(&x_star);
+        let (x0, nullspace) = a.solve(&b).expect("consistent by construction");
+        prop_assert_eq!(a.mul_vec(&x0), b.clone());
+        for v in &nullspace {
+            prop_assert!(a.mul_vec(v).is_zero());
+            prop_assert_eq!(a.mul_vec(&x0.xor(v)), b.clone());
+        }
+    }
+
+    /// The prefix-search enumeration over an explicit set returns exactly the
+    /// sorted distinct smallest elements.
+    #[test]
+    fn prefix_search_matches_sorting(values in proptest::collection::vec(0u64..256, 0..30), p in 1usize..12) {
+        let elements: Vec<BitVec> = values.iter().map(|&v| BitVec::from_u64(v, 8)).collect();
+        let mut oracle = ExplicitSetOracle::new(8, elements);
+        let got: Vec<u64> = lex_enumerate(&mut oracle, p).iter().map(BitVec::to_u64).collect();
+        let mut expected: Vec<u64> = values.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        expected.truncate(p);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Affine subspaces: prefix feasibility agrees with explicit enumeration.
+    #[test]
+    fn affine_prefix_feasibility(seed in 0u64..300, prefix_len in 0usize..=6) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let dim = (seed % 4) as usize;
+        let offset = rng.random_bitvec(6);
+        let gens: Vec<BitVec> = (0..dim).map(|_| rng.random_bitvec(6)).collect();
+        let space = AffineSubspace::new(offset, gens);
+        let prefix = rng.random_bitvec(prefix_len);
+        let expected = space
+            .lex_smallest_direct(1 << 6)
+            .iter()
+            .any(|e| e.prefix_eq(&prefix, prefix_len));
+        prop_assert_eq!(space.prefix_feasible(&prefix), expected);
+    }
+
+    /// GF(2^w) multiplication is commutative, associative and distributes
+    /// over addition.
+    #[test]
+    fn field_axioms(width in 1u32..=32, a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let f = Gf2Ext::new(width);
+        let (a, b, c) = (f.element(a), f.element(b), f.element(c));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    }
+
+    /// Toeplitz and Xor hashes evaluate consistently with their affine
+    /// representation and their prefix slices.
+    #[test]
+    fn hash_affine_consistency(seed in 0u64..300, value in 0u64..4096) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let x = BitVec::from_u64(value, 12);
+        let t = ToeplitzHash::sample(&mut rng, 12, 9);
+        let (a, b) = t.to_affine();
+        prop_assert_eq!(t.eval(&x), a.mul_vec(&x).xor(&b));
+        let g = XorHash::sample(&mut rng, 12, 9);
+        let full = g.eval(&x);
+        for m in 0..=9 {
+            prop_assert_eq!(g.eval_prefix(&x, m), full.prefix(m));
+        }
+    }
+
+    /// The DPLL counter agrees with brute force on random CNF formulas.
+    #[test]
+    fn dpll_counter_is_exact(clauses in proptest::collection::vec(clause_strategy(7), 0..12)) {
+        let f = CnfFormula::new(7, clauses);
+        prop_assert_eq!(count_cnf_dpll(&f), count_cnf_brute_force(&f));
+    }
+
+    /// The cube-decomposition DNF counter agrees with brute force.
+    #[test]
+    fn dnf_counter_is_exact(terms in proptest::collection::vec(term_strategy(8), 0..10)) {
+        let f = DnfFormula::new(8, terms);
+        prop_assert_eq!(count_dnf_exact(&f), count_dnf_brute_force(&f));
+    }
+
+    /// FindMin on a DNF equals hashing and sorting its enumerated solutions.
+    #[test]
+    fn findmin_matches_enumeration(terms in proptest::collection::vec(term_strategy(8), 1..6), seed in 0u64..200, p in 1usize..20) {
+        let f = DnfFormula::new(8, terms);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let hash = ToeplitzHash::sample(&mut rng, 8, 12);
+        let got = mcf0::sat::find_min_dnf(&f, &hash, p);
+        let mut expected: Vec<BitVec> = mcf0::formula::exact::enumerate_dnf_solutions(&f)
+            .iter()
+            .map(|a| hash.eval(a))
+            .collect();
+        expected.sort();
+        expected.dedup();
+        expected.truncate(p);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The Lemma 4 range decomposition represents exactly the range.
+    #[test]
+    fn range_dnf_membership(lo in 0u64..200, len in 1u64..56, y_lo in 0u64..10, y_len in 1u64..6, x in 0u64..256, y in 0u64..16) {
+        use mcf0::structured::{MultiDimRange, RangeDim};
+        let hi = (lo + len).min(255);
+        let y_hi = (y_lo + y_len).min(15);
+        let range = MultiDimRange::new(vec![
+            RangeDim::new(lo, hi, 8),
+            RangeDim::new(y_lo, y_hi, 4),
+        ]);
+        let dnf = range.to_dnf();
+        let point = [x, y];
+        prop_assert_eq!(dnf.eval(&range.encode_point(&point)), range.contains_point(&point));
+        prop_assert_eq!(range.to_cnf().eval(&range.encode_point(&point)), range.contains_point(&point));
+    }
+
+    /// Progressions: DNF membership equals arithmetic membership.
+    #[test]
+    fn progression_dnf_membership(a in 0u64..100, len in 1u64..120, log_stride in 0u32..4, v in 0u64..256) {
+        use mcf0::structured::{MultiDimProgression, Progression};
+        let b = (a + len).min(255);
+        let p = Progression::new(a, b, log_stride, 8);
+        let multi = MultiDimProgression::new(vec![p]);
+        let dnf = multi.to_dnf();
+        prop_assert_eq!(dnf.eval(&multi.encode_point(&[v])), p.contains(v));
+    }
+
+    /// Karp–Luby sampling never produces negative estimates and is exact for
+    /// single-term formulas.
+    #[test]
+    fn karp_luby_single_term_exact(width in 1usize..6, seed in 0u64..100) {
+        use mcf0::formula::karp_luby::{karp_luby_count, KarpLubyConfig};
+        let term = Term::new((0..width).map(Literal::positive).collect());
+        let f = DnfFormula::new(10, vec![term]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let out = karp_luby_count(&f, &KarpLubyConfig::new(0.3, 0.2), &mut rng);
+        prop_assert_eq!(out.estimate, (1u64 << (10 - width)) as f64);
+    }
+}
