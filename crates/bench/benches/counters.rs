@@ -23,7 +23,9 @@ fn bench_counters(c: &mut Criterion) {
     let small_config = CountingConfig::explicit(0.8, 0.3, 40, 3);
 
     let mut group = c.benchmark_group("counters");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("approxmc_dnf_linear", |b| {
         b.iter(|| {
@@ -55,8 +57,14 @@ fn bench_counters(c: &mut Criterion) {
     group.bench_function("est_counter_dnf_enumerative", |b| {
         b.iter(|| {
             let mut rng = Xoshiro256StarStar::seed_from_u64(3);
-            approx_model_count_est(&dnf_input, &est_config, r, EstBackend::Enumerative, &mut rng)
-                .estimate
+            approx_model_count_est(
+                &dnf_input,
+                &est_config,
+                r,
+                EstBackend::Enumerative,
+                &mut rng,
+            )
+            .estimate
         })
     });
 

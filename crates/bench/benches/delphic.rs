@@ -27,7 +27,9 @@ fn range_items(bits: usize, count: u64, seed: u64) -> Vec<MultiDimRange> {
 
 fn bench_union_estimators(c: &mut Criterion) {
     let mut group = c.benchmark_group("delphic_union");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let bits = 16usize;
     let items = range_items(bits, 60, 0xDE1);
     let config = CountingConfig::explicit(0.4, 0.2, 600, 5);
@@ -58,7 +60,9 @@ fn bench_union_estimators(c: &mut Criterion) {
 
 fn bench_applications(c: &mut Criterion) {
     let mut group = c.benchmark_group("applications");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let config = CountingConfig::explicit(0.4, 0.2, 600, 5);
 
     group.bench_function("distinct_summation_500_pairs", |b| {

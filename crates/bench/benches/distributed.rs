@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_distributed(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let formula = bench_dnf(18, 32, 11);
     let config = CountingConfig::explicit(0.8, 0.2, 100, 5);
 

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_dnf_fpras(c: &mut Criterion) {
     let mut group = c.benchmark_group("dnf_fpras");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let config = CountingConfig::explicit(0.8, 0.2, 150, 5);
     let kl_config = KarpLubyConfig::new(0.8, 0.2);
 

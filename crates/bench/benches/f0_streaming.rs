@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcf0::hashing::Xoshiro256StarStar;
-use mcf0::streaming::{
-    BucketingF0, EstimationF0, ExactDistinct, F0Config, F0Sketch, MinimumF0,
-};
+use mcf0::streaming::{BucketingF0, EstimationF0, ExactDistinct, F0Config, F0Sketch, MinimumF0};
 use mcf0_bench::bench_stream;
 use std::time::Duration;
 
@@ -13,7 +11,9 @@ fn bench_sketches(c: &mut Criterion) {
     let universe_bits = 32;
     let stream = bench_stream(universe_bits, 5_000, 20_000, 1);
     let mut group = c.benchmark_group("f0_streaming");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function(BenchmarkId::new("exact", stream.len()), |b| {
         b.iter(|| {

@@ -10,7 +10,7 @@ use mcf0::counting::{approx_mc_with_sampler, FormulaInput, LevelSearch};
 use mcf0::formula::generators::random_k_cnf;
 use mcf0::gf2::BitVec;
 use mcf0::hashing::{
-    LinearHash, RowDensity, SWiseHash, SparseXorHash, ToeplitzHash, Xoshiro256StarStar, XorHash,
+    LinearHash, RowDensity, SWiseHash, SparseXorHash, ToeplitzHash, XorHash, Xoshiro256StarStar,
 };
 use mcf0_bench::bench_counting_config;
 use std::hint::black_box;
@@ -18,7 +18,9 @@ use std::time::Duration;
 
 fn bench_evaluation_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash_eval");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let n = 64usize;
     let mut rng = Xoshiro256StarStar::seed_from_u64(0xF00D);
     let inputs: Vec<BitVec> = (0..256).map(|_| rng.random_bitvec(n)).collect();
@@ -64,7 +66,9 @@ fn bench_evaluation_throughput(c: &mut Criterion) {
 
 fn bench_approxmc_by_family(c: &mut Criterion) {
     let mut group = c.benchmark_group("approxmc_hash_family");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let mut rng = Xoshiro256StarStar::seed_from_u64(0xF00E);
     let n = 12usize;
     let formula = random_k_cnf(&mut rng, n, 20, 3);
@@ -99,5 +103,9 @@ fn bench_approxmc_by_family(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_evaluation_throughput, bench_approxmc_by_family);
+criterion_group!(
+    benches,
+    bench_evaluation_throughput,
+    bench_approxmc_by_family
+);
 criterion_main!(benches);

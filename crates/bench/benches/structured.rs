@@ -14,7 +14,9 @@ use std::time::Duration;
 
 fn bench_structured(c: &mut Criterion) {
     let mut group = c.benchmark_group("structured");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let config = CountingConfig::explicit(0.8, 0.2, 100, 5);
 
     // DNF-set items (E7).
@@ -36,14 +38,18 @@ fn bench_structured(c: &mut Criterion) {
                 .map(|j| RangeDim::new(3 + j as u64, (1 << bits) - 5, bits))
                 .collect(),
         );
-        group.bench_with_input(BenchmarkId::new("process_range_item_dims", d), &d, |b, _| {
-            b.iter(|| {
-                let mut rng = Xoshiro256StarStar::seed_from_u64(2);
-                let mut sketch = StructuredMinimumF0::new(bits * d, &config, &mut rng);
-                sketch.process_item(&range);
-                sketch.estimate()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("process_range_item_dims", d),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+                    let mut sketch = StructuredMinimumF0::new(bits * d, &config, &mut rng);
+                    sketch.process_item(&range);
+                    sketch.estimate()
+                })
+            },
+        );
     }
 
     // Arithmetic-progression item (E9).

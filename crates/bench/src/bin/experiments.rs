@@ -34,6 +34,9 @@ use std::time::Instant;
 
 const SEED: u64 = 20210503; // arXiv submission date of the paper
 
+/// An experiment entry point: regenerates one table's worth of rows.
+type ExperimentFn = fn() -> Vec<ExperimentRow>;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want_json = args.iter().any(|a| a == "--json");
@@ -45,7 +48,7 @@ fn main() {
     let run = |id: &str| requested.is_empty() || requested.iter().any(|r| r == id);
 
     let mut all_rows: Vec<ExperimentRow> = Vec::new();
-    let experiments: Vec<(&str, fn() -> Vec<ExperimentRow>)> = vec![
+    let experiments: Vec<(&str, ExperimentFn)> = vec![
         ("e1", e1_streaming_accuracy),
         ("e2", e2_approxmc_oracle_calls),
         ("e3", e3_min_counter),
@@ -150,7 +153,12 @@ fn e2_approxmc_oracle_calls() -> Vec<ExperimentRow> {
             ("ApproxMC linear", LevelSearch::Linear),
             ("ApproxMC galloping", LevelSearch::Galloping),
         ] {
-            let out = approx_mc(&FormulaInput::Cnf(formula.clone()), &config, search, &mut rng);
+            let out = approx_mc(
+                &FormulaInput::Cnf(formula.clone()),
+                &config,
+                search,
+                &mut rng,
+            );
             rows.push(
                 ExperimentRow::new(
                     "E2",
@@ -265,15 +273,28 @@ fn e5_dnf_fpras_comparison() -> Vec<ExperimentRow> {
             &mut rng,
         );
         rows.push(
-            ExperimentRow::new("E5", params.clone(), "ApproxMC (Bucketing)", Some(exact), bucketing.estimate)
-                .with_metric("seconds", start.elapsed().as_secs_f64()),
+            ExperimentRow::new(
+                "E5",
+                params.clone(),
+                "ApproxMC (Bucketing)",
+                Some(exact),
+                bucketing.estimate,
+            )
+            .with_metric("seconds", start.elapsed().as_secs_f64()),
         );
 
         let start = Instant::now();
-        let minimum = approx_model_count_min(&FormulaInput::Dnf(formula.clone()), &config, &mut rng);
+        let minimum =
+            approx_model_count_min(&FormulaInput::Dnf(formula.clone()), &config, &mut rng);
         rows.push(
-            ExperimentRow::new("E5", params.clone(), "ApproxModelCountMin", Some(exact), minimum.estimate)
-                .with_metric("seconds", start.elapsed().as_secs_f64()),
+            ExperimentRow::new(
+                "E5",
+                params.clone(),
+                "ApproxModelCountMin",
+                Some(exact),
+                minimum.estimate,
+            )
+            .with_metric("seconds", start.elapsed().as_secs_f64()),
         );
 
         let start = Instant::now();
@@ -301,18 +322,36 @@ fn e6_distributed() -> Vec<ExperimentRow> {
 
         let b = distributed_bucketing(&sites, &config, &mut rng);
         rows.push(
-            ExperimentRow::new("E6", params.clone(), "Distributed Bucketing", Some(exact), b.estimate)
-                .with_metric("total_bits", b.ledger.total_bits() as f64),
+            ExperimentRow::new(
+                "E6",
+                params.clone(),
+                "Distributed Bucketing",
+                Some(exact),
+                b.estimate,
+            )
+            .with_metric("total_bits", b.ledger.total_bits() as f64),
         );
         let m = distributed_minimum(&sites, &config, &mut rng);
         rows.push(
-            ExperimentRow::new("E6", params.clone(), "Distributed Minimum", Some(exact), m.estimate)
-                .with_metric("total_bits", m.ledger.total_bits() as f64),
+            ExperimentRow::new(
+                "E6",
+                params.clone(),
+                "Distributed Minimum",
+                Some(exact),
+                m.estimate,
+            )
+            .with_metric("total_bits", m.ledger.total_bits() as f64),
         );
         let e = distributed_estimation(&sites, &est_config, r, &mut rng);
         rows.push(
-            ExperimentRow::new("E6", params, "Distributed Estimation", Some(exact), e.estimate)
-                .with_metric("total_bits", e.ledger.total_bits() as f64),
+            ExperimentRow::new(
+                "E6",
+                params,
+                "Distributed Estimation",
+                Some(exact),
+                e.estimate,
+            )
+            .with_metric("total_bits", e.ledger.total_bits() as f64),
         );
     }
     rows
@@ -625,11 +664,12 @@ fn e13_sparse_xor_ablation() -> Vec<ExperimentRow> {
         ("H_sparse p = 0.2", RowDensity::Constant(0.2)),
     ] {
         let mut weights = Vec::new();
-        let out = approx_mc_with_sampler(&input, &config, LevelSearch::Galloping, &mut rng, |rng| {
-            let h = SparseXorHash::sample(rng, n, n, density);
-            weights.push(h.average_row_weight());
-            h
-        });
+        let out =
+            approx_mc_with_sampler(&input, &config, LevelSearch::Galloping, &mut rng, |rng| {
+                let h = SparseXorHash::sample(rng, n, n, density);
+                weights.push(h.average_row_weight());
+                h
+            });
         let avg_weight = weights.iter().sum::<f64>() / weights.len().max(1) as f64;
         rows.push(
             ExperimentRow::new(
@@ -763,7 +803,9 @@ fn e16_applications() -> Vec<ExperimentRow> {
     let mut readings: HashMap<u64, u64> = HashMap::new();
     for _ in 0..2000 {
         let key = rng.gen_range(1 << 12);
-        let value = *readings.entry(key).or_insert_with(|| rng.gen_range(900) + 1);
+        let value = *readings
+            .entry(key)
+            .or_insert_with(|| rng.gen_range(900) + 1);
         summation.add(key, value);
     }
     let exact_sum: u64 = readings.values().sum();

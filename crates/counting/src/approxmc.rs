@@ -39,7 +39,9 @@ pub fn approx_mc(
     rng: &mut Xoshiro256StarStar,
 ) -> CountOutcome {
     let n = input.num_vars();
-    approx_mc_with_sampler(input, config, search, rng, |rng| ToeplitzHash::sample(rng, n, n))
+    approx_mc_with_sampler(input, config, search, rng, |rng| {
+        ToeplitzHash::sample(rng, n, n)
+    })
 }
 
 /// Runs `ApproxMC` with a caller-supplied hash sampler. This is the hook the
@@ -71,12 +73,9 @@ pub fn approx_mc_with_sampler<H: LinearHash>(
         let (level, cell) = match input {
             FormulaInput::Cnf(cnf) => {
                 let mut oracle = SatOracle::new(cnf.clone());
-                let result = search_level(
-                    search,
-                    n,
-                    thresh,
-                    |m| bounded_sat_cnf(&mut oracle, &hash, m, thresh).count(),
-                );
+                let result = search_level(search, n, thresh, |m| {
+                    bounded_sat_cnf(&mut oracle, &hash, m, thresh).count()
+                });
                 oracle_calls += oracle.stats().sat_calls;
                 result
             }
@@ -179,7 +178,12 @@ mod tests {
         for _ in 0..3 {
             let f = random_dnf(&mut rng, 14, 10, (3, 6));
             let exact = count_dnf_exact(&f) as f64;
-            let out = approx_mc(&FormulaInput::Dnf(f), &config, LevelSearch::Linear, &mut rng);
+            let out = approx_mc(
+                &FormulaInput::Dnf(f),
+                &config,
+                LevelSearch::Linear,
+                &mut rng,
+            );
             assert!(
                 out.estimate >= exact / 2.5 && out.estimate <= exact * 2.5,
                 "estimate {} vs exact {exact}",
@@ -296,7 +300,12 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(204);
         let config = CountingConfig::explicit(0.8, 0.3, 20, 3);
         let f = mcf0_formula::DnfFormula::contradiction(8);
-        let out = approx_mc(&FormulaInput::Dnf(f), &config, LevelSearch::Linear, &mut rng);
+        let out = approx_mc(
+            &FormulaInput::Dnf(f),
+            &config,
+            LevelSearch::Linear,
+            &mut rng,
+        );
         assert_eq!(out.estimate, 0.0);
     }
 
@@ -306,7 +315,12 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(205);
         let (f, _) = planted_dnf(&mut rng, 13, 37);
         let config = CountingConfig::explicit(0.8, 0.2, 150, 5);
-        let out = approx_mc(&FormulaInput::Dnf(f), &config, LevelSearch::Linear, &mut rng);
+        let out = approx_mc(
+            &FormulaInput::Dnf(f),
+            &config,
+            LevelSearch::Linear,
+            &mut rng,
+        );
         assert_eq!(out.estimate, 37.0);
         assert!(out.per_iteration.iter().all(|&(m, c)| m == 0 && c == 37));
     }

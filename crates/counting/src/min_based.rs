@@ -24,7 +24,9 @@ pub fn estimate_from_minima(minima: &[BitVec], thresh: usize) -> f64 {
     if minima.len() < thresh {
         return minima.len() as f64;
     }
-    let max = minima.last().expect("minima are non-empty when len >= thresh");
+    let max = minima
+        .last()
+        .expect("minima are non-empty when len >= thresh");
     // Interpret the largest retained hash value as a fraction of the output
     // space; the density of Thresh values below it estimates the total count.
     let mut frac = 0.0f64;

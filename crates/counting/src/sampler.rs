@@ -221,7 +221,11 @@ mod tests {
         let mut sampler =
             ApproxSampler::new(input, SamplerConfig::default(), &mut rng).expect("satisfiable");
         let samples = sampler.sample_many(600, &mut rng);
-        assert!(samples.len() >= 550, "too many rejected draws: {}", samples.len());
+        assert!(
+            samples.len() >= 550,
+            "too many rejected draws: {}",
+            samples.len()
+        );
 
         let mut frequency: HashMap<Vec<bool>, usize> = HashMap::new();
         for s in &samples {
@@ -229,7 +233,7 @@ mod tests {
         }
         assert_eq!(frequency.len(), 24, "some solution was never sampled");
         let expected = samples.len() as f64 / 24.0;
-        for (_, &count) in &frequency {
+        for &count in frequency.values() {
             assert!(
                 (count as f64) > expected / 4.0 && (count as f64) < expected * 4.0,
                 "solution frequency {count} too far from uniform expectation {expected}"

@@ -6,9 +6,7 @@
 
 use proptest::prelude::*;
 
-use mcf0_counting::{
-    approx_mc, approx_model_count_min, CountingConfig, FormulaInput, LevelSearch,
-};
+use mcf0_counting::{approx_mc, approx_model_count_min, CountingConfig, FormulaInput, LevelSearch};
 use mcf0_formula::exact::{count_cnf_dpll, count_dnf_exact};
 use mcf0_formula::generators::{planted_cnf_small, planted_dnf, random_dnf, random_k_cnf};
 use mcf0_hashing::Xoshiro256StarStar;

@@ -47,8 +47,8 @@ pub fn distributed_bucketing(
     // Fingerprint width: collisions among at most k·Thresh·t uploaded items
     // should be unlikely (union bound with margin δ/2).
     let population = (k * thresh * config.rows).max(2) as f64;
-    let fingerprint_bits = ((2.0 * population.log2() + (2.0 / config.delta).log2()).ceil() as usize)
-        .clamp(16, 64);
+    let fingerprint_bits =
+        ((2.0 * population.log2() + (2.0 / config.delta).log2()).ceil() as usize).clamp(16, 64);
     let fingerprint = XorHash::sample(rng, n, fingerprint_bits);
     ledger.record_downlink((fingerprint.representation_bits() * k) as u64);
 

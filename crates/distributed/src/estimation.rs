@@ -130,7 +130,7 @@ mod tests {
         let r = valid_r(exact);
         let mut rng_a = Xoshiro256StarStar::seed_from_u64(44);
         let mut rng_b = Xoshiro256StarStar::seed_from_u64(44);
-        let without = distributed_estimation(&[f.clone()], &config, r, &mut rng_a);
+        let without = distributed_estimation(std::slice::from_ref(&f), &config, r, &mut rng_a);
         let with_empty = distributed_estimation(&[f, empty], &config, r, &mut rng_b);
         assert_eq!(without.estimate, with_empty.estimate);
         assert!(with_empty.ledger.total_bits() > without.ledger.total_bits());

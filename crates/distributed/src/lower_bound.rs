@@ -16,7 +16,10 @@ use mcf0_gf2::BitVec;
 /// whose satisfying assignments are exactly the items (in binary, bit `i` of
 /// the item = variable `i`).
 pub fn dnf_from_site_items(items: &[u64], num_bits: usize) -> DnfFormula {
-    assert!(num_bits >= 1 && num_bits <= 48, "supported universes are 2^1..2^48");
+    assert!(
+        (1..=48).contains(&num_bits),
+        "supported universes are 2^1..2^48"
+    );
     let assignments: Vec<BitVec> = items
         .iter()
         .map(|&item| {

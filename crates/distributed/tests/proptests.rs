@@ -21,12 +21,7 @@ fn rng_from(seed: u64) -> Xoshiro256StarStar {
 }
 
 /// A small distributed instance: a planted DNF split over `k` sites.
-fn planted_sites(
-    seed: u64,
-    num_vars: usize,
-    count: usize,
-    k: usize,
-) -> (Vec<DnfFormula>, usize) {
+fn planted_sites(seed: u64, num_vars: usize, count: usize, k: usize) -> (Vec<DnfFormula>, usize) {
     let mut rng = rng_from(seed);
     let (f, _) = planted_dnf(&mut rng, num_vars, count);
     let exact = count_dnf_exact(&f) as usize;

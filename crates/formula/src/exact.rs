@@ -351,9 +351,15 @@ mod tests {
     fn enumeration_agrees_with_counts() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         let f = random_k_cnf(&mut rng, 9, 18, 3);
-        assert_eq!(enumerate_cnf_solutions(&f).len() as u128, count_cnf_dpll(&f));
+        assert_eq!(
+            enumerate_cnf_solutions(&f).len() as u128,
+            count_cnf_dpll(&f)
+        );
         let g = random_dnf(&mut rng, 9, 6, (2, 4));
-        assert_eq!(enumerate_dnf_solutions(&g).len() as u128, count_dnf_exact(&g));
+        assert_eq!(
+            enumerate_dnf_solutions(&g).len() as u128,
+            count_dnf_exact(&g)
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub fn random_k_cnf(
     num_clauses: usize,
     k: usize,
 ) -> CnfFormula {
-    assert!(k >= 1 && k <= num_vars, "clause width must be in 1..=num_vars");
+    assert!(
+        k >= 1 && k <= num_vars,
+        "clause width must be in 1..=num_vars"
+    );
     let clauses = (0..num_clauses)
         .map(|_| {
             let vars = rng.sample_distinct(num_vars, k);
@@ -79,8 +82,14 @@ pub fn random_distinct_assignments(
     num_vars: usize,
     count: usize,
 ) -> Vec<Assignment> {
-    assert!(num_vars <= 48, "planted assignment sets support at most 48 variables");
-    assert!((count as u128) <= (1u128 << num_vars), "not enough assignments exist");
+    assert!(
+        num_vars <= 48,
+        "planted assignment sets support at most 48 variables"
+    );
+    assert!(
+        (count as u128) <= (1u128 << num_vars),
+        "not enough assignments exist"
+    );
     let mut seen = std::collections::HashSet::with_capacity(count);
     let mut out = Vec::with_capacity(count);
     while out.len() < count {
@@ -123,10 +132,15 @@ pub fn planted_cnf_small(
     num_vars: usize,
     count: usize,
 ) -> (CnfFormula, Vec<Assignment>) {
-    assert!(num_vars <= 16, "planted_cnf_small supports at most 16 variables");
+    assert!(
+        num_vars <= 16,
+        "planted_cnf_small supports at most 16 variables"
+    );
     let sols = random_distinct_assignments(rng, num_vars, count);
-    let solution_set: std::collections::HashSet<u64> =
-        sols.iter().map(|a| (0..num_vars).fold(0u64, |acc, i| acc | ((a.get(i) as u64) << i))).collect();
+    let solution_set: std::collections::HashSet<u64> = sols
+        .iter()
+        .map(|a| (0..num_vars).fold(0u64, |acc, i| acc | ((a.get(i) as u64) << i)))
+        .collect();
     let mut clauses = Vec::new();
     for value in 0..(1u64 << num_vars) {
         if solution_set.contains(&value) {

@@ -121,11 +121,7 @@ fn rng_range_u128(rng: &mut Xoshiro256StarStar, bound: u128) -> u128 {
 }
 
 /// Uniformly samples a satisfying assignment of term `index`.
-fn sample_in_term(
-    formula: &DnfFormula,
-    index: usize,
-    rng: &mut Xoshiro256StarStar,
-) -> Assignment {
+fn sample_in_term(formula: &DnfFormula, index: usize, rng: &mut Xoshiro256StarStar) -> Assignment {
     let n = formula.num_vars();
     let term = &formula.terms()[index];
     let mut a = BitVec::zeros(n);

@@ -22,7 +22,10 @@ pub struct DyadicWeight {
 impl DyadicWeight {
     /// Creates a weight `numerator / 2^bits`, checking it lies in (0, 1).
     pub fn new(numerator: u64, bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 32, "weight precision must be 1..=32 bits");
+        assert!(
+            (1..=32).contains(&bits),
+            "weight precision must be 1..=32 bits"
+        );
         assert!(
             numerator > 0 && numerator < (1u64 << bits),
             "weight must lie strictly between 0 and 1"

@@ -320,7 +320,11 @@ mod tests {
             (8u64, 0b1010_0001u64, vec![0b0000_1111u64, 0b1100_0000]),
             (8, 0, vec![0b1000_0000, 0b0100_0000, 0b0010_0000]),
             (8, 0b1111_1111, vec![]),
-            (10, 0b11_0000_0001, vec![0b00_0000_0111, 0b10_1010_1010, 0b01_0101_0101]),
+            (
+                10,
+                0b11_0000_0001,
+                vec![0b00_0000_0111, 0b10_1010_1010, 0b01_0101_0101],
+            ),
         ];
         for (width, offset, gens) in cases {
             let s = subspace_from_u64(width as usize, offset, &gens);
@@ -332,8 +336,7 @@ mod tests {
                     .map(BitVec::to_u64)
                     .collect();
                 assert_eq!(a, b, "width={width} offset={offset:b} p={p}");
-                let expected: Vec<u64> =
-                    brute_force_elements(&s).into_iter().take(p).collect();
+                let expected: Vec<u64> = brute_force_elements(&s).into_iter().take(p).collect();
                 assert_eq!(a, expected);
             }
         }

@@ -52,8 +52,8 @@ fn poly_mod(mut a: u128, m: u128) -> u128 {
 
 /// Product of `a` and `b` modulo `m` (inputs already reduced, degree < 64).
 fn poly_mulmod(a: u128, b: u128, m: u128) -> u128 {
-    debug_assert!(degree(a).map_or(true, |d| d < 64));
-    debug_assert!(degree(b).map_or(true, |d| d < 64));
+    debug_assert!(degree(a).is_none_or(|d| d < 64));
+    debug_assert!(degree(b).is_none_or(|d| d < 64));
     poly_mod(clmul(a as u64, b as u64), m)
 }
 
@@ -84,9 +84,9 @@ fn is_irreducible(p: u128, w: u32) -> bool {
     let mut primes = Vec::new();
     let mut q = 2;
     while q * q <= n {
-        if n % q == 0 {
+        if n.is_multiple_of(q) {
             primes.push(q);
-            while n % q == 0 {
+            while n.is_multiple_of(q) {
                 n /= q;
             }
         }

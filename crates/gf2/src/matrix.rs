@@ -114,7 +114,10 @@ impl BitMatrix {
         assert_eq!(self.cols, other.cols, "column mismatch in stack");
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        BitMatrix { rows, cols: self.cols }
+        BitMatrix {
+            rows,
+            cols: self.cols,
+        }
     }
 
     /// Matrix transpose.
@@ -225,10 +228,7 @@ impl BitMatrix {
 
         // Nullspace basis: one vector per free column.
         let mut basis = Vec::new();
-        for free in 0..n {
-            if is_pivot[free] {
-                continue;
-            }
+        for (free, _) in is_pivot.iter().enumerate().filter(|&(_, &p)| !p) {
             let mut v = BitVec::zeros(n);
             v.set(free, true);
             for (r, &c) in pivot_cols.iter().enumerate() {

@@ -60,10 +60,7 @@ pub fn lex_min<O: PrefixOracle + ?Sized>(oracle: &mut O) -> Option<BitVec> {
 
 /// Smallest element strictly greater than `current` (the paper's
 /// "rightmost 0" extension step).
-pub fn lex_successor<O: PrefixOracle + ?Sized>(
-    oracle: &mut O,
-    current: &BitVec,
-) -> Option<BitVec> {
+pub fn lex_successor<O: PrefixOracle + ?Sized>(oracle: &mut O, current: &BitVec) -> Option<BitVec> {
     let m = oracle.width();
     assert_eq!(current.len(), m, "successor requires a full-width element");
     // Scan prefixes from longest to shortest: at every position r where

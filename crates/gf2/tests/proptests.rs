@@ -25,9 +25,8 @@ fn bitvec_any(max_len: usize) -> impl Strategy<Value = BitVec> {
 
 /// A random matrix with dimensions in `1..=max` each.
 fn bitmatrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatrix> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        prop::collection::vec(bitvec(c), r).prop_map(BitMatrix::from_rows)
-    })
+    (1..=max_rows, 1..=max_cols)
+        .prop_flat_map(|(r, c)| prop::collection::vec(bitvec(c), r).prop_map(BitMatrix::from_rows))
 }
 
 // ---------------------------------------------------------------------------
@@ -35,6 +34,11 @@ fn bitmatrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatri
 // ---------------------------------------------------------------------------
 
 proptest! {
+    // Pinned explicitly: the BitVec invariants are the hottest suite in the
+    // workspace, and an unpinned block would silently follow the runner's
+    // default if it ever changes.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn from_u64_roundtrips(value in any::<u64>(), len in 1usize..=64) {
         let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };

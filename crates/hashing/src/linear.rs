@@ -97,10 +97,7 @@ pub trait LinearHash {
         let offset = self.eval(&x0);
         // Generators: for each free variable j, the column A·e_j.
         let mut generators = Vec::new();
-        for j in 0..n {
-            if is_fixed[j] {
-                continue;
-            }
+        for (j, _) in is_fixed.iter().enumerate().filter(|&(_, &fixed)| !fixed) {
             let mut col = BitVec::zeros(m);
             for i in 0..m {
                 if self.matrix_row(i).get(j) {

@@ -96,7 +96,9 @@ impl SparseXorHash {
     /// Total number of 1-entries in the matrix (the width the CNF-XOR solver
     /// will see, summed over rows).
     pub fn total_weight(&self) -> usize {
-        (0..self.a.nrows()).map(|i| self.a.row(i).count_ones()).sum()
+        (0..self.a.nrows())
+            .map(|i| self.a.row(i).count_ones())
+            .sum()
     }
 
     /// Average number of 1-entries per row.
@@ -165,7 +167,11 @@ mod tests {
     #[test]
     fn eval_matches_affine_representation() {
         let mut rng = rng();
-        for density in [RowDensity::Dense, RowDensity::Constant(0.2), RowDensity::LogOverN(2.0)] {
+        for density in [
+            RowDensity::Dense,
+            RowDensity::Constant(0.2),
+            RowDensity::LogOverN(2.0),
+        ] {
             let h = SparseXorHash::sample(&mut rng, 20, 12, density);
             let (a, b) = h.to_affine();
             for _ in 0..20 {

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use mcf0_gf2::BitVec;
-use mcf0_hashing::{LinearHash, SWiseHash, SplitMix64, ToeplitzHash, Xoshiro256StarStar, XorHash};
+use mcf0_hashing::{LinearHash, SWiseHash, SplitMix64, ToeplitzHash, XorHash, Xoshiro256StarStar};
 
 fn rng_from(seed: u64) -> Xoshiro256StarStar {
     Xoshiro256StarStar::seed_from_u64(seed)
@@ -153,6 +153,10 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 proptest! {
+    // Pinned explicitly so the RNG determinism checks keep a fixed budget
+    // independent of the runner's default case count.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn rng_is_reproducible_from_the_seed(seed in any::<u64>()) {
         let mut a = rng_from(seed);

@@ -81,11 +81,7 @@ impl AffineSystem {
 /// `AffineFindMin`: the `t` lexicographically smallest elements of
 /// `h({x : Ax = b})`, in increasing order (empty if the system is
 /// inconsistent).
-pub fn affine_find_min<H: LinearHash>(
-    system: &AffineSystem,
-    hash: &H,
-    t: usize,
-) -> Vec<BitVec> {
+pub fn affine_find_min<H: LinearHash>(system: &AffineSystem, hash: &H, t: usize) -> Vec<BitVec> {
     match system.hashed_solution_space(hash) {
         Some(space) => space.lex_smallest_direct(t),
         None => Vec::new(),
@@ -120,10 +116,7 @@ mod tests {
     #[test]
     fn inconsistent_system_has_no_solutions() {
         // x0 = 0 and x0 = 1 simultaneously.
-        let a = BitMatrix::from_rows(vec![
-            BitVec::from_u64(0b100, 3),
-            BitVec::from_u64(0b100, 3),
-        ]);
+        let a = BitMatrix::from_rows(vec![BitVec::from_u64(0b100, 3), BitVec::from_u64(0b100, 3)]);
         let b = BitVec::from_u64(0b01, 2);
         let sys = AffineSystem::new(a, b);
         assert_eq!(sys.solution_count(), 0);

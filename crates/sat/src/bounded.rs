@@ -68,7 +68,11 @@ pub fn bounded_sat_cnf<H: LinearHash>(
     m: usize,
     p: usize,
 ) -> BoundedSatResult {
-    assert_eq!(oracle.num_vars(), hash.input_bits(), "hash/formula width mismatch");
+    assert_eq!(
+        oracle.num_vars(),
+        hash.input_bits(),
+        "hash/formula width mismatch"
+    );
     let xors = hash_prefix_zero_constraints(hash, m);
     let solutions = oracle.enumerate_with_xors(&xors, p);
     let saturated = solutions.len() >= p;

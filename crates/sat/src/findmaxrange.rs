@@ -26,7 +26,11 @@ pub fn find_max_range_cnf<H: LinearHash>(
     oracle: &mut dyn SolutionOracle,
     hash: &H,
 ) -> Option<usize> {
-    assert_eq!(oracle.num_vars(), hash.input_bits(), "hash/formula width mismatch");
+    assert_eq!(
+        oracle.num_vars(),
+        hash.input_bits(),
+        "hash/formula width mismatch"
+    );
     let m = hash.output_bits();
     // Feasibility with t = 0 is plain satisfiability.
     if !oracle.exists_with_xors(&[]) {
@@ -60,7 +64,11 @@ pub fn find_max_range_dnf<H: LinearHash>(
     formula: &mcf0_formula::DnfFormula,
     hash: &H,
 ) -> Option<usize> {
-    assert_eq!(formula.num_vars(), hash.input_bits(), "hash/formula width mismatch");
+    assert_eq!(
+        formula.num_vars(),
+        hash.input_bits(),
+        "hash/formula width mismatch"
+    );
     let m = hash.output_bits();
     let mut best: Option<usize> = None;
     for term in formula.terms() {
@@ -102,10 +110,7 @@ pub fn find_max_range_dnf<H: LinearHash>(
 
 /// `FindMaxRange` with the genuine s-wise polynomial hash, evaluated against
 /// a brute-force oracle (ground truth / small-n path).
-pub fn find_max_range_enumerative(
-    oracle: &mut BruteForceOracle,
-    hash: &SWiseHash,
-) -> Option<u32> {
+pub fn find_max_range_enumerative(oracle: &mut BruteForceOracle, hash: &SWiseHash) -> Option<u32> {
     assert_eq!(
         oracle.num_vars() as u32,
         hash.width(),

@@ -18,7 +18,11 @@ use mcf0_hashing::LinearHash;
 /// `FindMin` for DNF: the `p` lexicographically smallest values of
 /// `h(Sol(φ))`, in increasing order, computed without any oracle.
 pub fn find_min_dnf<H: LinearHash>(formula: &DnfFormula, hash: &H, p: usize) -> Vec<BitVec> {
-    assert_eq!(formula.num_vars(), hash.input_bits(), "hash/formula width mismatch");
+    assert_eq!(
+        formula.num_vars(),
+        hash.input_bits(),
+        "hash/formula width mismatch"
+    );
     let mut merged: Vec<BitVec> = Vec::new();
     for term in formula.terms() {
         if term.is_contradictory() {
@@ -44,7 +48,11 @@ pub struct HashedSolutionsOracle<'a, H: LinearHash> {
 impl<'a, H: LinearHash> HashedSolutionsOracle<'a, H> {
     /// Wraps an oracle and a hash function.
     pub fn new(oracle: &'a mut dyn SolutionOracle, hash: &'a H) -> Self {
-        assert_eq!(oracle.num_vars(), hash.input_bits(), "hash/formula width mismatch");
+        assert_eq!(
+            oracle.num_vars(),
+            hash.input_bits(),
+            "hash/formula width mismatch"
+        );
         HashedSolutionsOracle { oracle, hash }
     }
 }
@@ -104,8 +112,7 @@ mod tests {
             for p in [1usize, 3, 10, 50] {
                 let got = find_min_dnf(&f, &h, p);
                 let f2 = f.clone();
-                let expected =
-                    ground_truth_minima(move |a| f2.eval(a), 9, &h, p);
+                let expected = ground_truth_minima(move |a| f2.eval(a), 9, &h, p);
                 assert_eq!(got, expected, "p={p}");
             }
         }
@@ -121,8 +128,7 @@ mod tests {
                 let mut sat = SatOracle::new(f.clone());
                 let got = find_min_cnf(&mut sat, &h, p);
                 let f2 = f.clone();
-                let expected =
-                    ground_truth_minima(move |a| f2.eval(a), 8, &h, p);
+                let expected = ground_truth_minima(move |a| f2.eval(a), 8, &h, p);
                 assert_eq!(got, expected, "p={p}");
             }
         }

@@ -124,8 +124,14 @@ impl BruteForceOracle {
     }
 
     /// Oracle over an arbitrary predicate.
-    pub fn from_predicate(num_vars: usize, predicate: impl Fn(&Assignment) -> bool + 'static) -> Self {
-        assert!(num_vars <= 26, "brute-force oracle supports at most 26 variables");
+    pub fn from_predicate(
+        num_vars: usize,
+        predicate: impl Fn(&Assignment) -> bool + 'static,
+    ) -> Self {
+        assert!(
+            num_vars <= 26,
+            "brute-force oracle supports at most 26 variables"
+        );
         BruteForceOracle {
             num_vars,
             predicate: Box::new(predicate),
@@ -162,10 +168,7 @@ impl BruteForceOracle {
 
     /// All hashed values `f(x)` over solutions `x`, deduplicated and sorted —
     /// ground truth for `FindMin` style subroutines.
-    pub fn hashed_solution_values(
-        &mut self,
-        f: impl Fn(&Assignment) -> BitVec,
-    ) -> Vec<BitVec> {
+    pub fn hashed_solution_values(&mut self, f: impl Fn(&Assignment) -> BitVec) -> Vec<BitVec> {
         self.stats.sat_calls += 1;
         let mut values: Vec<BitVec> = self
             .assignments()

@@ -284,7 +284,7 @@ impl CnfXorSolver {
     fn propagate_once(
         &self,
         xors: &[XorConstraint],
-        assignment: &mut Vec<Option<bool>>,
+        assignment: &mut [Option<bool>],
         trail: &mut Vec<usize>,
     ) -> Propagation {
         let mut progressed = false;
@@ -337,10 +337,8 @@ impl CnfXorSolver {
                 }
             }
             match unassigned_count {
-                0 => {
-                    if parity {
-                        return Propagation::Conflict;
-                    }
+                0 if parity => {
+                    return Propagation::Conflict;
                 }
                 1 => {
                     let v = unassigned.unwrap();

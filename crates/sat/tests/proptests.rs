@@ -9,7 +9,7 @@ use mcf0_formula::exact::count_cnf_brute_force;
 use mcf0_formula::generators::{planted_dnf, random_dnf, random_k_cnf};
 use mcf0_formula::Assignment;
 use mcf0_gf2::BitVec;
-use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar, XorHash};
+use mcf0_hashing::{LinearHash, ToeplitzHash, XorHash, Xoshiro256StarStar};
 use mcf0_sat::{
     affine_find_min, bounded_sat_cnf, bounded_sat_dnf, find_max_range_cnf, find_max_range_dnf,
     find_min_cnf, find_min_dnf, AffineSystem, BruteForceOracle, CnfXorSolver, SatOracle,

@@ -40,7 +40,7 @@ impl AmsF2 {
         columns: usize,
         rng: &mut Xoshiro256StarStar,
     ) -> Self {
-        assert!(universe_bits >= 1 && universe_bits <= 64);
+        assert!((1..=64).contains(&universe_bits));
         assert!(rows >= 1 && columns >= 1);
         let rows = (0..rows)
             .map(|_| {
@@ -79,7 +79,11 @@ impl AmsF2 {
         for row in &mut self.rows {
             for cell in row.iter_mut() {
                 // ±1 sign from the lowest output bit of the 4-wise hash.
-                let sign = if cell.sign_hash.eval_u64(item) & 1 == 1 { 1 } else { -1 };
+                let sign = if cell.sign_hash.eval_u64(item) & 1 == 1 {
+                    1
+                } else {
+                    -1
+                };
                 cell.accumulator += sign * count;
             }
         }

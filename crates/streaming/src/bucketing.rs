@@ -30,7 +30,7 @@ pub struct BucketingF0 {
 impl BucketingF0 {
     /// Creates the sketch, drawing `t` independent hash functions.
     pub fn new(universe_bits: usize, config: &F0Config, rng: &mut Xoshiro256StarStar) -> Self {
-        assert!(universe_bits >= 1 && universe_bits <= 64);
+        assert!((1..=64).contains(&universe_bits));
         let rows = (0..config.rows)
             .map(|_| BucketRow {
                 hash: ToeplitzHash::sample(rng, universe_bits, universe_bits),

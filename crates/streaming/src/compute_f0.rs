@@ -103,8 +103,7 @@ mod tests {
         ] {
             let outcome = compute_f0(strategy, 32, &config, &stream, &mut rng);
             assert!(
-                outcome.estimate >= truth as f64 / 2.0
-                    && outcome.estimate <= truth as f64 * 2.0,
+                outcome.estimate >= truth as f64 / 2.0 && outcome.estimate <= truth as f64 * 2.0,
                 "{strategy:?}: estimate {} too far from {truth}",
                 outcome.estimate
             );

@@ -79,8 +79,10 @@ mod tests {
 
     #[test]
     fn s_wise_parameter_grows_as_epsilon_shrinks() {
-        assert!(F0Config::paper(0.05, 0.1).s_wise_independence()
-            > F0Config::paper(0.5, 0.1).s_wise_independence());
+        assert!(
+            F0Config::paper(0.05, 0.1).s_wise_independence()
+                > F0Config::paper(0.5, 0.1).s_wise_independence()
+        );
         assert!(F0Config::paper(0.9, 0.1).s_wise_independence() >= 2);
     }
 

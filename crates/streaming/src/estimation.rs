@@ -32,7 +32,7 @@ impl EstimationF0 {
     /// Creates the sketch, drawing `t · Thresh` hash functions of
     /// independence `s = ⌈10·log₂(1/ε)⌉`.
     pub fn new(universe_bits: usize, config: &F0Config, rng: &mut Xoshiro256StarStar) -> Self {
-        assert!(universe_bits >= 1 && universe_bits <= 64);
+        assert!((1..=64).contains(&universe_bits));
         let s = config.s_wise_independence();
         let rows = (0..config.rows)
             .map(|_| EstimationRow {
@@ -59,11 +59,7 @@ impl EstimationF0 {
         let denominator = (1.0 - 2f64.powi(-(r as i32))).ln();
         let mut estimates = Vec::with_capacity(self.rows.len());
         for row in &self.rows {
-            let hits = row
-                .max_trailing
-                .iter()
-                .filter(|&&m| m >= r)
-                .count();
+            let hits = row.max_trailing.iter().filter(|&&m| m >= r).count();
             let rho = hits as f64 / self.thresh as f64;
             if rho >= 1.0 {
                 // Every hash reached r: the formula degenerates; skip the row.
@@ -171,7 +167,9 @@ mod tests {
     fn estimate_with_valid_r_is_accurate() {
         let (sketch, truth) = run_with_truth(800);
         let r = valid_r(truth);
-        let est = sketch.estimate_with_r(r).expect("valid r yields an estimate");
+        let est = sketch
+            .estimate_with_r(r)
+            .expect("valid r yields an estimate");
         assert!(
             est >= truth as f64 * 0.5 && est <= truth as f64 * 1.5,
             "estimate {est} too far from {truth}"

@@ -14,7 +14,7 @@ pub struct ExactDistinct {
 impl ExactDistinct {
     /// Creates an empty counter over `{0,1}^n`.
     pub fn new(universe_bits: usize) -> Self {
-        assert!(universe_bits >= 1 && universe_bits <= 64);
+        assert!((1..=64).contains(&universe_bits));
         ExactDistinct {
             universe_bits,
             seen: HashSet::new(),

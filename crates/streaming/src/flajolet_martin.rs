@@ -22,7 +22,7 @@ impl FlajoletMartinF0 {
     /// Creates the sketch with a pairwise-independent (degree-1 polynomial)
     /// hash.
     pub fn new(universe_bits: usize, rng: &mut Xoshiro256StarStar) -> Self {
-        assert!(universe_bits >= 1 && universe_bits <= 64);
+        assert!((1..=64).contains(&universe_bits));
         FlajoletMartinF0 {
             universe_bits,
             hash: SWiseHash::sample(rng, universe_bits as u32, 2),

@@ -30,7 +30,7 @@ impl MinimumF0 {
     /// Creates the sketch, drawing `t` independent hash functions with
     /// 3n-bit outputs.
     pub fn new(universe_bits: usize, config: &F0Config, rng: &mut Xoshiro256StarStar) -> Self {
-        assert!(universe_bits >= 1 && universe_bits <= 64);
+        assert!((1..=64).contains(&universe_bits));
         let rows = (0..config.rows)
             .map(|_| MinimumRow {
                 hash: ToeplitzHash::sample(rng, universe_bits, 3 * universe_bits),
@@ -115,9 +115,7 @@ impl F0Sketch for MinimumF0 {
     fn space_bits(&self) -> usize {
         self.rows
             .iter()
-            .map(|row| {
-                row.hash.representation_bits() + row.smallest.len() * 3 * self.universe_bits
-            })
+            .map(|row| row.hash.representation_bits() + row.smallest.len() * 3 * self.universe_bits)
             .sum()
     }
 }
@@ -132,7 +130,9 @@ mod tests {
         assert_eq!(bitvec_to_unit_fraction(&BitVec::from_u64(0, 4)), 0.0);
         assert_eq!(bitvec_to_unit_fraction(&BitVec::from_u64(0b1000, 4)), 0.5);
         assert_eq!(bitvec_to_unit_fraction(&BitVec::from_u64(0b1100, 4)), 0.75);
-        assert!((bitvec_to_unit_fraction(&BitVec::ones(10)) - (1.0 - 2f64.powi(-10))).abs() < 1e-12);
+        assert!(
+            (bitvec_to_unit_fraction(&BitVec::ones(10)) - (1.0 - 2f64.powi(-10))).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -16,8 +16,11 @@ pub fn planted_f0_stream(
     distinct: usize,
     length: usize,
 ) -> Vec<u64> {
-    assert!(universe_bits >= 1 && universe_bits <= 64);
-    assert!(length >= distinct, "stream length must be at least the distinct count");
+    assert!((1..=64).contains(&universe_bits));
+    assert!(
+        length >= distinct,
+        "stream length must be at least the distinct count"
+    );
     if universe_bits < 64 {
         assert!(
             (distinct as u128) <= (1u128 << universe_bits),
@@ -53,14 +56,17 @@ pub fn uniform_stream(
     universe_bits: usize,
     length: usize,
 ) -> (Vec<u64>, usize) {
-    assert!(universe_bits >= 1 && universe_bits <= 64);
+    assert!((1..=64).contains(&universe_bits));
     let mask = if universe_bits == 64 {
         u64::MAX
     } else {
         (1u64 << universe_bits) - 1
     };
     let stream: Vec<u64> = (0..length).map(|_| rng.next_u64() & mask).collect();
-    let distinct = stream.iter().collect::<std::collections::HashSet<_>>().len();
+    let distinct = stream
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len();
     (stream, distinct)
 }
 
@@ -81,9 +87,12 @@ pub fn skewed_stream(
     let base = planted_f0_stream(rng, universe_bits, distinct, light_len.max(distinct));
     let heavy_item = base[0];
     let mut stream = base;
-    stream.extend(std::iter::repeat(heavy_item).take(heavy_count));
+    stream.extend(std::iter::repeat_n(heavy_item, heavy_count));
     rng.shuffle(&mut stream);
-    let f0 = stream.iter().collect::<std::collections::HashSet<_>>().len();
+    let f0 = stream
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len();
     (stream, f0)
 }
 
@@ -127,6 +136,6 @@ mod tests {
         assert!(s.len() >= 1000);
         let recount = s.iter().collect::<std::collections::HashSet<_>>().len();
         assert_eq!(f0, recount);
-        assert!(f0 >= 50 && f0 <= 60);
+        assert!((50..=60).contains(&f0));
     }
 }

@@ -19,7 +19,11 @@ fn rng_from(seed: u64) -> Xoshiro256StarStar {
 /// A stream of up to `max_len` items over a `bits`-bit universe, plus a
 /// permutation seed used by the order-invariance properties.
 fn stream(bits: usize, max_len: usize) -> impl Strategy<Value = Vec<u64>> {
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     prop::collection::vec(any::<u64>().prop_map(move |v| v & mask), 0..max_len)
 }
 

@@ -64,7 +64,11 @@ impl NaiveUnionBaseline {
     /// guard that keeps accidental use on astronomically large sets from
     /// hanging a test run.
     pub fn process_item<S: StructuredSet + ?Sized>(&mut self, item: &S, max_enumeration: usize) {
-        assert_eq!(item.num_vars(), self.universe_bits, "universe width mismatch");
+        assert_eq!(
+            item.num_vars(),
+            self.universe_bits,
+            "universe width mismatch"
+        );
         if let Some(size) = item.exact_size() {
             assert!(
                 size <= max_enumeration as u128,

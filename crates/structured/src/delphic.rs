@@ -195,7 +195,10 @@ impl ApsEstimator {
     /// Creates an estimator for a stream over `{0,1}^universe_bits`.
     pub fn new(universe_bits: usize, config: ApsConfig) -> Self {
         assert!(universe_bits >= 1);
-        assert!(config.capacity >= 8, "capacity below 8 cannot subsample meaningfully");
+        assert!(
+            config.capacity >= 8,
+            "capacity below 8 cannot subsample meaningfully"
+        );
         ApsEstimator {
             universe_bits,
             capacity: config.capacity,
@@ -254,7 +257,10 @@ impl ApsEstimator {
         let mut rejections = 0u32;
         while wanted > 0 {
             let candidate = item.sample(rng);
-            debug_assert!(item.contains(&candidate), "Delphic sample outside its own set");
+            debug_assert!(
+                item.contains(&candidate),
+                "Delphic sample outside its own set"
+            );
             if self.buffer.insert(candidate) {
                 wanted -= 1;
                 rejections = 0;
@@ -272,7 +278,7 @@ impl ApsEstimator {
             if self.buffer.len() > self.capacity {
                 self.halve_rate(rng);
                 // Re-derive how many samples are still owed at the new rate.
-                wanted = (wanted + 1) / 2;
+                wanted = wanted.div_ceil(2);
             }
         }
     }

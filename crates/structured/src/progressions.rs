@@ -93,7 +93,10 @@ pub struct MultiDimProgression {
 impl MultiDimProgression {
     /// Creates the product progression (at least one dimension).
     pub fn new(dims: Vec<Progression>) -> Self {
-        assert!(!dims.is_empty(), "a progression needs at least one dimension");
+        assert!(
+            !dims.is_empty(),
+            "a progression needs at least one dimension"
+        );
         MultiDimProgression { dims }
     }
 
@@ -196,7 +199,7 @@ mod tests {
         let p = Progression::new(3, 40, 2, 6); // 3, 7, 11, …, 39
         assert_eq!(p.len(), 10);
         for v in 0..64u64 {
-            let expected = v >= 3 && v <= 40 && v % 4 == 3;
+            let expected = (3..=40).contains(&v) && v % 4 == 3;
             assert_eq!(p.contains(v), expected, "v={v}");
         }
     }
@@ -208,10 +211,7 @@ mod tests {
             Progression::new(1, 7, 1, 3),
         ]);
         let dnf = p.to_dnf();
-        assert_eq!(
-            mcf0_formula::exact::count_dnf_exact(&dnf),
-            p.cardinality()
-        );
+        assert_eq!(mcf0_formula::exact::count_dnf_exact(&dnf), p.cardinality());
         for x in 0..64u64 {
             for y in 0..8u64 {
                 let assignment = p.encode_point(&[x, y]);

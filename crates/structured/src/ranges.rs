@@ -35,9 +35,15 @@ pub struct RangeDim {
 impl RangeDim {
     /// Creates a dimension, checking `lo ≤ hi < 2^bits`.
     pub fn new(lo: u64, hi: u64, bits: usize) -> Self {
-        assert!(bits >= 1 && bits <= 48, "dimension width must be 1..=48 bits");
+        assert!(
+            (1..=48).contains(&bits),
+            "dimension width must be 1..=48 bits"
+        );
         assert!(lo <= hi, "empty interval [{lo}, {hi}]");
-        assert!(hi < (1u64 << bits), "endpoint {hi} does not fit in {bits} bits");
+        assert!(
+            hi < (1u64 << bits),
+            "endpoint {hi} does not fit in {bits} bits"
+        );
         RangeDim { lo, hi, bits }
     }
 
@@ -398,10 +404,7 @@ mod tests {
             assert_eq!(range.term_count(), (n as u128).pow(d as u32));
             let cnf = range.to_cnf();
             assert!(cnf.num_clauses() <= n * d);
-            assert_eq!(
-                range.cardinality(),
-                ((1u128 << n) - 1).pow(d as u32)
-            );
+            assert_eq!(range.cardinality(), ((1u128 << n) - 1).pow(d as u32));
         }
     }
 

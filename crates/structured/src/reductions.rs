@@ -195,10 +195,18 @@ pub fn edge_triple_boxes(
     let dim = |lo: u64, hi: u64| RangeDim::new(lo, hi, vertex_bits);
     let mut boxes = Vec::with_capacity(3);
     if u > 0 {
-        boxes.push(MultiDimRange::new(vec![dim(0, u - 1), dim(u, u), dim(v, v)]));
+        boxes.push(MultiDimRange::new(vec![
+            dim(0, u - 1),
+            dim(u, u),
+            dim(v, v),
+        ]));
     }
     if v > u + 1 {
-        boxes.push(MultiDimRange::new(vec![dim(u, u), dim(u + 1, v - 1), dim(v, v)]));
+        boxes.push(MultiDimRange::new(vec![
+            dim(u, u),
+            dim(u + 1, v - 1),
+            dim(v, v),
+        ]));
     }
     if v + 1 < num_vertices {
         boxes.push(MultiDimRange::new(vec![
@@ -249,11 +257,7 @@ pub struct TriangleCounter {
 
 impl TriangleCounter {
     /// Creates a counter for graphs on `num_vertices ≥ 3` vertices.
-    pub fn new(
-        num_vertices: u64,
-        config: &CountingConfig,
-        rng: &mut Xoshiro256StarStar,
-    ) -> Self {
+    pub fn new(num_vertices: u64, config: &CountingConfig, rng: &mut Xoshiro256StarStar) -> Self {
         assert!(num_vertices >= 3, "triangles need at least three vertices");
         let vertex_bits = (64 - (num_vertices - 1).leading_zeros()).max(1) as usize;
         assert!(
@@ -373,7 +377,14 @@ mod tests {
         // must reproduce the sum exactly regardless of hash draws.
         let mut rng = rng();
         let mut summation = DistinctSummation::new(10, 10, &config(), &mut rng);
-        let pairs = [(3u64, 120u64), (9, 250), (3, 120), (77, 31), (9, 250), (1023, 4)];
+        let pairs = [
+            (3u64, 120u64),
+            (9, 250),
+            (3, 120),
+            (77, 31),
+            (9, 250),
+            (1023, 4),
+        ];
         for &(k, v) in &pairs {
             summation.add(k, v);
         }
@@ -471,7 +482,12 @@ mod tests {
             // A triangle plus a pendant edge.
             (5, vec![(0, 1), (1, 2), (0, 2), (2, 3)]),
             // Complete graph K5: C(5,3) = 10 triangles.
-            (5, (0..5).flat_map(|u| ((u + 1)..5).map(move |v| (u, v))).collect()),
+            (
+                5,
+                (0..5)
+                    .flat_map(|u| ((u + 1)..5).map(move |v| (u, v)))
+                    .collect(),
+            ),
             // A 6-cycle: no triangles.
             (6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
             // Two disjoint triangles.
@@ -514,10 +530,7 @@ mod tests {
     }
 
     fn brute_force_triangles(edges: &[(u64, u64)]) -> usize {
-        let set: HashSet<(u64, u64)> = edges
-            .iter()
-            .map(|&(u, v)| (u.min(v), u.max(v)))
-            .collect();
+        let set: HashSet<(u64, u64)> = edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
         let vertices: HashSet<u64> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
         let mut vs: Vec<u64> = vertices.into_iter().collect();
         vs.sort_unstable();

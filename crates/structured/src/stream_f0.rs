@@ -129,7 +129,11 @@ pub struct StructuredMinimumF0 {
 
 impl StructuredMinimumF0 {
     /// Creates the sketch over `{0,1}^universe_bits`.
-    pub fn new(universe_bits: usize, config: &CountingConfig, rng: &mut Xoshiro256StarStar) -> Self {
+    pub fn new(
+        universe_bits: usize,
+        config: &CountingConfig,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
         assert!(universe_bits >= 1);
         let rows = (0..config.rows)
             .map(|_| {
@@ -206,7 +210,11 @@ pub struct StructuredBucketingF0 {
 
 impl StructuredBucketingF0 {
     /// Creates the sketch over `{0,1}^universe_bits`.
-    pub fn new(universe_bits: usize, config: &CountingConfig, rng: &mut Xoshiro256StarStar) -> Self {
+    pub fn new(
+        universe_bits: usize,
+        config: &CountingConfig,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
         let rows = (0..config.rows)
             .map(|_| {
                 (

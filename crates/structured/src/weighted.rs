@@ -100,7 +100,11 @@ pub fn weighted_dnf_count(
     for range in &boxes {
         sketch.process_item(range);
     }
-    let f0_estimate = if boxes.is_empty() { 0.0 } else { sketch.estimate() };
+    let f0_estimate = if boxes.is_empty() {
+        0.0
+    } else {
+        sketch.estimate()
+    };
     WeightedCountOutcome {
         weight: f0_estimate / 2f64.powi(total_bits as i32),
         f0_estimate,
@@ -155,7 +159,10 @@ mod tests {
             }
         }
         let expected = w.weighted_count_brute_force(&f) * 2f64.powi(total_bits as i32);
-        assert!((union as f64 - expected).abs() < 1e-6, "{union} vs {expected}");
+        assert!(
+            (union as f64 - expected).abs() < 1e-6,
+            "{union} vs {expected}"
+        );
     }
 
     #[test]
@@ -210,8 +217,7 @@ mod tests {
         let w = example_weights();
         let total_bits = 8i32;
         let psi = weighted_to_unweighted_dnf(&f, &w);
-        let via_formula =
-            mcf0_formula::exact::count_dnf_exact(&psi) as f64 / 2f64.powi(total_bits);
+        let via_formula = mcf0_formula::exact::count_dnf_exact(&psi) as f64 / 2f64.powi(total_bits);
         let mut rng = Xoshiro256StarStar::seed_from_u64(934);
         let config = CountingConfig::explicit(0.8, 0.2, 512, 5);
         let via_stream = weighted_dnf_count(&f, &w, &config, &mut rng).weight;

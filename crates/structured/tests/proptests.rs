@@ -12,8 +12,8 @@ use mcf0_formula::Assignment;
 use mcf0_gf2::{BitMatrix, BitVec};
 use mcf0_hashing::Xoshiro256StarStar;
 use mcf0_structured::{
-    AffineSet, DnfSet, MultiDimProgression, MultiDimRange, Progression, RangeDim, StructuredSet,
-    StructuredMinimumF0,
+    AffineSet, DnfSet, MultiDimProgression, MultiDimRange, Progression, RangeDim,
+    StructuredMinimumF0, StructuredSet,
 };
 
 fn rng_from(seed: u64) -> Xoshiro256StarStar {

@@ -75,7 +75,8 @@ fn main() {
     );
     let affine = mcf0::structured::AffineSet::new(system);
     let member = DelphicSet::sample(&affine, &mut rng);
-    println!("\naffine space demo: |S| = {}, sampled member {} (contained: {})",
+    println!(
+        "\naffine space demo: |S| = {}, sampled member {} (contained: {})",
         DelphicSet::size(&affine),
         member,
         DelphicSet::contains(&affine, &member)

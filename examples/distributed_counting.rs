@@ -42,7 +42,13 @@ fn main() {
         print_row("Minimum", k, minimum.estimate, exact, &minimum.ledger);
 
         let estimation = distributed_estimation(&sites, &est_config, r, &mut rng);
-        print_row("Estimation", k, estimation.estimate, exact, &estimation.ledger);
+        print_row(
+            "Estimation",
+            k,
+            estimation.estimate,
+            exact,
+            &estimation.ledger,
+        );
     }
 
     println!();

@@ -13,7 +13,9 @@
 
 use mcf0::counting::CountingConfig;
 use mcf0::hashing::Xoshiro256StarStar;
-use mcf0::structured::{exact_triangle_moments, DistinctSummation, MaxDominanceNorm, TriangleCounter};
+use mcf0::structured::{
+    exact_triangle_moments, DistinctSummation, MaxDominanceNorm, TriangleCounter,
+};
 use std::collections::HashMap;
 
 fn main() {

@@ -33,7 +33,10 @@ fn main() {
         exact.space_bits() / 8 / 1024
     );
     println!();
-    println!("{:<12} {:>14} {:>10} {:>12}", "strategy", "estimate", "error", "sketch KiB");
+    println!(
+        "{:<12} {:>14} {:>10} {:>12}",
+        "strategy", "estimate", "error", "sketch KiB"
+    );
 
     let config = F0Config::explicit(0.4, 0.1, 600, 11);
     for (name, strategy) in [

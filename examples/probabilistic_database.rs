@@ -25,11 +25,23 @@ fn main() {
         10,
         vec![
             Term::new(vec![Literal::positive(0), Literal::positive(4)]),
-            Term::new(vec![Literal::positive(1), Literal::positive(4), Literal::positive(7)]),
+            Term::new(vec![
+                Literal::positive(1),
+                Literal::positive(4),
+                Literal::positive(7),
+            ]),
             Term::new(vec![Literal::positive(2), Literal::positive(5)]),
-            Term::new(vec![Literal::positive(2), Literal::positive(6), Literal::negative(8)]),
+            Term::new(vec![
+                Literal::positive(2),
+                Literal::positive(6),
+                Literal::negative(8),
+            ]),
             Term::new(vec![Literal::positive(3), Literal::positive(6)]),
-            Term::new(vec![Literal::positive(0), Literal::positive(5), Literal::positive(9)]),
+            Term::new(vec![
+                Literal::positive(0),
+                Literal::positive(5),
+                Literal::positive(9),
+            ]),
         ],
     );
 

@@ -51,7 +51,8 @@ fn main() {
     // deployment the Flajolet–Martin rough estimator supplies it).
     let r = (exact * 2.0).log2().ceil() as u32;
     let est_config = CountingConfig::explicit(0.5, 0.2, 60, 5);
-    let estimation = approx_model_count_est(&input, &est_config, r, EstBackend::Enumerative, &mut rng);
+    let estimation =
+        approx_model_count_est(&input, &est_config, r, EstBackend::Enumerative, &mut rng);
     println!(
         "ApproxModelCountEst       : {:10.1}   ({:+.1}% error)",
         estimation.estimate,

@@ -14,7 +14,9 @@
 
 use mcf0::counting::CountingConfig;
 use mcf0::hashing::Xoshiro256StarStar;
-use mcf0::structured::{MultiDimProgression, MultiDimRange, Progression, RangeDim, StructuredMinimumF0};
+use mcf0::structured::{
+    MultiDimProgression, MultiDimRange, Progression, RangeDim, StructuredMinimumF0,
+};
 
 fn main() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(5);
@@ -48,7 +50,10 @@ fn main() {
         universe_bits,
         total_terms
     );
-    println!("estimated distinct covered points : {:.0}", sketch.estimate());
+    println!(
+        "estimated distinct covered points : {:.0}",
+        sketch.estimate()
+    );
     let naive_upper: u128 = rectangles.iter().map(|r| r.cardinality()).sum();
     println!("sum of individual areas (upper bd): {naive_upper}");
 

@@ -76,7 +76,7 @@ fn ams_f2_distinguishes_flat_from_skewed_streams() {
     let mut rng = rng(903);
     let flat: Vec<u64> = (0..2000u64).collect();
     let mut skewed: Vec<u64> = (0..1000u64).collect();
-    skewed.extend(std::iter::repeat(12345u64).take(1000));
+    skewed.extend(std::iter::repeat_n(12345u64, 1000));
 
     let mut f2_flat = AmsF2::new(16, 5, 200, &mut rng);
     f2_flat.process_stream(&flat);
@@ -131,7 +131,10 @@ fn delphic_queries_agree_with_structured_set_sizes() {
     // two views of the same set and must agree.
     use mcf0::structured::StructuredSet;
     let range = MultiDimRange::new(vec![RangeDim::new(7, 3000, 12), RangeDim::new(0, 63, 6)]);
-    assert_eq!(DelphicSet::size(&range), StructuredSet::exact_size(&range).unwrap());
+    assert_eq!(
+        DelphicSet::size(&range),
+        StructuredSet::exact_size(&range).unwrap()
+    );
 
     let mut rng = rng(905);
     for _ in 0..50 {
@@ -150,7 +153,9 @@ fn application_reductions_track_their_ground_truth_end_to_end() {
     let mut readings: HashMap<u64, u64> = HashMap::new();
     for _ in 0..400 {
         let key = rng.gen_range(1 << 10);
-        let value = *readings.entry(key).or_insert_with(|| rng.gen_range(200) + 1);
+        let value = *readings
+            .entry(key)
+            .or_insert_with(|| rng.gen_range(200) + 1);
         summation.add(key, value);
     }
     let exact_sum: u64 = readings.values().sum();

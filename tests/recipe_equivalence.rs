@@ -107,10 +107,7 @@ fn estimation_sketch_is_identical_under_both_constructions() {
     for _ in 0..10 {
         // Affine-hash variant (polynomial-time on the counting side).
         let hash = ToeplitzHash::sample(&mut rng, n, n);
-        let streamed = elements
-            .iter()
-            .map(|x| hash.eval(x).trailing_zeros())
-            .max();
+        let streamed = elements.iter().map(|x| hash.eval(x).trailing_zeros()).max();
         let counted = mcf0::sat::find_max_range_dnf(&formula, &hash);
         assert_eq!(streamed, counted);
     }
@@ -131,7 +128,8 @@ fn estimation_sketch_is_identical_under_both_constructions() {
             })
             .max();
         let formula_clone = formula.clone();
-        let mut oracle = mcf0::sat::BruteForceOracle::from_predicate(n, move |a| formula_clone.eval(a));
+        let mut oracle =
+            mcf0::sat::BruteForceOracle::from_predicate(n, move |a| formula_clone.eval(a));
         let counted = oracle.max_over_solutions(|a| {
             let mut value = 0u64;
             for i in 0..n {

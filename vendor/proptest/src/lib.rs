@@ -1,0 +1,193 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored shim implements exactly the slice of the proptest API the
+//! `mcf0` test suites use: the [`proptest!`] macro, the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, integer and float range
+//! strategies, tuple strategies, [`arbitrary::any`], [`collection::vec`],
+//! and `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//! `prop_assume!`.
+//!
+//! Semantics deliberately kept from the real crate:
+//!
+//! * every test case is generated from a deterministic RNG seeded by the
+//!   fully-qualified test name and the case index, so failures are
+//!   reproducible run-to-run;
+//! * `prop_assume!` rejects (skips) a case without failing the test;
+//! * the per-block `#![proptest_config(ProptestConfig::with_cases(n))]`
+//!   attribute controls the number of cases, and the `PROPTEST_CASES`
+//!   environment variable overrides the default.
+//!
+//! Deliberately **not** implemented: shrinking (failures report the seed and
+//! generated inputs are reproducible, which is enough for CI triage) and
+//! persistence of failing cases (`proptest-regressions/` files are therefore
+//! never written, but the path stays in `.gitignore` so a later swap to the
+//! real crate keeps them out of the tree).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import for tests, mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`.
+///
+/// Supports the two forms used in this workspace: with and without a leading
+/// `#![proptest_config(...)]` inner attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __config.effective_cases();
+                for __case in 0..__cases {
+                    // A `prop_assume!` rejection regenerates the case from a
+                    // fresh deterministic stream instead of consuming the
+                    // case budget, capped so a never-satisfiable assumption
+                    // fails loudly rather than spinning.
+                    let mut __attempt: u32 = 0;
+                    let __outcome = loop {
+                        let mut __rng = $crate::test_runner::TestRng::deterministic(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            __case,
+                            __attempt,
+                        );
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                        let __result = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                        match __result {
+                            ::core::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject(__cond),
+                            ) => {
+                                __attempt += 1;
+                                if __attempt >= 256 {
+                                    ::core::panic!(
+                                        "property test {} gave up at case {}/{}: 256 consecutive prop_assume! rejections ({})",
+                                        stringify!($name),
+                                        __case,
+                                        __cases,
+                                        __cond
+                                    );
+                                }
+                            }
+                            __other => break __other,
+                        }
+                    };
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            ::core::panic!(
+                                "property test {} failed at case {}/{}: {}",
+                                stringify!($name),
+                                __case,
+                                __cases,
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __l,
+                    __r,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips (rejects) the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::ToString::to_string(stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,67 @@
+//! Behavioral tests of the shim's runner semantics — the properties the
+//! workspace suites silently rely on.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use proptest::prelude::*;
+
+static EXECUTED: AtomicU32 = AtomicU32::new(0);
+
+// No #[test] attribute: driven manually below so the counter can be checked
+// after the full run.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    fn half_the_draws_are_rejected(x in 0u32..1000) {
+        prop_assume!(x % 2 == 0);
+        EXECUTED.fetch_add(1, Ordering::SeqCst);
+        prop_assert!(x % 2 == 0);
+    }
+}
+
+#[test]
+fn rejections_do_not_consume_the_case_budget() {
+    EXECUTED.store(0, Ordering::SeqCst);
+    half_the_draws_are_rejected();
+    assert_eq!(
+        EXECUTED.load(Ordering::SeqCst),
+        32,
+        "every configured case must execute a body that passed its assume"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    fn impossible_assumption(x in 0u32..10) {
+        prop_assume!(x > 100);
+    }
+}
+
+#[test]
+#[should_panic(expected = "gave up")]
+fn never_satisfiable_assume_fails_loudly() {
+    impossible_assumption();
+}
+
+#[test]
+fn zero_cases_clamps_to_one() {
+    // Guard against PROPTEST_CASES leaking in from the invoking environment.
+    if std::env::var("PROPTEST_CASES").is_ok() {
+        return;
+    }
+    assert_eq!(ProptestConfig::with_cases(0).effective_cases(), 1);
+    assert_eq!(ProptestConfig::with_cases(48).effective_cases(), 48);
+}
+
+proptest! {
+    fn deterministic_probe(x in 0u64..u32::MAX as u64, y in any::<u64>()) {
+        prop_assert!(x < u32::MAX as u64);
+        let _ = y;
+    }
+}
+
+#[test]
+fn generation_is_deterministic_across_runs() {
+    // Two invocations of the same test body must see identical streams.
+    deterministic_probe();
+    deterministic_probe();
+}

@@ -1,0 +1,119 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides just what the `mcf0-bench` harness uses: a [`Serialize`] trait
+//! that renders a value as JSON into a string buffer, a `#[derive(Serialize)]`
+//! macro for plain structs with named fields (re-exported from the vendored
+//! `serde_derive`), and impls for the primitive / container types appearing
+//! in experiment rows.
+//!
+//! This is intentionally **not** the real serde data model (no `Serializer`
+//! abstraction, no `Deserialize`); swapping in the real crates later only
+//! requires the manifests to point back at crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::Serialize;
+
+/// Types that can render themselves as a JSON value.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            // JSON has no NaN/inf; null is the conventional fallback.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn serialize_json(&self, out: &mut String) {
+                    out.push_str(&format!("{self}"));
+                }
+            }
+        )*
+    };
+}
+
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal `#[derive(Serialize)]` without syn/quote (crates.io is
+//! unreachable in this build environment).
+//!
+//! Supports exactly the shape the workspace uses: a non-generic struct with
+//! named fields, every field type itself implementing `serde::Serialize`.
+//! Anything else panics at compile time with a clear message so the
+//! limitation is discovered immediately rather than producing wrong JSON.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored JSON-rendering trait) for a
+/// plain named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut struct_name: Option<String> = None;
+    let mut fields_group = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(ident) = tt {
+            let word = ident.to_string();
+            if word == "enum" || word == "union" {
+                panic!("vendored #[derive(Serialize)] only supports structs");
+            }
+            if word == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => struct_name = Some(name.to_string()),
+                    _ => panic!("vendored #[derive(Serialize)]: expected struct name"),
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        fields_group = Some(g.clone());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("vendored #[derive(Serialize)] does not support generics");
+                    }
+                    _ => panic!(
+                        "vendored #[derive(Serialize)] only supports structs with named fields"
+                    ),
+                }
+                break;
+            }
+        }
+    }
+
+    let name = struct_name.expect("vendored #[derive(Serialize)]: no struct found");
+    let group = fields_group.expect("vendored #[derive(Serialize)]: no field block found");
+    let fields = named_fields(group.stream());
+
+    let mut body = String::from("out.push('{');\n");
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "serde::write_json_string({field:?}, out);\n\
+             out.push(':');\n\
+             serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("vendored #[derive(Serialize)]: generated impl failed to parse")
+}
+
+/// Extracts field names from the token stream inside the struct braces:
+/// skips `#[...]` attributes and visibility modifiers, takes the identifier
+/// before each top-level `:`, then skips to the next top-level `,`.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes: `#` followed by a bracket group.
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                i += 2;
+                continue;
+            }
+        }
+        // Skip visibility: `pub` optionally followed by `(...)`.
+        if let TokenTree::Ident(ident) = &tokens[i] {
+            if ident.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Field name, then `:`.
+        let name = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("vendored #[derive(Serialize)]: unexpected token {other} in struct"),
+        };
+        match tokens.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("vendored #[derive(Serialize)] only supports named fields"),
+        }
+        fields.push(name);
+        // Skip the type: advance to the next `,` at angle-bracket depth 0.
+        i += 2;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}

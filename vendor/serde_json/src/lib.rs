@@ -1,0 +1,28 @@
+//! Minimal stand-in for `serde_json`: renders any vendored-`serde`
+//! `Serialize` value to a JSON string. Serialization in this shim is
+//! infallible, but `to_string` keeps the real crate's `Result` signature so
+//! call sites are source-compatible with crates.io `serde_json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error` (never produced by this shim).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
