@@ -1,0 +1,277 @@
+//! Solver benchmark harness: seeded regression instances for the CNF-XOR
+//! oracle stack, with wall-clock and oracle-call accounting.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mcf0-bench --bin solver_bench             # print table
+//! cargo run --release -p mcf0-bench --bin solver_bench -- --check  # fail on call-count drift
+//! cargo run --release -p mcf0-bench --bin solver_bench -- --write  # rewrite BENCH_solver.json
+//! ```
+//!
+//! The oracle-call counts on these instances are pinned: the paper's
+//! complexity accounting is in terms of NP-oracle calls, so a solver change
+//! must not alter how many queries the counting algorithms issue (only how
+//! fast each query runs). `--check` exits non-zero if any count drifts.
+//! Wall-clock numbers are informational; `BENCH_solver.json` records the
+//! trajectory across PRs (the `seed_baseline` block holds the pre-rewrite
+//! numbers of the naive DPLL solver for comparison).
+
+use mcf0::counting::est_based::EstBackend;
+use mcf0::counting::{
+    approx_mc, approx_model_count_est, approx_model_count_min, CountingConfig, FormulaInput,
+    LevelSearch,
+};
+use mcf0::formula::generators::random_k_cnf;
+use mcf0::formula::{Clause, CnfFormula, Literal};
+use mcf0::hashing::{ToeplitzHash, Xoshiro256StarStar};
+use mcf0::sat::{find_max_range_cnf, find_min_cnf, SatOracle, SolutionOracle};
+use mcf0_bench::bench_dnf;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured regression instance.
+#[derive(Clone, Debug, Serialize)]
+struct InstanceResult {
+    /// Instance name.
+    name: String,
+    /// Wall-clock milliseconds for one run (release).
+    wall_ms: f64,
+    /// NP-oracle calls issued (0 for oracle-free paths).
+    oracle_calls: u64,
+    /// The estimate or statistic the instance produced (for sanity).
+    value: f64,
+}
+
+/// Per-instance numbers measured at the seed revision (the naive recursive
+/// DPLL solver, release profile): `(name, wall_ms, oracle_calls)`. The
+/// wall-clock column is informational history for the JSON report; the
+/// oracle-call column is the **pinned accounting** `--check` enforces — a
+/// solver change must keep every count identical (the paper's complexity
+/// claims are stated in oracle calls); only wall-clock may change.
+const SEED_BASELINE: &[(&str, f64, u64)] = &[
+    ("approxmc_cnf_linear", 5.23, 356),
+    ("approxmc_cnf_galloping", 5.15, 356),
+    ("approxmc_cnf_blocking", 4251.20, 230),
+    ("findmin_cnf", 0.29, 107),
+    ("findmaxrange_cnf", 0.03, 5),
+    ("est_enumerative_dnf", 1548.66, 0),
+    ("min_counter_cnf", 28.36, 4889),
+];
+
+/// The planted blocking CNF from the end-to-end suite: n = 12, 45 solutions,
+/// one blocking clause per non-solution (~4051 clauses). This is the
+/// worst-case clause-store workload for the solver.
+fn blocking_cnf(n: usize, solutions: usize) -> CnfFormula {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+    let (dnf, _) = mcf0::formula::generators::planted_dnf(&mut rng, n, solutions);
+    let mut clauses = Vec::new();
+    for value in 0..(1u64 << n) {
+        let mut a = mcf0::gf2::BitVec::zeros(n);
+        for i in 0..n {
+            a.set(i, (value >> i) & 1 == 1);
+        }
+        if !dnf.eval(&a) {
+            let lits = (0..n)
+                .map(|i| {
+                    if a.get(i) {
+                        Literal::negative(i)
+                    } else {
+                        Literal::positive(i)
+                    }
+                })
+                .collect();
+            clauses.push(Clause::new(lits));
+        }
+    }
+    CnfFormula::new(n, clauses)
+}
+
+fn run_instances() -> Vec<InstanceResult> {
+    let mut out = Vec::new();
+    let mut record = |name: &str, wall_ms: f64, oracle_calls: u64, value: f64| {
+        out.push(InstanceResult {
+            name: name.to_string(),
+            wall_ms,
+            oracle_calls,
+            value,
+        });
+    };
+
+    // ApproxMC on a random 3-CNF, both level-search policies.
+    let mut cnf_rng = Xoshiro256StarStar::seed_from_u64(8);
+    let cnf = random_k_cnf(&mut cnf_rng, 10, 20, 3);
+    let config = CountingConfig::explicit(0.8, 0.3, 40, 3);
+    for (name, search) in [
+        ("approxmc_cnf_linear", LevelSearch::Linear),
+        ("approxmc_cnf_galloping", LevelSearch::Galloping),
+    ] {
+        let input = FormulaInput::Cnf(cnf.clone());
+        let start = Instant::now();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let result = approx_mc(&input, &config, search, &mut rng);
+        record(
+            name,
+            start.elapsed().as_secs_f64() * 1e3,
+            result.oracle_calls,
+            result.estimate,
+        );
+    }
+
+    // ApproxMC on the blocking-clause-heavy planted CNF (the end-to-end
+    // suite's dominant workload).
+    {
+        let cnf = blocking_cnf(12, 45);
+        let input = FormulaInput::Cnf(cnf);
+        let config = CountingConfig::explicit(0.8, 0.2, 150, 5);
+        let start = Instant::now();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let result = approx_mc(&input, &config, LevelSearch::Galloping, &mut rng);
+        record(
+            "approxmc_cnf_blocking",
+            start.elapsed().as_secs_f64() * 1e3,
+            result.oracle_calls,
+            result.estimate,
+        );
+    }
+
+    // FindMin prefix search (the Minimum counter's oracle pattern).
+    {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(22);
+        let f = random_k_cnf(&mut rng, 8, 10, 3);
+        let h = ToeplitzHash::sample(&mut rng, 8, 10);
+        let mut oracle = SatOracle::new(f);
+        let start = Instant::now();
+        let minima = find_min_cnf(&mut oracle, &h, 16);
+        record(
+            "findmin_cnf",
+            start.elapsed().as_secs_f64() * 1e3,
+            oracle.stats().sat_calls,
+            minima.len() as f64,
+        );
+    }
+
+    // FindMaxRange binary search (the Estimation counter's oracle pattern).
+    {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(33);
+        let f = random_k_cnf(&mut rng, 10, 12, 3);
+        let h = ToeplitzHash::sample(&mut rng, 10, 10);
+        let mut oracle = SatOracle::new(f);
+        let start = Instant::now();
+        let max_tz = find_max_range_cnf(&mut oracle, &h);
+        record(
+            "findmaxrange_cnf",
+            start.elapsed().as_secs_f64() * 1e3,
+            oracle.stats().sat_calls,
+            max_tz.map_or(-1.0, |v| v as f64),
+        );
+    }
+
+    // The enumerative Estimation backend (oracle-free; measures the
+    // solution-set cache rather than the solver).
+    {
+        let dnf = bench_dnf(16, 10, 7);
+        let exact = mcf0::formula::exact::count_dnf_exact(&dnf) as f64;
+        let r = (exact * 2.0).log2().ceil().max(1.0) as u32;
+        let est_config = CountingConfig::explicit(0.5, 0.2, 24, 3);
+        let input = FormulaInput::Dnf(dnf);
+        let start = Instant::now();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let result =
+            approx_model_count_est(&input, &est_config, r, EstBackend::Enumerative, &mut rng);
+        record(
+            "est_enumerative_dnf",
+            start.elapsed().as_secs_f64() * 1e3,
+            result.oracle_calls,
+            result.estimate,
+        );
+    }
+
+    // The Minimum counter end to end (prefix search under a 3n-bit hash).
+    {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(303);
+        let f = random_k_cnf(&mut rng, 9, 16, 3);
+        let input = FormulaInput::Cnf(f);
+        let config = CountingConfig::explicit(0.8, 0.3, 30, 5);
+        let start = Instant::now();
+        let result = approx_model_count_min(&input, &config, &mut rng);
+        record(
+            "min_counter_cnf",
+            start.elapsed().as_secs_f64() * 1e3,
+            result.oracle_calls,
+            result.estimate,
+        );
+    }
+
+    out
+}
+
+#[derive(Serialize)]
+struct BaselineRow {
+    name: String,
+    wall_ms: f64,
+    oracle_calls: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    generated_by: String,
+    profile: String,
+    seed_baseline: Vec<BaselineRow>,
+    instances: Vec<InstanceResult>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let write = args.iter().any(|a| a == "--write");
+
+    let results = run_instances();
+    println!("| instance | wall (ms) | oracle calls | value |");
+    println!("|---|---|---|---|");
+    for r in &results {
+        println!(
+            "| {} | {:.2} | {} | {:.2} |",
+            r.name, r.wall_ms, r.oracle_calls, r.value
+        );
+    }
+
+    if write {
+        let report = Report {
+            generated_by: "cargo run --release -p mcf0-bench --bin solver_bench -- --write".into(),
+            profile: "release".into(),
+            seed_baseline: SEED_BASELINE
+                .iter()
+                .map(|&(name, wall_ms, oracle_calls)| BaselineRow {
+                    name: name.to_string(),
+                    wall_ms,
+                    oracle_calls,
+                })
+                .collect(),
+            instances: results.clone(),
+        };
+        let json = serde_json::to_string(&report).expect("serialization is infallible");
+        std::fs::write("BENCH_solver.json", json + "\n").expect("write BENCH_solver.json");
+        println!("wrote BENCH_solver.json");
+    }
+
+    if check {
+        let mut drift = false;
+        for &(name, _, expected) in SEED_BASELINE {
+            let got = results
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("pinned instance {name} missing"))
+                .oracle_calls;
+            if got != expected {
+                eprintln!("oracle-call drift on {name}: expected {expected}, got {got}");
+                drift = true;
+            }
+        }
+        if drift {
+            eprintln!("solver change altered the oracle-call accounting; see SEED_BASELINE");
+            std::process::exit(1);
+        }
+        println!("oracle-call counts match the pinned baseline");
+    }
+}

@@ -19,7 +19,8 @@
 use crate::config::{median, CountingConfig};
 use crate::input::{CountOutcome, FormulaInput};
 use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar};
-use mcf0_sat::{bounded_sat_cnf, bounded_sat_dnf, SatOracle, SolutionOracle};
+use mcf0_sat::bounded::hash_prefix_zero_constraints;
+use mcf0_sat::{bounded_sat_dnf, SatOracle, SolutionOracle, XorPrefixSession};
 
 /// How `ApproxMC` searches for the right hash-prefix level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +60,12 @@ pub fn approx_mc_with_sampler<H: LinearHash>(
     let mut per_iteration = Vec::with_capacity(config.rows);
     let mut estimates = Vec::with_capacity(config.rows);
     let mut oracle_calls = 0u64;
+    // One solver instance for the whole run: hash rows are pushed and popped
+    // as assumptions, so neither iterations nor level probes rebuild it.
+    let mut cnf_oracle = match input {
+        FormulaInput::Cnf(cnf) => Some(SatOracle::new(cnf.clone())),
+        FormulaInput::Dnf(_) => None,
+    };
 
     for _ in 0..config.rows {
         let hash = sample_hash(rng);
@@ -71,12 +78,20 @@ pub fn approx_mc_with_sampler<H: LinearHash>(
         let n = hash.output_bits();
         // Cell-size probe at a given level, saturating at `thresh`.
         let (level, cell) = match input {
-            FormulaInput::Cnf(cnf) => {
-                let mut oracle = SatOracle::new(cnf.clone());
+            FormulaInput::Cnf(_) => {
+                let oracle = cnf_oracle.as_mut().expect("CNF input has an oracle");
+                let calls_before = oracle.stats().sat_calls;
+                // All candidate rows for this iteration's hash; level m uses
+                // the prefix `rows[..m]`, which both search policies visit
+                // through one pop-to-common-prefix session.
+                let rows = hash_prefix_zero_constraints(&hash, n);
+                let mut session = XorPrefixSession::new(oracle);
                 let result = search_level(search, n, thresh, |m| {
-                    bounded_sat_cnf(&mut oracle, &hash, m, thresh).count()
+                    session.set_rows(&rows[..m]);
+                    session.enumerate(thresh).len()
                 });
-                oracle_calls += oracle.stats().sat_calls;
+                drop(session);
+                oracle_calls += oracle.stats().sat_calls - calls_before;
                 result
             }
             FormulaInput::Dnf(dnf) => search_level(search, n, thresh, |m| {
@@ -240,6 +255,34 @@ mod tests {
         );
         assert_eq!(a.per_iteration, b.per_iteration);
         assert_eq!(a.estimate, b.estimate);
+    }
+
+    #[test]
+    fn linear_and_galloping_agree_per_iteration_on_cnf() {
+        // The oracle-call parity check for the incremental CNF path: with the
+        // same hash draws, both level-search policies must land on exactly
+        // the same (level, cell) pairs even though they visit different
+        // probe sequences through the shared assumption stack.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(206);
+        let f = random_k_cnf(&mut rng, 9, 14, 3);
+        let config = CountingConfig::explicit(0.8, 0.3, 30, 5);
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(77);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(77);
+        let a = approx_mc(
+            &FormulaInput::Cnf(f.clone()),
+            &config,
+            LevelSearch::Linear,
+            &mut rng_a,
+        );
+        let b = approx_mc(
+            &FormulaInput::Cnf(f),
+            &config,
+            LevelSearch::Galloping,
+            &mut rng_b,
+        );
+        assert_eq!(a.per_iteration, b.per_iteration);
+        assert_eq!(a.estimate, b.estimate);
+        assert!(a.oracle_calls > 0 && b.oracle_calls > 0);
     }
 
     #[test]

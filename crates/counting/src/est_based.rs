@@ -17,10 +17,7 @@
 use crate::config::{median, CountingConfig};
 use crate::input::{CountOutcome, FormulaInput};
 use mcf0_hashing::{SWiseHash, ToeplitzHash, Xoshiro256StarStar};
-use mcf0_sat::findmaxrange::AssignmentAsU64;
-use mcf0_sat::{
-    find_max_range_cnf, find_max_range_enumerative, BruteForceOracle, SatOracle, SolutionOracle,
-};
+use mcf0_sat::{find_max_range_cnf, BruteForceOracle, SatOracle, SolutionOracle};
 
 /// Which backend fills the trailing-zero sketch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,7 +25,8 @@ pub enum EstBackend {
     /// NP-oracle calls with affine hash constraints (2-wise independent).
     SatOracle,
     /// Brute-force enumeration with the s-wise polynomial family
-    /// (requires ≤ 26 variables).
+    /// (requires ≤ 26 variables). The solution set is enumerated once per
+    /// sketch and cached; only the hash is re-evaluated per repetition.
     Enumerative,
 }
 
@@ -43,19 +41,14 @@ pub fn rough_log2_estimate(
 ) -> Option<u32> {
     let n = input.num_vars();
     let mut values = Vec::with_capacity(repeats);
+    // One oracle for all repeats; each `FindMaxRange` pops its hash rows.
+    let mut oracle: Box<dyn SolutionOracle> = match input {
+        FormulaInput::Cnf(cnf) => Box::new(SatOracle::new(cnf.clone())),
+        FormulaInput::Dnf(dnf) => Box::new(BruteForceOracle::from_dnf(dnf.clone())),
+    };
     for _ in 0..repeats {
         let hash = ToeplitzHash::sample(rng, n, n);
-        let r = match input {
-            FormulaInput::Cnf(cnf) => {
-                let mut oracle = SatOracle::new(cnf.clone());
-                find_max_range_cnf(&mut oracle, &hash)
-            }
-            FormulaInput::Dnf(dnf) => {
-                let mut oracle = BruteForceOracle::from_dnf(dnf.clone());
-                find_max_range_cnf(&mut oracle, &hash)
-            }
-        };
-        match r {
+        match find_max_range_cnf(oracle.as_mut(), &hash) {
             Some(v) => values.push(v as f64),
             None => return None,
         }
@@ -88,45 +81,74 @@ pub fn approx_model_count_est(
     let mut oracle_calls = 0u64;
     let denominator = (1.0 - 2f64.powi(-(r as i32))).ln();
 
+    // SAT backend: one solver for the whole sketch; every `FindMaxRange`
+    // pushes and pops its own hash rows.
+    let mut sat_oracle: Option<Box<dyn SolutionOracle>> = match backend {
+        EstBackend::SatOracle => Some(match input {
+            FormulaInput::Cnf(cnf) => Box::new(SatOracle::new(cnf.clone())),
+            FormulaInput::Dnf(dnf) => Box::new(BruteForceOracle::from_dnf(dnf.clone())),
+        }),
+        EstBackend::Enumerative => None,
+    };
+    // Enumerative backend: the solution set does not depend on the hash, so
+    // enumerate the `2^n` universe once and re-evaluate only the hash per
+    // repetition (previously the full universe walk ran per draw).
+    let enumerated_solutions: Option<Vec<u64>> = match backend {
+        EstBackend::Enumerative => {
+            assert!(n <= 26, "enumerative backend supports at most 26 variables");
+            let admits: Box<dyn Fn(&mcf0_formula::Assignment) -> bool> = match input {
+                FormulaInput::Cnf(cnf) => {
+                    let cnf = cnf.clone();
+                    Box::new(move |a| cnf.eval(a))
+                }
+                FormulaInput::Dnf(dnf) => {
+                    let dnf = dnf.clone();
+                    Box::new(move |a| dnf.eval(a))
+                }
+            };
+            let mut sols = Vec::new();
+            let mut a = mcf0_formula::Assignment::zeros(n);
+            for value in 0..(1u64 << n) {
+                for i in 0..n {
+                    a.set(i, (value >> i) & 1 == 1);
+                }
+                if admits(&a) {
+                    sols.push(value);
+                }
+            }
+            Some(sols)
+        }
+        EstBackend::SatOracle => None,
+    };
+
     for _ in 0..config.rows {
         let mut hits = 0usize;
         for _ in 0..thresh {
-            let max_tz: Option<u32> = match backend {
+            // The sketch cell only records whether the maximum number of
+            // trailing zeros reaches r, so the enumerative scan may stop at
+            // the first witness.
+            let hit = match backend {
                 EstBackend::SatOracle => {
                     let hash = ToeplitzHash::sample(rng, n, n);
-                    match input {
-                        FormulaInput::Cnf(cnf) => {
-                            let mut oracle = SatOracle::new(cnf.clone());
-                            let out = find_max_range_cnf(&mut oracle, &hash).map(|v| v as u32);
-                            oracle_calls += oracle.stats().sat_calls;
-                            out
-                        }
-                        FormulaInput::Dnf(dnf) => {
-                            let mut oracle = BruteForceOracle::from_dnf(dnf.clone());
-                            find_max_range_cnf(&mut oracle, &hash).map(|v| v as u32)
-                        }
+                    let oracle = sat_oracle.as_mut().expect("SAT backend has an oracle");
+                    let calls_before = oracle.stats().sat_calls;
+                    let max_tz = find_max_range_cnf(oracle.as_mut(), &hash);
+                    if matches!(input, FormulaInput::Cnf(_)) {
+                        oracle_calls += oracle.stats().sat_calls - calls_before;
                     }
+                    max_tz.is_some_and(|tz| tz as u32 >= r)
                 }
                 EstBackend::Enumerative => {
                     let hash = SWiseHash::sample(rng, n as u32, s);
-                    match input {
-                        FormulaInput::Cnf(cnf) => {
-                            let mut oracle = BruteForceOracle::from_cnf(cnf.clone());
-                            find_max_range_enumerative(&mut oracle, &hash)
-                        }
-                        FormulaInput::Dnf(dnf) => {
-                            let dnf = dnf.clone();
-                            let mut oracle =
-                                BruteForceOracle::from_predicate(n, move |a| dnf.eval(a));
-                            oracle.max_over_solutions(|a| hash.trail_zero_u64(a.to_u64_lsb(n)))
-                        }
-                    }
+                    enumerated_solutions
+                        .as_ref()
+                        .expect("enumerative backend has a cache")
+                        .iter()
+                        .any(|&x| hash.trail_zero_u64(x) >= r)
                 }
             };
-            if let Some(tz) = max_tz {
-                if tz >= r {
-                    hits += 1;
-                }
+            if hit {
+                hits += 1;
             }
         }
         per_iteration.push((r as usize, hits));

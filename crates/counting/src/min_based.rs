@@ -55,14 +55,20 @@ pub fn approx_model_count_min(
     let mut estimates = Vec::with_capacity(config.rows);
     let mut per_iteration = Vec::with_capacity(config.rows);
     let mut oracle_calls = 0u64;
+    // One solver for all iterations; each prefix search pops its hash rows.
+    let mut cnf_oracle = match input {
+        FormulaInput::Cnf(cnf) => Some(SatOracle::new(cnf.clone())),
+        FormulaInput::Dnf(_) => None,
+    };
 
     for _ in 0..config.rows {
         let hash = ToeplitzHash::sample(rng, n, 3 * n);
         let minima = match input {
-            FormulaInput::Cnf(cnf) => {
-                let mut oracle = SatOracle::new(cnf.clone());
-                let result = find_min_cnf(&mut oracle, &hash, thresh);
-                oracle_calls += oracle.stats().sat_calls;
+            FormulaInput::Cnf(_) => {
+                let oracle = cnf_oracle.as_mut().expect("CNF input has an oracle");
+                let calls_before = oracle.stats().sat_calls;
+                let result = find_min_cnf(oracle, &hash, thresh);
+                oracle_calls += oracle.stats().sat_calls - calls_before;
                 result
             }
             FormulaInput::Dnf(dnf) => find_min_dnf(dnf, &hash, thresh),

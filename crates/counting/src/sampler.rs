@@ -66,6 +66,9 @@ pub struct ApproxSampler {
     config: SamplerConfig,
     level: usize,
     stats: SamplerStats,
+    /// Persistent solver for CNF inputs; each cell probe pushes and pops its
+    /// hash rows instead of rebuilding the solver.
+    cnf_oracle: Option<SatOracle>,
 }
 
 impl ApproxSampler {
@@ -85,11 +88,16 @@ impl ApproxSampler {
         let pivot_bits = (config.pivot as f64).log2().floor() as u32;
         let level = rough.saturating_sub(pivot_bits) as usize;
         let level = level.min(input.num_vars());
+        let cnf_oracle = match &input {
+            FormulaInput::Cnf(cnf) => Some(SatOracle::new(cnf.clone())),
+            FormulaInput::Dnf(_) => None,
+        };
         Some(ApproxSampler {
             input,
             config,
             level,
             stats: SamplerStats::default(),
+            cnf_oracle,
         })
     }
 
@@ -115,10 +123,11 @@ impl ApproxSampler {
         for _ in 0..self.config.max_retries {
             let hash = ToeplitzHash::sample(rng, n, n);
             let cell = match &self.input {
-                FormulaInput::Cnf(cnf) => {
-                    let mut oracle = SatOracle::new(cnf.clone());
-                    let result = bounded_sat_cnf(&mut oracle, &hash, self.level, hi + 1);
-                    self.stats.oracle_calls += oracle.stats().sat_calls;
+                FormulaInput::Cnf(_) => {
+                    let oracle = self.cnf_oracle.as_mut().expect("CNF input has an oracle");
+                    let calls_before = oracle.stats().sat_calls;
+                    let result = bounded_sat_cnf(oracle, &hash, self.level, hi + 1);
+                    self.stats.oracle_calls += oracle.stats().sat_calls - calls_before;
                     result
                 }
                 FormulaInput::Dnf(dnf) => bounded_sat_dnf(dnf, &hash, self.level, hi + 1),

@@ -245,37 +245,76 @@ impl BitVec {
         out
     }
 
-    /// True if `self` and `other` agree on their first `m` bits.
+    /// True if `self` and `other` agree on their first `m` bits
+    /// (word-wise masked compare).
     pub fn prefix_eq(&self, other: &BitVec, m: usize) -> bool {
         assert!(m <= self.len && m <= other.len());
-        (0..m).all(|i| self.get(i) == other.get(i))
+        let full = m / WORD_BITS;
+        if self.words[..full] != other.words[..full] {
+            return false;
+        }
+        let rem = m % WORD_BITS;
+        rem == 0 || (self.words[full] ^ other.words[full]) >> (WORD_BITS - rem) == 0
     }
 
     /// Returns a new vector equal to `self` with `value` appended at the end.
+    /// The tail-zero invariant makes this a word copy plus one bit write.
     pub fn append_bit(&self, value: bool) -> BitVec {
-        let mut out = BitVec::zeros(self.len + 1);
-        for i in 0..self.len {
-            out.set(i, self.get(i));
+        let mut out = BitVec {
+            len: self.len + 1,
+            words: self.words.clone(),
+        };
+        if self.len.is_multiple_of(WORD_BITS) {
+            out.words.push(0);
         }
-        out.set(self.len, value);
+        if value {
+            out.set(self.len, true);
+        }
         out
     }
 
-    /// Concatenates two bit vectors.
+    /// Concatenates two bit vectors (word-wise shift-and-or).
     pub fn concat(&self, other: &BitVec) -> BitVec {
-        let mut out = BitVec::zeros(self.len + other.len);
-        for i in 0..self.len {
-            out.set(i, self.get(i));
+        let total = self.len + other.len;
+        let mut words = self.words.clone();
+        words.resize(total.div_ceil(WORD_BITS), 0);
+        let base = self.len / WORD_BITS;
+        let shift = self.len % WORD_BITS;
+        if shift == 0 {
+            words[base..base + other.words.len()].copy_from_slice(&other.words);
+        } else {
+            for (i, &w) in other.words.iter().enumerate() {
+                words[base + i] |= w >> shift;
+                if base + i + 1 < words.len() {
+                    words[base + i + 1] |= w << (WORD_BITS - shift);
+                }
+            }
         }
-        for i in 0..other.len {
-            out.set(self.len + i, other.get(i));
-        }
+        let mut out = BitVec { len: total, words };
+        out.mask_tail();
         out
     }
 
     /// Iterator over the bits, most significant first.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Iterator over the indices of the set bits, in increasing order
+    /// (word-wise: each word is consumed by clearing its leading one).
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let lz = w.leading_zeros() as usize;
+                    w &= !(1u64 << (WORD_BITS - 1 - lz));
+                    Some(wi * WORD_BITS + lz)
+                }
+            })
+        })
     }
 
     /// Lexicographically next string of the same length, or `None` if `self`
@@ -475,6 +514,82 @@ mod tests {
         assert_eq!(p.len(), 120);
         assert!(p.get(100));
         assert_eq!(p.count_ones(), 1);
+    }
+
+    #[test]
+    fn prefix_eq_spans_word_boundaries() {
+        // Differential check against the naive bit loop at boundary lengths.
+        let naive = |a: &BitVec, b: &BitVec, m: usize| (0..m).all(|i| a.get(i) == b.get(i));
+        for len in [1usize, 63, 64, 65, 127, 128, 130] {
+            for diff_at in [0usize, len / 2, len - 1] {
+                let a = BitVec::zeros(len);
+                let mut b = BitVec::zeros(len);
+                b.set(diff_at, true);
+                for m in [0usize, 1, len / 2, len.saturating_sub(1), len] {
+                    assert_eq!(
+                        a.prefix_eq(&b, m),
+                        naive(&a, &b, m),
+                        "len={len} diff_at={diff_at} m={m}"
+                    );
+                }
+                assert!(a.prefix_eq(&b, diff_at));
+                assert!(!a.prefix_eq(&b, diff_at + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn append_and_concat_span_word_boundaries() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128] {
+            let mut v = BitVec::zeros(len);
+            if len > 0 {
+                v.set(len - 1, true);
+                v.set(0, true);
+            }
+            for value in [false, true] {
+                let appended = v.append_bit(value);
+                assert_eq!(appended.len(), len + 1);
+                assert_eq!(appended.get(len), value);
+                for i in 0..len {
+                    assert_eq!(appended.get(i), v.get(i), "len={len} i={i}");
+                }
+            }
+            for other_len in [0usize, 1, 63, 64, 65] {
+                let mut other = BitVec::zeros(other_len);
+                if other_len > 0 {
+                    other.set(0, true);
+                    other.set(other_len - 1, true);
+                }
+                let joined = v.concat(&other);
+                assert_eq!(joined.len(), len + other_len);
+                for i in 0..len {
+                    assert_eq!(joined.get(i), v.get(i), "len={len}+{other_len} i={i}");
+                }
+                for i in 0..other_len {
+                    assert_eq!(
+                        joined.get(len + i),
+                        other.get(i),
+                        "len={len}+{other_len} j={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches_bit_scan() {
+        for len in [1usize, 63, 64, 65, 127, 128, 130] {
+            let mut v = BitVec::zeros(len);
+            for i in [0usize, len / 3, len / 2, len - 1] {
+                v.set(i, true);
+            }
+            let got: Vec<usize> = v.iter_ones().collect();
+            let expected: Vec<usize> = (0..len).filter(|&i| v.get(i)).collect();
+            assert_eq!(got, expected, "len={len}");
+            assert_eq!(got.len(), v.count_ones());
+        }
+        assert_eq!(BitVec::zeros(130).iter_ones().count(), 0);
+        assert_eq!(BitVec::ones(130).iter_ones().count(), 130);
     }
 
     #[test]

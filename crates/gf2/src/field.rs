@@ -210,6 +210,117 @@ impl Gf2Ext {
         let order_minus_2: u128 = (1u128 << self.width) - 2;
         self.pow(a, order_minus_2)
     }
+
+    /// A shared discrete-log multiplication table for this field, if the
+    /// width is small enough to tabulate (`w ≤ `[`Gf2MulTable::MAX_WIDTH`]).
+    /// Tables are built once per width and cached for the process lifetime.
+    pub fn mul_table(&self) -> Option<std::sync::Arc<Gf2MulTable>> {
+        if self.width > Gf2MulTable::MAX_WIDTH {
+            return None;
+        }
+        static CACHE: OnceLock<Mutex<HashMap<u32, std::sync::Arc<Gf2MulTable>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(t) = cache.lock().unwrap().get(&self.width) {
+            return Some(t.clone());
+        }
+        let table = std::sync::Arc::new(Gf2MulTable::build(self));
+        cache
+            .lock()
+            .unwrap()
+            .entry(self.width)
+            .or_insert_with(|| table.clone());
+        Some(table)
+    }
+}
+
+/// Discrete-log multiplication table for a small field GF(2^w): `mul(a, b)`
+/// becomes two log lookups, one addition modulo `2^w − 1`, and one antilog
+/// lookup. The hash hot paths (the s-wise polynomial family evaluated per
+/// stream item / per solution) are dominated by field multiplications, and
+/// the table replaces the software carry-less multiply + reduction there.
+#[derive(Debug)]
+pub struct Gf2MulTable {
+    /// `log[a]` for `a ∈ 1..2^w` (index 0 unused).
+    log: Vec<u32>,
+    /// `antilog[i] = g^i` for `i ∈ 0..2^w − 1`.
+    antilog: Vec<u64>,
+    /// Group order `2^w − 1`.
+    order: u32,
+}
+
+impl Gf2MulTable {
+    /// Largest width that is tabulated (2^20 entries ≈ 12 MiB per field).
+    pub const MAX_WIDTH: u32 = 20;
+
+    /// Builds the table by walking the powers of a generator of the cyclic
+    /// group GF(2^w)*.
+    fn build(field: &Gf2Ext) -> Self {
+        let w = field.width();
+        debug_assert!(w <= Self::MAX_WIDTH);
+        let order = ((1u64 << w) - 1) as u32;
+        let generator = find_generator(field, order);
+        let mut log = vec![0u32; 1 << w];
+        let mut antilog = vec![0u64; order as usize];
+        let mut power = 1u64;
+        for i in 0..order {
+            antilog[i as usize] = power;
+            log[power as usize] = i;
+            power = field.mul(power, generator);
+        }
+        debug_assert_eq!(power, 1, "generator order must divide the group order");
+        Gf2MulTable {
+            log,
+            antilog,
+            order,
+        }
+    }
+
+    /// Field multiplication via the table.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let sum = self.log[a as usize] + self.log[b as usize];
+        let idx = if sum >= self.order {
+            sum - self.order
+        } else {
+            sum
+        };
+        self.antilog[idx as usize]
+    }
+}
+
+/// Finds a generator of GF(2^w)* by testing candidates against the prime
+/// factorisation of the group order (trial division; the order is < 2^20).
+fn find_generator(field: &Gf2Ext, order: u32) -> u64 {
+    if order == 1 {
+        return 1; // GF(2)*: the trivial group.
+    }
+    let mut primes = Vec::new();
+    let mut n = order;
+    let mut q = 2u32;
+    while q * q <= n {
+        if n.is_multiple_of(q) {
+            primes.push(q);
+            while n.is_multiple_of(q) {
+                n /= q;
+            }
+        }
+        q += 1;
+    }
+    if n > 1 {
+        primes.push(n);
+    }
+    for candidate in 2..u64::from(order) + 1 {
+        if primes
+            .iter()
+            .all(|&p| field.pow(candidate, u128::from(order / p)) != 1)
+        {
+            return candidate;
+        }
+    }
+    unreachable!("GF(2^w)* is cyclic, so a generator exists")
 }
 
 #[cfg(test)]
@@ -275,6 +386,34 @@ mod tests {
             let f = Gf2Ext::new(w);
             assert!(is_irreducible(f.modulus(), w), "width {w}");
         }
+    }
+
+    #[test]
+    fn mul_table_agrees_with_direct_multiplication() {
+        // Exhaustive on tiny fields, sampled on a medium one.
+        for w in [1u32, 2, 3, 4, 8] {
+            let f = Gf2Ext::new(w);
+            let table = f.mul_table().expect("small widths are tabulated");
+            for a in 0..(1u64 << w) {
+                for b in 0..(1u64 << w) {
+                    assert_eq!(table.mul(a, b), f.mul(a, b), "w={w} a={a} b={b}");
+                }
+            }
+        }
+        let f = Gf2Ext::new(16);
+        let table = f.mul_table().expect("width 16 is tabulated");
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let (a, b) = (f.element(x), f.element(x.rotate_left(23)));
+            assert_eq!(table.mul(a, b), f.mul(a, b));
+        }
+        // Widths beyond the cap are not tabulated.
+        assert!(Gf2Ext::new(Gf2MulTable::MAX_WIDTH + 1)
+            .mul_table()
+            .is_none());
     }
 
     #[test]

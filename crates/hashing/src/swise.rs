@@ -13,12 +13,19 @@
 //! evaluation.
 
 use crate::rng::Xoshiro256StarStar;
-use mcf0_gf2::{BitVec, Gf2Ext, Gf2Poly};
+use mcf0_gf2::{BitVec, Gf2Ext, Gf2MulTable, Gf2Poly};
+use std::sync::Arc;
 
 /// A hash drawn from the s-wise independent polynomial family over GF(2^w).
+///
+/// For small universes (`w ≤ `[`Gf2MulTable::MAX_WIDTH`]) evaluation uses the
+/// field's shared discrete-log multiplication table, which makes the per-item
+/// Horner loop a handful of array lookups instead of software carry-less
+/// multiplications — the hot path of the Estimation sketch and counter.
 #[derive(Clone, Debug)]
 pub struct SWiseHash {
     poly: Gf2Poly,
+    table: Option<Arc<Gf2MulTable>>,
 }
 
 impl SWiseHash {
@@ -30,17 +37,18 @@ impl SWiseHash {
         assert!(s >= 1, "independence parameter must be at least 1");
         let field = Gf2Ext::new(width);
         let coeffs: Vec<u64> = (0..s).map(|_| field.element(rng.next_u64())).collect();
-        SWiseHash {
-            poly: Gf2Poly::new(field, coeffs),
-        }
+        Self::from_poly(Gf2Poly::new(field, coeffs))
     }
 
     /// Builds the hash from explicit polynomial coefficients (tests).
     pub fn from_coeffs(width: u32, coeffs: Vec<u64>) -> Self {
         let field = Gf2Ext::new(width);
-        SWiseHash {
-            poly: Gf2Poly::new(field, coeffs),
-        }
+        Self::from_poly(Gf2Poly::new(field, coeffs))
+    }
+
+    fn from_poly(poly: Gf2Poly) -> Self {
+        let table = poly.field().mul_table();
+        SWiseHash { poly, table }
     }
 
     /// Universe width `w`.
@@ -55,7 +63,17 @@ impl SWiseHash {
 
     /// Evaluates the hash on a `u64` item (only the low `w` bits are used).
     pub fn eval_u64(&self, x: u64) -> u64 {
-        self.poly.eval(x)
+        match &self.table {
+            Some(table) => {
+                let x = self.poly.field().element(x);
+                let mut acc = 0u64;
+                for &c in self.poly.coeffs().iter().rev() {
+                    acc = table.mul(acc, x) ^ c;
+                }
+                acc
+            }
+            None => self.poly.eval(x),
+        }
     }
 
     /// Evaluates the hash on a bit-vector item of width `w`.
@@ -97,6 +115,20 @@ mod tests {
         for x in 0..200u64 {
             let expected = BitVec::from_u64(h.eval_u64(x), 24).trailing_zeros();
             assert_eq!(h.trail_zero_u64(x) as usize, expected);
+        }
+    }
+
+    #[test]
+    fn table_backed_eval_matches_direct_polynomial_eval() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        // Width 18 uses the discrete-log table, width 32 the direct path;
+        // both must agree with the raw polynomial evaluation.
+        for width in [6u32, 18, 32] {
+            let h = SWiseHash::sample(&mut rng, width, 5);
+            for _ in 0..500 {
+                let x = rng.next_u64();
+                assert_eq!(h.eval_u64(x), h.poly.eval(x), "width={width}");
+            }
         }
     }
 

@@ -13,15 +13,19 @@
 //! the brute-force oracle. Both are compared in the experiments (see
 //! DESIGN.md §5, substitution table).
 
-use crate::bounded::hash_suffix_zero_constraints;
-use crate::oracle::{BruteForceOracle, SolutionOracle};
+use crate::oracle::{BruteForceOracle, SolutionOracle, XorPrefixSession};
+use crate::solver::XorConstraint;
 use mcf0_hashing::{LinearHash, SWiseHash};
 
 /// `FindMaxRange` with an affine hash and an NP oracle.
 ///
 /// Returns `None` when the formula is unsatisfiable, otherwise the maximum
 /// number of trailing zeros of `h(x)` over solutions `x`. Uses
-/// `O(log m)` oracle calls.
+/// `O(log m)` oracle calls, all through one assumption-based session: the
+/// constraint set for `t` trailing zeros is the last `t` hash rows, so
+/// ordering the rows bottom-up makes consecutive probes share a stack
+/// prefix and the solver's elimination state is reused across the whole
+/// binary search.
 pub fn find_max_range_cnf<H: LinearHash>(
     oracle: &mut dyn SolutionOracle,
     hash: &H,
@@ -32,8 +36,16 @@ pub fn find_max_range_cnf<H: LinearHash>(
         "hash/formula width mismatch"
     );
     let m = hash.output_bits();
+    // Row for t trailing zeros at stack depth t: hash row m - t.
+    let rows_bottom_up: Vec<XorConstraint> = (0..m)
+        .map(|t| {
+            let i = m - 1 - t;
+            XorConstraint::from_row(&hash.matrix_row(i), hash.offset_bit(i))
+        })
+        .collect();
+    let mut session = XorPrefixSession::new(oracle);
     // Feasibility with t = 0 is plain satisfiability.
-    if !oracle.exists_with_xors(&[]) {
+    if !session.exists() {
         return None;
     }
     // Binary search for the largest feasible t in 0..=m.
@@ -41,8 +53,8 @@ pub fn find_max_range_cnf<H: LinearHash>(
     let mut hi = m; // may or may not be feasible
     while lo < hi {
         let mid = lo + (hi - lo).div_ceil(2);
-        let xors = hash_suffix_zero_constraints(hash, mid);
-        if oracle.exists_with_xors(&xors) {
+        session.set_rows(&rows_bottom_up[..mid]);
+        if session.exists() {
             lo = mid;
         } else {
             hi = mid - 1;

@@ -9,8 +9,8 @@
 //!   oracle: "is there a solution whose hash value starts with this prefix?"
 //!   is one oracle call, so `p` minima cost `O(p·m)` calls.
 
-use crate::bounded::hash_prefix_constraints;
 use crate::oracle::SolutionOracle;
+use crate::solver::XorConstraint;
 use mcf0_formula::DnfFormula;
 use mcf0_gf2::{lex_enumerate, BitVec, PrefixOracle};
 use mcf0_hashing::LinearHash;
@@ -40,9 +40,19 @@ pub fn find_min_dnf<H: LinearHash>(formula: &DnfFormula, hash: &H, p: usize) -> 
 
 /// Adapter exposing "solutions of φ hashed through h" as a [`PrefixOracle`],
 /// with every prefix query delegated to the NP oracle.
+///
+/// Queries are incremental: the constraint encoding bit `i` of a prefix is
+/// `row_i·x = b_i ⊕ prefix_i`, so two prefixes share their leading
+/// constraints exactly where their bits agree. The adapter keeps the pushed
+/// rows synchronised with the queried prefix, popping and pushing only past
+/// the first differing bit — the lexicographic search of Proposition 2
+/// mostly toggles deep bits, so the solver's Gaussian-elimination state for
+/// the shallow rows is reused across almost every query.
 pub struct HashedSolutionsOracle<'a, H: LinearHash> {
     oracle: &'a mut dyn SolutionOracle,
     hash: &'a H,
+    base: usize,
+    installed: Vec<bool>,
 }
 
 impl<'a, H: LinearHash> HashedSolutionsOracle<'a, H> {
@@ -53,7 +63,19 @@ impl<'a, H: LinearHash> HashedSolutionsOracle<'a, H> {
             hash.input_bits(),
             "hash/formula width mismatch"
         );
-        HashedSolutionsOracle { oracle, hash }
+        let base = oracle.assumption_len();
+        HashedSolutionsOracle {
+            oracle,
+            hash,
+            base,
+            installed: Vec::new(),
+        }
+    }
+}
+
+impl<H: LinearHash> Drop for HashedSolutionsOracle<'_, H> {
+    fn drop(&mut self) {
+        self.oracle.pop_assumptions_to(self.base);
     }
 }
 
@@ -63,8 +85,22 @@ impl<H: LinearHash> PrefixOracle for HashedSolutionsOracle<'_, H> {
     }
 
     fn exists_with_prefix(&mut self, prefix: &BitVec) -> bool {
-        let xors = hash_prefix_constraints(self.hash, prefix);
-        self.oracle.exists_with_xors(&xors)
+        let common = self
+            .installed
+            .iter()
+            .zip(prefix.iter())
+            .take_while(|&(&have, want)| have == want)
+            .count();
+        self.oracle.pop_assumptions_to(self.base + common);
+        self.installed.truncate(common);
+        for i in common..prefix.len() {
+            let bit = prefix.get(i);
+            let row =
+                XorConstraint::from_row(&self.hash.matrix_row(i), self.hash.offset_bit(i) ^ bit);
+            self.oracle.push_assumption(&row);
+            self.installed.push(bit);
+        }
+        self.oracle.exists()
     }
 
     fn queries(&self) -> u64 {

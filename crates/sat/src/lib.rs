@@ -6,15 +6,19 @@
 //! satisfiability queries over "CNF ∧ XOR" formulas (the XOR part encodes the
 //! hash constraint `h(x) = c`):
 //!
-//! * [`solver::CnfXorSolver`] — a from-scratch DPLL solver with unit
-//!   propagation over clauses and parity propagation over XOR constraints,
-//!   with blocking-clause solution enumeration. This substitutes the
-//!   production CNF-XOR solvers (CryptoMiniSat) used by ApproxMC in practice;
-//!   see DESIGN.md §5.
-//! * [`oracle::SolutionOracle`] — the abstract oracle interface, with the
-//!   DPLL backend ([`oracle::SatOracle`]) and a brute-force backend
-//!   ([`oracle::BruteForceOracle`]) used for ground truth and for hash
-//!   families that cannot be encoded as XOR constraints.
+//! * [`solver::CnfXorSolver`] — an incremental CNF-XOR engine: two-watched-
+//!   literal unit propagation, counter-based parity propagation over
+//!   per-variable occurrence lists, incremental Gaussian elimination, an
+//!   iterative trail with chronological backtracking, and assumption-based
+//!   XOR push/pop so hash constraints come and go without rebuilding the
+//!   solver. This substitutes the production CNF-XOR solvers (CryptoMiniSat)
+//!   used by ApproxMC in practice; see DESIGN.md §2 and §5.
+//! * [`oracle::SolutionOracle`] — the abstract assumption-based oracle
+//!   interface, with the solver backend ([`oracle::SatOracle`]) and a
+//!   brute-force backend ([`oracle::BruteForceOracle`]) used for ground truth
+//!   and for hash families that cannot be encoded as XOR constraints;
+//!   [`oracle::XorPrefixSession`] batches the level searches so consecutive
+//!   probes reuse the solver state for their shared constraint prefix.
 //! * [`bounded::bounded_sat`] — Proposition 1's `BoundedSAT`: up to `p`
 //!   solutions of `φ ∧ h_m(x) = 0^m`, with the polynomial-time DNF
 //!   specialisation.
@@ -43,5 +47,5 @@ pub use affine::{affine_find_min, AffineSystem};
 pub use bounded::{bounded_sat_cnf, bounded_sat_dnf, BoundedSatResult};
 pub use findmaxrange::{find_max_range_cnf, find_max_range_dnf, find_max_range_enumerative};
 pub use findmin::{find_min_cnf, find_min_dnf};
-pub use oracle::{BruteForceOracle, OracleStats, SatOracle, SolutionOracle};
-pub use solver::{CnfXorSolver, SolveOutcome, XorConstraint};
+pub use oracle::{BruteForceOracle, OracleStats, SatOracle, SolutionOracle, XorPrefixSession};
+pub use solver::{ClauseMark, CnfXorSolver, SolveOutcome, XorConstraint};

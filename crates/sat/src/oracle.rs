@@ -7,10 +7,21 @@
 //! `O(n·ε⁻²·log δ⁻¹)` versus the binary-search variant's
 //! `O(log n·ε⁻²·log δ⁻¹)`).
 //!
+//! The oracle interface is **assumption-based**: XOR constraints are pushed
+//! onto a stack and popped back off, and queries ([`SolutionOracle::exists`],
+//! [`SolutionOracle::enumerate`]) run under whatever is currently pushed.
+//! Because the hash constraints of a counting run grow one row at a time
+//! (`h_{m+1}` extends `h_m`), the level searches reuse one solver instance —
+//! and its incremental Gaussian-elimination state — across a whole batch of
+//! queries instead of rebuilding a solver per probe; [`XorPrefixSession`]
+//! packages the pop-to-common-prefix bookkeeping. The one-shot helpers
+//! [`SolutionOracle::exists_with_xors`] / [`SolutionOracle::enumerate_with_xors`]
+//! are provided on top and issue exactly the same number of counted calls.
+//!
 //! Two backends implement [`SolutionOracle`]:
 //!
-//! * [`SatOracle`] — the CNF-XOR DPLL solver of [`crate::solver`]; this is
-//!   the "real" oracle used at scale.
+//! * [`SatOracle`] — the incremental CNF-XOR engine of [`crate::solver`];
+//!   this is the "real" oracle used at scale.
 //! * [`BruteForceOracle`] — exhaustive enumeration over `{0,1}^n` for
 //!   `n ≤ 26`; it provides ground truth in tests and supports predicates that
 //!   cannot be encoded as XOR constraints (such as trailing-zero constraints
@@ -34,28 +45,127 @@ pub trait SolutionOracle {
     /// Number of variables of the underlying formula.
     fn num_vars(&self) -> usize;
 
-    /// Is there a solution satisfying all the given XOR constraints?
-    fn exists_with_xors(&mut self, xors: &[XorConstraint]) -> bool;
+    /// Number of XOR constraints currently pushed.
+    fn assumption_len(&self) -> usize;
 
-    /// Up to `limit` distinct solutions satisfying the XOR constraints.
-    fn enumerate_with_xors(&mut self, xors: &[XorConstraint], limit: usize) -> Vec<Assignment>;
+    /// Pushes one XOR constraint onto the assumption stack.
+    fn push_assumption(&mut self, xor: &XorConstraint);
+
+    /// Pops assumptions until only the first `len` remain.
+    fn pop_assumptions_to(&mut self, len: usize);
+
+    /// Is there a solution satisfying all currently pushed constraints?
+    /// Counts one oracle call.
+    fn exists(&mut self) -> bool;
+
+    /// Up to `limit` distinct solutions satisfying the pushed constraints.
+    /// Counts one oracle call per solution plus one for the final failure
+    /// (matching Proposition 1's `O(p)` accounting).
+    fn enumerate(&mut self, limit: usize) -> Vec<Assignment>;
 
     /// Work counters.
     fn stats(&self) -> OracleStats;
+
+    /// One-shot existence query under the given constraints (pushes, asks,
+    /// pops; issues exactly one counted call).
+    fn exists_with_xors(&mut self, xors: &[XorConstraint]) -> bool {
+        let mark = self.assumption_len();
+        for x in xors {
+            self.push_assumption(x);
+        }
+        let result = self.exists();
+        self.pop_assumptions_to(mark);
+        result
+    }
+
+    /// One-shot bounded enumeration under the given constraints.
+    fn enumerate_with_xors(&mut self, xors: &[XorConstraint], limit: usize) -> Vec<Assignment> {
+        let mark = self.assumption_len();
+        for x in xors {
+            self.push_assumption(x);
+        }
+        let result = self.enumerate(limit);
+        self.pop_assumptions_to(mark);
+        result
+    }
 }
 
-/// Oracle backed by the CNF-XOR DPLL solver.
+/// Keeps an oracle's assumption stack synchronised with a *sequence* of XOR
+/// rows, reusing the longest common prefix between consecutive queries. This
+/// is the batched query primitive behind the level searches: consecutive
+/// probes of `h_m(x) = 0^m` share their first `min(m, m')` rows, so moving
+/// between levels pushes/pops only the difference while the solver keeps its
+/// Gaussian-elimination state for the shared prefix.
+///
+/// Dropping the session pops everything it pushed.
+pub struct XorPrefixSession<'a> {
+    oracle: &'a mut dyn SolutionOracle,
+    base: usize,
+    installed: Vec<XorConstraint>,
+}
+
+impl<'a> XorPrefixSession<'a> {
+    /// Opens a session on top of the oracle's current assumption stack.
+    pub fn new(oracle: &'a mut dyn SolutionOracle) -> Self {
+        let base = oracle.assumption_len();
+        XorPrefixSession {
+            oracle,
+            base,
+            installed: Vec::new(),
+        }
+    }
+
+    /// Makes the pushed constraints equal to `rows`, popping and pushing only
+    /// past the longest common prefix with the previous call.
+    pub fn set_rows(&mut self, rows: &[XorConstraint]) {
+        let common = self
+            .installed
+            .iter()
+            .zip(rows)
+            .take_while(|&(a, b)| a == b)
+            .count();
+        self.oracle.pop_assumptions_to(self.base + common);
+        self.installed.truncate(common);
+        for row in &rows[common..] {
+            self.oracle.push_assumption(row);
+            self.installed.push(row.clone());
+        }
+    }
+
+    /// Existence query under the currently installed rows.
+    pub fn exists(&mut self) -> bool {
+        self.oracle.exists()
+    }
+
+    /// Bounded enumeration under the currently installed rows.
+    pub fn enumerate(&mut self, limit: usize) -> Vec<Assignment> {
+        self.oracle.enumerate(limit)
+    }
+}
+
+impl Drop for XorPrefixSession<'_> {
+    fn drop(&mut self) {
+        self.oracle.pop_assumptions_to(self.base);
+    }
+}
+
+/// Oracle backed by the incremental CNF-XOR engine. The solver instance is
+/// built once from the formula and reused across every query; hash
+/// constraints come and go through the assumption stack.
 #[derive(Clone, Debug)]
 pub struct SatOracle {
     formula: CnfFormula,
+    solver: CnfXorSolver,
     stats: OracleStats,
 }
 
 impl SatOracle {
     /// Creates an oracle over the solutions of a CNF formula.
     pub fn new(formula: CnfFormula) -> Self {
+        let solver = CnfXorSolver::from_cnf(&formula);
         SatOracle {
             formula,
+            solver,
             stats: OracleStats::default(),
         }
     }
@@ -64,14 +174,6 @@ impl SatOracle {
     pub fn formula(&self) -> &CnfFormula {
         &self.formula
     }
-
-    fn solver_with(&self, xors: &[XorConstraint]) -> CnfXorSolver {
-        let mut solver = CnfXorSolver::from_cnf(&self.formula);
-        for xor in xors {
-            solver.add_xor(xor.clone());
-        }
-        solver
-    }
 }
 
 impl SolutionOracle for SatOracle {
@@ -79,15 +181,25 @@ impl SolutionOracle for SatOracle {
         self.formula.num_vars()
     }
 
-    fn exists_with_xors(&mut self, xors: &[XorConstraint]) -> bool {
-        self.stats.sat_calls += 1;
-        let mut solver = self.solver_with(xors);
-        matches!(solver.solve(), SolveOutcome::Sat(_))
+    fn assumption_len(&self) -> usize {
+        self.solver.assumption_len()
     }
 
-    fn enumerate_with_xors(&mut self, xors: &[XorConstraint], limit: usize) -> Vec<Assignment> {
-        let mut solver = self.solver_with(xors);
-        let sols = solver.enumerate(limit);
+    fn push_assumption(&mut self, xor: &XorConstraint) {
+        self.solver.push_assumption(xor);
+    }
+
+    fn pop_assumptions_to(&mut self, len: usize) {
+        self.solver.pop_assumptions_to(len);
+    }
+
+    fn exists(&mut self) -> bool {
+        self.stats.sat_calls += 1;
+        matches!(self.solver.solve(), SolveOutcome::Sat(_))
+    }
+
+    fn enumerate(&mut self, limit: usize) -> Vec<Assignment> {
+        let sols = self.solver.enumerate(limit);
         // Each enumeration step (including the final failing one) is a
         // satisfiability decision.
         self.stats.sat_calls += sols.len() as u64 + 1;
@@ -107,6 +219,7 @@ impl SolutionOracle for SatOracle {
 pub struct BruteForceOracle {
     num_vars: usize,
     predicate: Box<dyn Fn(&Assignment) -> bool>,
+    assumptions: Vec<XorConstraint>,
     stats: OracleStats,
 }
 
@@ -135,6 +248,7 @@ impl BruteForceOracle {
         BruteForceOracle {
             num_vars,
             predicate: Box::new(predicate),
+            assumptions: Vec::new(),
             stats: OracleStats::default(),
         }
     }
@@ -150,6 +264,10 @@ impl BruteForceOracle {
             }
             a
         })
+    }
+
+    fn admits(&self, a: &Assignment) -> bool {
+        (self.predicate)(a) && self.assumptions.iter().all(|x| x.eval(a))
     }
 
     /// Maximum, over all solutions, of an arbitrary statistic; `None` if the
@@ -186,23 +304,37 @@ impl SolutionOracle for BruteForceOracle {
         self.num_vars
     }
 
-    fn exists_with_xors(&mut self, xors: &[XorConstraint]) -> bool {
-        self.stats.sat_calls += 1;
-        self.assignments()
-            .any(|a| (self.predicate)(&a) && xors.iter().all(|x| x.eval(&a)))
+    fn assumption_len(&self) -> usize {
+        self.assumptions.len()
     }
 
-    fn enumerate_with_xors(&mut self, xors: &[XorConstraint], limit: usize) -> Vec<Assignment> {
+    fn push_assumption(&mut self, xor: &XorConstraint) {
+        self.assumptions.push(xor.clone());
+    }
+
+    fn pop_assumptions_to(&mut self, len: usize) {
+        self.assumptions.truncate(len);
+    }
+
+    fn exists(&mut self) -> bool {
         self.stats.sat_calls += 1;
+        self.assignments().any(|a| self.admits(&a))
+    }
+
+    fn enumerate(&mut self, limit: usize) -> Vec<Assignment> {
         let mut out = Vec::new();
         for a in self.assignments() {
             if out.len() >= limit {
                 break;
             }
-            if (self.predicate)(&a) && xors.iter().all(|x| x.eval(&a)) {
+            if self.admits(&a) {
                 out.push(a);
             }
         }
+        // Match the trait's accounting (and the SAT backend): one decision
+        // per solution plus the final failing one, even though the scan is a
+        // single pass here.
+        self.stats.sat_calls += out.len() as u64 + 1;
         self.stats.solutions_enumerated += out.len() as u64;
         out
     }
@@ -273,5 +405,50 @@ mod tests {
         for s in &sols {
             assert!(f.eval(s));
         }
+    }
+
+    #[test]
+    fn one_shot_queries_leave_the_assumption_stack_clean() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let f = random_k_cnf(&mut rng, 7, 9, 3);
+        let xors: Vec<XorConstraint> = (0..3)
+            .map(|_| XorConstraint::from_row(&rng.random_bitvec(7), rng.next_bool()))
+            .collect();
+        for oracle in [
+            &mut SatOracle::new(f.clone()) as &mut dyn SolutionOracle,
+            &mut BruteForceOracle::from_cnf(f) as &mut dyn SolutionOracle,
+        ] {
+            let unconstrained = oracle.enumerate(1 << 7).len();
+            let _ = oracle.exists_with_xors(&xors);
+            assert_eq!(oracle.assumption_len(), 0);
+            let _ = oracle.enumerate_with_xors(&xors, 10);
+            assert_eq!(oracle.assumption_len(), 0);
+            assert_eq!(oracle.enumerate(1 << 7).len(), unconstrained);
+        }
+    }
+
+    #[test]
+    fn prefix_session_reuses_and_restores_the_stack() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let f = random_k_cnf(&mut rng, 8, 10, 3);
+        let rows: Vec<XorConstraint> = (0..4)
+            .map(|_| XorConstraint::from_row(&rng.random_bitvec(8), rng.next_bool()))
+            .collect();
+        let mut sat = SatOracle::new(f.clone());
+        let mut brute = BruteForceOracle::from_cnf(f);
+        {
+            let mut session = XorPrefixSession::new(&mut sat);
+            // Walk levels up, down, and sideways; compare against one-shot
+            // queries on the reference backend at every step.
+            for m in [0usize, 1, 2, 4, 3, 1, 4, 0, 2] {
+                session.set_rows(&rows[..m]);
+                assert_eq!(
+                    session.enumerate(1 << 8).len(),
+                    brute.enumerate_with_xors(&rows[..m], 1 << 8).len(),
+                    "m={m}"
+                );
+            }
+        }
+        assert_eq!(sat.assumption_len(), 0);
     }
 }

@@ -1,4 +1,4 @@
-//! A CNF-XOR DPLL solver: the workspace's NP oracle.
+//! An incremental CNF-XOR solver: the workspace's NP oracle.
 //!
 //! The hashing-based algorithms only ever ask satisfiability / bounded
 //! enumeration questions about formulas of the form `φ ∧ (h(x) = c)` where
@@ -6,18 +6,32 @@
 //! equations. The solver therefore carries two constraint stores — ordinary
 //! clauses and parity rows — and propagates over both:
 //!
-//! * unit propagation over clauses,
-//! * parity propagation over XOR rows (a row with a single unassigned
-//!   variable forces it; a fully assigned row with the wrong parity is a
-//!   conflict),
-//! * an up-front Gaussian elimination over the XOR rows that detects
-//!   inconsistent hash constraints before search and extracts forced units.
+//! * **two-watched-literal** unit propagation over clauses (a clause is only
+//!   visited when one of its two watched literals becomes false),
+//! * **counter-based parity propagation** over XOR rows: per-variable
+//!   occurrence lists keep an `unassigned` count and an accumulated parity
+//!   per row, so a row forces its last unassigned variable (or raises a
+//!   conflict) in O(1) per assignment touching it,
+//! * **incremental Gaussian elimination** over the XOR rows: every added row
+//!   is reduced against the existing pivots once; an inconsistent hash system
+//!   is detected before any search, and the reduced rows double as the
+//!   propagation rows. Rows are only ever appended, so popping assumptions is
+//!   a truncation.
 //!
-//! This is deliberately a compact, readable solver rather than a CDCL engine;
-//! DESIGN.md documents it as the substitution for CryptoMiniSat. All the
-//! paper's complexity accounting is in terms of *oracle calls*, which the
-//! [`crate::oracle`] layer counts, so the solver's absolute speed only scales
-//! the time axis of the experiments.
+//! Search is an explicit iterative trail with chronological backtracking (no
+//! recursion, no full-assignment resets between decisions). The engine is
+//! **assumption-based**: XOR rows can be pushed and popped
+//! ([`CnfXorSolver::push_assumption`] / [`CnfXorSolver::pop_assumptions_to`]),
+//! which is how the oracle layer reuses one solver instance — and one
+//! Gaussian-elimination state — across all the level probes of a counting
+//! run (`h_{m+1}` extends `h_m` by one row). Scratch clauses (the blocking
+//! clauses of [`CnfXorSolver::enumerate`]) are likewise popped by truncation.
+//!
+//! This is deliberately a compact solver rather than a CDCL engine; DESIGN.md
+//! §2 documents the architecture and §5 the substitution for CryptoMiniSat.
+//! All the paper's complexity accounting is in terms of *oracle calls*, which
+//! the [`crate::oracle`] layer counts, so the solver's absolute speed only
+//! scales the time axis of the experiments.
 
 use mcf0_formula::{Assignment, CnfFormula, Literal};
 use mcf0_gf2::BitVec;
@@ -54,10 +68,13 @@ impl XorConstraint {
         }
     }
 
-    /// Builds the constraint `row · x = target` from a hash-matrix row.
+    /// Builds the constraint `row · x = target` from a hash-matrix row
+    /// (word-wise set-bit iteration; the row's bits are already distinct).
     pub fn from_row(row: &BitVec, target: bool) -> Self {
-        let vars = (0..row.len()).filter(|&i| row.get(i)).collect();
-        XorConstraint::new(vars, target)
+        XorConstraint {
+            vars: row.iter_ones().collect(),
+            parity: target,
+        }
     }
 
     /// Evaluates the constraint under a total assignment.
@@ -79,13 +96,88 @@ pub enum SolveOutcome {
     Unsat,
 }
 
-/// The CNF-XOR solver.
+/// A clause in the two-watched-literal scheme. For clauses of length ≥ 2 the
+/// invariant is that `lits[0]` and `lits[1]` are the watched literals; unit
+/// and empty clauses never enter the watch scheme.
+#[derive(Clone, Debug)]
+struct WatchedClause {
+    lits: Vec<Literal>,
+}
+
+/// A reduced XOR row with cached propagation counters. `unassigned` and `acc`
+/// (the parity of the variables currently assigned true) are maintained
+/// incrementally by [`CnfXorSolver::enqueue`] and the backtracking unwinder;
+/// outside of `solve` the trail is empty, so `unassigned == vars.len()` and
+/// `acc == false` — which is what lets rows be pushed and popped freely.
+#[derive(Clone, Debug)]
+struct XorRow {
+    vars: Vec<usize>,
+    parity: bool,
+    unassigned: usize,
+    acc: bool,
+}
+
+/// Undo record for one pushed XOR constraint (assumption or permanent).
+#[derive(Clone, Copy, Debug)]
+enum XorUndo {
+    /// The constraint contributed a new reduced row (always the last one).
+    AddedRow,
+    /// The constraint reduced to `0 = 1`: it bumped the inconsistency count.
+    Inconsistent,
+    /// The constraint reduced to `0 = 0`: nothing to undo.
+    Redundant,
+}
+
+/// Checkpoint of the clause store, returned by [`CnfXorSolver::clause_mark`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClauseMark {
+    clauses: usize,
+    units: usize,
+    empty: bool,
+}
+
+/// Result of the propagation loop.
+enum Propagation {
+    Conflict,
+    NoConflict,
+}
+
+/// The incremental CNF-XOR solver.
 #[derive(Clone, Debug)]
 pub struct CnfXorSolver {
     num_vars: usize,
-    clauses: Vec<Vec<Literal>>,
-    xors: Vec<XorConstraint>,
+
+    // Clause store. `clauses` holds clauses of length ≥ 2 (watched);
+    // unit clauses live in `unit_lits`; an empty clause sets `has_empty`.
+    clauses: Vec<WatchedClause>,
+    watches: Vec<Vec<u32>>,
+    unit_lits: Vec<Literal>,
+    has_empty: bool,
+
+    // XOR store: forward-reduced Gaussian rows (`gauss` keeps the dense row
+    // and its pivot column; `xor_rows` the propagation view with counters),
+    // per-variable occurrence lists, and the count of `0 = 1` reductions.
+    gauss: Vec<(BitVec, usize)>,
+    xor_rows: Vec<XorRow>,
+    xor_occ: Vec<Vec<u32>>,
+    inconsistent: u32,
+
+    // Assumption stack: undo records for pushed XOR constraints.
+    assumptions: Vec<XorUndo>,
+
+    // Search state. Empty between `solve` calls.
+    assigns: Vec<Option<bool>>,
+    trail: Vec<usize>,
+    trail_lim: Vec<usize>,
+    decisions: Vec<(usize, bool)>,
+    qhead: usize,
+
     solve_calls: u64,
+}
+
+#[inline]
+fn lit_code(l: Literal) -> usize {
+    2 * l.var() + usize::from(l.is_positive())
 }
 
 impl CnfXorSolver {
@@ -94,7 +186,19 @@ impl CnfXorSolver {
         CnfXorSolver {
             num_vars,
             clauses: Vec::new(),
-            xors: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            unit_lits: Vec::new(),
+            has_empty: false,
+            gauss: Vec::new(),
+            xor_rows: Vec::new(),
+            xor_occ: vec![Vec::new(); num_vars],
+            inconsistent: 0,
+            assumptions: Vec::new(),
+            assigns: vec![None; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            decisions: Vec::new(),
+            qhead: 0,
             solve_calls: 0,
         }
     }
@@ -119,19 +223,153 @@ impl CnfXorSolver {
     }
 
     /// Adds a clause (empty clause makes the instance unsatisfiable).
-    pub fn add_clause(&mut self, literals: Vec<Literal>) {
+    /// Duplicate literals are removed and tautological clauses dropped.
+    pub fn add_clause(&mut self, mut literals: Vec<Literal>) {
+        debug_assert!(self.trail.is_empty(), "clauses are added between solves");
         for l in &literals {
             assert!(l.var() < self.num_vars, "literal variable out of range");
         }
-        self.clauses.push(literals);
+        literals.sort_unstable();
+        literals.dedup();
+        if literals
+            .windows(2)
+            .any(|w| w[0].var() == w[1].var() && w[0].is_positive() != w[1].is_positive())
+        {
+            return; // tautology: x ∨ ¬x
+        }
+        match literals.len() {
+            0 => self.has_empty = true,
+            1 => self.unit_lits.push(literals[0]),
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[lit_code(literals[0])].push(idx);
+                self.watches[lit_code(literals[1])].push(idx);
+                self.clauses.push(WatchedClause { lits: literals });
+            }
+        }
     }
 
-    /// Adds an XOR constraint.
+    /// Adds a permanent XOR constraint. Must not be called while assumptions
+    /// are pushed (permanent rows would be popped with them).
     pub fn add_xor(&mut self, xor: XorConstraint) {
+        assert!(
+            self.assumptions.is_empty(),
+            "add_xor with active assumptions; use push_assumption"
+        );
+        let _ = self.insert_xor(&xor);
+    }
+
+    /// Pushes an XOR constraint as a popable assumption (the hash-prefix
+    /// rows of the oracle layer). Returns nothing; pop with
+    /// [`Self::pop_assumptions_to`].
+    pub fn push_assumption(&mut self, xor: &XorConstraint) {
+        let undo = self.insert_xor(xor);
+        self.assumptions.push(undo);
+    }
+
+    /// Number of assumptions currently pushed.
+    pub fn assumption_len(&self) -> usize {
+        self.assumptions.len()
+    }
+
+    /// Pops assumptions until only the first `len` remain.
+    pub fn pop_assumptions_to(&mut self, len: usize) {
+        debug_assert!(self.trail.is_empty(), "pops happen between solves");
+        while self.assumptions.len() > len {
+            match self.assumptions.pop().expect("stack is non-empty") {
+                XorUndo::Redundant => {}
+                XorUndo::Inconsistent => self.inconsistent -= 1,
+                XorUndo::AddedRow => {
+                    let idx = self.xor_rows.len() - 1;
+                    let row = self.xor_rows.pop().expect("row stack is non-empty");
+                    self.gauss.pop();
+                    for &v in &row.vars {
+                        let popped = self.xor_occ[v].pop();
+                        debug_assert_eq!(popped, Some(idx as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reduces the constraint against the current Gaussian rows and installs
+    /// the result (new pivot row, inconsistency, or nothing).
+    fn insert_xor(&mut self, xor: &XorConstraint) -> XorUndo {
         for &v in &xor.vars {
             assert!(v < self.num_vars, "XOR variable out of range");
         }
-        self.xors.push(xor);
+        let mut bits = BitVec::zeros(self.num_vars);
+        for &v in &xor.vars {
+            // Duplicates in a raw `vars` list cancel, matching XorConstraint
+            // semantics even for hand-built constraints.
+            bits.set(v, !bits.get(v));
+        }
+        let mut parity = xor.parity;
+        // Forward reduction: each existing row has zeros at the pivots of all
+        // earlier rows, so one pass in insertion order fully clears the new
+        // row's bits at every existing pivot.
+        for (i, (row, pivot)) in self.gauss.iter().enumerate() {
+            if bits.get(*pivot) {
+                bits.xor_assign(row);
+                parity ^= self.xor_rows[i].parity;
+            }
+        }
+        match bits.leading_one() {
+            None => {
+                if parity {
+                    self.inconsistent += 1;
+                    XorUndo::Inconsistent
+                } else {
+                    XorUndo::Redundant
+                }
+            }
+            Some(pivot) => {
+                let vars: Vec<usize> = bits.iter_ones().collect();
+                let idx = self.xor_rows.len() as u32;
+                for &v in &vars {
+                    self.xor_occ[v].push(idx);
+                }
+                let unassigned = vars.len();
+                self.xor_rows.push(XorRow {
+                    vars,
+                    parity,
+                    unassigned,
+                    acc: false,
+                });
+                self.gauss.push((bits, pivot));
+                XorUndo::AddedRow
+            }
+        }
+    }
+
+    /// Checkpoint of the clause store; clauses added afterwards (blocking
+    /// clauses, scratch constraints) are removed by
+    /// [`Self::pop_clauses_to`].
+    pub fn clause_mark(&self) -> ClauseMark {
+        ClauseMark {
+            clauses: self.clauses.len(),
+            units: self.unit_lits.len(),
+            empty: self.has_empty,
+        }
+    }
+
+    /// Removes every clause added after the mark was taken.
+    pub fn pop_clauses_to(&mut self, mark: ClauseMark) {
+        debug_assert!(self.trail.is_empty(), "pops happen between solves");
+        while self.clauses.len() > mark.clauses {
+            let idx = (self.clauses.len() - 1) as u32;
+            let clause = self.clauses.pop().expect("clause stack is non-empty");
+            for &lit in &clause.lits[..2] {
+                let list = &mut self.watches[lit_code(lit)];
+                let pos = list
+                    .iter()
+                    .position(|&c| c == idx)
+                    .expect("watched clause is registered");
+                list.swap_remove(pos);
+            }
+        }
+        self.unit_lits.truncate(mark.units);
+        self.has_empty = mark.empty;
     }
 
     /// Adds a blocking clause excluding exactly the given total assignment.
@@ -146,42 +384,245 @@ impl CnfXorSolver {
                 }
             })
             .collect();
-        self.clauses.push(lits);
+        self.add_clause(lits);
     }
 
-    /// Decides satisfiability, returning a model if one exists.
+    /// Decides satisfiability under the permanent constraints plus all pushed
+    /// assumptions, returning a model if one exists. The search trail is
+    /// fully unwound before returning, so constraints can be pushed or popped
+    /// freely between calls.
     pub fn solve(&mut self) -> SolveOutcome {
         self.solve_calls += 1;
-        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.has_empty || self.inconsistent > 0 {
+            return SolveOutcome::Unsat;
+        }
+        debug_assert!(self.trail.is_empty() && self.qhead == 0);
 
-        // Gaussian elimination over the XOR rows: detect inconsistency early
-        // and replace the rows by an equivalent reduced system.
-        let reduced = match gaussian_reduce(self.num_vars, &self.xors) {
-            Some(rows) => rows,
-            None => return SolveOutcome::Unsat,
-        };
-
-        if self.search(&reduced, &mut assignment) {
-            let mut model = BitVec::zeros(self.num_vars);
-            for (v, value) in assignment.iter().enumerate() {
-                // Variables left unassigned by the search are unconstrained;
-                // fix them to false.
-                if value.unwrap_or(false) {
-                    model.set(v, true);
+        // Seed the propagation queue with unit clauses and unit XOR rows.
+        let mut ok = true;
+        for i in 0..self.unit_lits.len() {
+            let lit = self.unit_lits[i];
+            if !self.enqueue(lit.var(), lit.is_positive()) {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for i in 0..self.xor_rows.len() {
+                if self.xor_rows[i].vars.len() == 1 {
+                    let (v, parity) = (self.xor_rows[i].vars[0], self.xor_rows[i].parity);
+                    if !self.enqueue(v, parity) {
+                        ok = false;
+                        break;
+                    }
                 }
             }
-            debug_assert!(self.verify(&model));
-            SolveOutcome::Sat(model)
-        } else {
-            SolveOutcome::Unsat
+        }
+        if !ok {
+            self.cancel_all();
+            return SolveOutcome::Unsat;
+        }
+
+        loop {
+            match self.propagate() {
+                Propagation::Conflict => {
+                    if !self.resolve_conflict() {
+                        self.cancel_all();
+                        return SolveOutcome::Unsat;
+                    }
+                }
+                Propagation::NoConflict => {
+                    match self.assigns.iter().position(|a| a.is_none()) {
+                        None => {
+                            let mut model = BitVec::zeros(self.num_vars);
+                            for (v, value) in self.assigns.iter().enumerate() {
+                                if value.expect("all variables are assigned") {
+                                    model.set(v, true);
+                                }
+                            }
+                            self.cancel_all();
+                            debug_assert!(self.verify(&model));
+                            return SolveOutcome::Sat(model);
+                        }
+                        Some(var) => {
+                            // Decide: false first, true on backtrack.
+                            self.trail_lim.push(self.trail.len());
+                            self.decisions.push((var, false));
+                            let enqueued = self.enqueue(var, false);
+                            debug_assert!(enqueued, "decision variable was unassigned");
+                        }
+                    }
+                }
+            }
         }
     }
 
-    /// Enumerates up to `limit` distinct solutions (adding blocking clauses
-    /// to a scratch copy of the clause store, leaving `self` unchanged apart
-    /// from the call counter).
+    /// Chronological backtracking: unwind to the deepest decision whose
+    /// second phase is untried, flip it, and resume. Returns false when no
+    /// such decision exists (conflict at the root).
+    fn resolve_conflict(&mut self) -> bool {
+        loop {
+            match self.decisions.last().copied() {
+                None => return false,
+                Some((var, tried_both)) => {
+                    let level_start = *self.trail_lim.last().expect("levels match decisions");
+                    self.cancel_to(level_start);
+                    if tried_both {
+                        self.decisions.pop();
+                        self.trail_lim.pop();
+                    } else {
+                        self.decisions.last_mut().expect("non-empty").1 = true;
+                        let enqueued = self.enqueue(var, true);
+                        debug_assert!(enqueued, "flipped decision variable was unassigned");
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assigns `var := value`, updating the XOR counters. Returns false if
+    /// the variable already holds the opposite value.
+    #[inline]
+    fn enqueue(&mut self, var: usize, value: bool) -> bool {
+        match self.assigns[var] {
+            Some(current) => current == value,
+            None => {
+                self.assigns[var] = Some(value);
+                self.trail.push(var);
+                for i in 0..self.xor_occ[var].len() {
+                    let r = self.xor_occ[var][i] as usize;
+                    let row = &mut self.xor_rows[r];
+                    row.unassigned -= 1;
+                    row.acc ^= value;
+                }
+                true
+            }
+        }
+    }
+
+    /// Unassigns trail entries down to `target`, restoring XOR counters.
+    fn cancel_to(&mut self, target: usize) {
+        while self.trail.len() > target {
+            let var = self.trail.pop().expect("trail is non-empty");
+            let value = self.assigns[var].expect("trail variables are assigned");
+            for i in 0..self.xor_occ[var].len() {
+                let r = self.xor_occ[var][i] as usize;
+                let row = &mut self.xor_rows[r];
+                row.unassigned += 1;
+                row.acc ^= value;
+            }
+            self.assigns[var] = None;
+        }
+        self.qhead = self.trail.len().min(self.qhead).min(target);
+    }
+
+    /// Unwinds the entire search state (between `solve` calls).
+    fn cancel_all(&mut self) {
+        self.cancel_to(0);
+        self.trail_lim.clear();
+        self.decisions.clear();
+        self.qhead = 0;
+    }
+
+    /// Propagates queued assignments to fixpoint over both constraint
+    /// stores.
+    fn propagate(&mut self) -> Propagation {
+        while self.qhead < self.trail.len() {
+            let var = self.trail[self.qhead];
+            self.qhead += 1;
+            let value = self.assigns[var].expect("queued variables are assigned");
+
+            // Parity propagation: counters were updated at enqueue time; a
+            // row fires when this assignment left it unit or fully assigned.
+            for i in 0..self.xor_occ[var].len() {
+                let r = self.xor_occ[var][i] as usize;
+                let (unassigned, acc, parity) = {
+                    let row = &self.xor_rows[r];
+                    (row.unassigned, row.acc, row.parity)
+                };
+                if unassigned == 0 {
+                    if acc != parity {
+                        return Propagation::Conflict;
+                    }
+                } else if unassigned == 1 {
+                    let forced_var = *self.xor_rows[r]
+                        .vars
+                        .iter()
+                        .find(|&&v| self.assigns[v].is_none())
+                        .expect("exactly one variable is unassigned");
+                    if !self.enqueue(forced_var, acc ^ parity) {
+                        return Propagation::Conflict;
+                    }
+                }
+            }
+
+            // Clause propagation: visit only clauses watching the literal
+            // that just became false.
+            let false_lit = if value {
+                Literal::negative(var)
+            } else {
+                Literal::positive(var)
+            };
+            let code = lit_code(false_lit);
+            let mut i = 0;
+            'clauses: while i < self.watches[code].len() {
+                let ci = self.watches[code][i] as usize;
+                let unit = {
+                    let lits = &mut self.clauses[ci].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                    let first = lits[0];
+                    let satisfied = match self.assigns[first.var()] {
+                        Some(v) => first.eval(v),
+                        None => false,
+                    };
+                    if satisfied {
+                        i += 1;
+                        continue 'clauses;
+                    }
+                    // Look for a non-false literal to watch instead.
+                    for k in 2..lits.len() {
+                        let cand = lits[k];
+                        let non_false = match self.assigns[cand.var()] {
+                            Some(v) => cand.eval(v),
+                            None => true,
+                        };
+                        if non_false {
+                            lits.swap(1, k);
+                            self.watches[lit_code(cand)].push(ci as u32);
+                            self.watches[code].swap_remove(i);
+                            continue 'clauses;
+                        }
+                    }
+                    // No replacement: `first` is unit (or the clause is
+                    // falsified). Keep watching `false_lit`.
+                    i += 1;
+                    first
+                };
+                match self.assigns[unit.var()] {
+                    Some(v) => {
+                        debug_assert!(!unit.eval(v));
+                        return Propagation::Conflict;
+                    }
+                    None => {
+                        if !self.enqueue(unit.var(), unit.is_positive()) {
+                            return Propagation::Conflict;
+                        }
+                    }
+                }
+            }
+        }
+        Propagation::NoConflict
+    }
+
+    /// Enumerates up to `limit` distinct solutions. Blocking clauses are
+    /// added behind a clause mark and removed afterwards, leaving `self`
+    /// unchanged apart from the call counter.
     pub fn enumerate(&mut self, limit: usize) -> Vec<Assignment> {
-        let saved_clauses = self.clauses.clone();
+        let mark = self.clause_mark();
         let mut out = Vec::new();
         while out.len() < limit {
             match self.solve() {
@@ -192,223 +633,27 @@ impl CnfXorSolver {
                 SolveOutcome::Unsat => break,
             }
         }
-        self.clauses = saved_clauses;
+        self.pop_clauses_to(mark);
         out
     }
 
-    /// Checks a model against all clauses and XOR constraints.
+    /// Checks a model against all clauses and active XOR rows (the reduced
+    /// rows are an equivalent system to every constraint added or pushed).
     pub fn verify(&self, model: &Assignment) -> bool {
+        if self.has_empty || self.inconsistent > 0 {
+            return false;
+        }
+        let units_ok = self.unit_lits.iter().all(|l| l.eval(model.get(l.var())));
         let clauses_ok = self
             .clauses
             .iter()
-            .all(|clause| clause.iter().any(|l| l.eval(model.get(l.var()))));
-        let xors_ok = self.xors.iter().all(|x| x.eval(model));
-        clauses_ok && xors_ok
+            .all(|clause| clause.lits.iter().any(|l| l.eval(model.get(l.var()))));
+        let xors_ok = self
+            .xor_rows
+            .iter()
+            .all(|row| row.vars.iter().fold(false, |p, &v| p ^ model.get(v)) == row.parity);
+        units_ok && clauses_ok && xors_ok
     }
-
-    fn search(&self, xors: &[XorConstraint], assignment: &mut Vec<Option<bool>>) -> bool {
-        // Propagate to fixpoint; remember the trail for backtracking.
-        let mut trail: Vec<usize> = Vec::new();
-        loop {
-            match self.propagate_once(xors, assignment, &mut trail) {
-                Propagation::Conflict => {
-                    for &v in &trail {
-                        assignment[v] = None;
-                    }
-                    return false;
-                }
-                Propagation::Progress => continue,
-                Propagation::Fixpoint => break,
-            }
-        }
-
-        // Pick a branching variable: first unassigned variable mentioned by an
-        // unsatisfied clause or XOR row, else any unassigned variable that is
-        // actually constrained; if nothing is constrained, we are done.
-        let branch = self.pick_branch_variable(xors, assignment);
-        let Some(var) = branch else {
-            return true;
-        };
-
-        for value in [false, true] {
-            assignment[var] = Some(value);
-            if self.search(xors, assignment) {
-                return true;
-            }
-        }
-        assignment[var] = None;
-        for &v in &trail {
-            assignment[v] = None;
-        }
-        false
-    }
-
-    fn pick_branch_variable(
-        &self,
-        xors: &[XorConstraint],
-        assignment: &[Option<bool>],
-    ) -> Option<usize> {
-        for clause in &self.clauses {
-            let mut satisfied = false;
-            let mut candidate = None;
-            for lit in clause {
-                match assignment[lit.var()] {
-                    Some(v) if lit.eval(v) => {
-                        satisfied = true;
-                        break;
-                    }
-                    None if candidate.is_none() => candidate = Some(lit.var()),
-                    _ => {}
-                }
-            }
-            if !satisfied {
-                if let Some(v) = candidate {
-                    return Some(v);
-                }
-            }
-        }
-        for xor in xors {
-            let unassigned: Vec<usize> = xor
-                .vars
-                .iter()
-                .copied()
-                .filter(|&v| assignment[v].is_none())
-                .collect();
-            if !unassigned.is_empty() {
-                return Some(unassigned[0]);
-            }
-        }
-        None
-    }
-
-    fn propagate_once(
-        &self,
-        xors: &[XorConstraint],
-        assignment: &mut [Option<bool>],
-        trail: &mut Vec<usize>,
-    ) -> Propagation {
-        let mut progressed = false;
-        // Clause propagation.
-        for clause in &self.clauses {
-            let mut satisfied = false;
-            let mut unassigned: Option<Literal> = None;
-            let mut unassigned_count = 0;
-            for &lit in clause {
-                match assignment[lit.var()] {
-                    Some(v) => {
-                        if lit.eval(v) {
-                            satisfied = true;
-                            break;
-                        }
-                    }
-                    None => {
-                        unassigned_count += 1;
-                        unassigned = Some(lit);
-                    }
-                }
-            }
-            if satisfied {
-                continue;
-            }
-            match unassigned_count {
-                0 => return Propagation::Conflict,
-                1 => {
-                    let lit = unassigned.unwrap();
-                    assignment[lit.var()] = Some(lit.is_positive());
-                    trail.push(lit.var());
-                    progressed = true;
-                }
-                _ => {}
-            }
-        }
-        // Parity propagation.
-        for xor in xors {
-            let mut parity = xor.parity;
-            let mut unassigned: Option<usize> = None;
-            let mut unassigned_count = 0;
-            for &v in &xor.vars {
-                match assignment[v] {
-                    Some(true) => parity = !parity,
-                    Some(false) => {}
-                    None => {
-                        unassigned_count += 1;
-                        unassigned = Some(v);
-                    }
-                }
-            }
-            match unassigned_count {
-                0 if parity => {
-                    return Propagation::Conflict;
-                }
-                1 => {
-                    let v = unassigned.unwrap();
-                    assignment[v] = Some(parity);
-                    trail.push(v);
-                    progressed = true;
-                }
-                _ => {}
-            }
-        }
-        if progressed {
-            Propagation::Progress
-        } else {
-            Propagation::Fixpoint
-        }
-    }
-}
-
-enum Propagation {
-    Conflict,
-    Progress,
-    Fixpoint,
-}
-
-/// Gaussian elimination over the XOR system. Returns an equivalent reduced
-/// row set, or `None` if the system is inconsistent on its own.
-fn gaussian_reduce(num_vars: usize, xors: &[XorConstraint]) -> Option<Vec<XorConstraint>> {
-    if xors.is_empty() {
-        return Some(Vec::new());
-    }
-    // Rows as (bitset over vars, parity).
-    let mut rows: Vec<(BitVec, bool)> = xors
-        .iter()
-        .map(|x| {
-            let mut v = BitVec::zeros(num_vars);
-            for &var in &x.vars {
-                v.set(var, true);
-            }
-            (v, x.parity)
-        })
-        .collect();
-    let mut rank = 0usize;
-    for col in 0..num_vars {
-        if let Some(p) = (rank..rows.len()).find(|&r| rows[r].0.get(col)) {
-            rows.swap(rank, p);
-            let (pivot_row, pivot_parity) = rows[rank].clone();
-            for (r, (row, parity)) in rows.iter_mut().enumerate() {
-                if r != rank && row.get(col) {
-                    row.xor_assign(&pivot_row);
-                    *parity ^= pivot_parity;
-                }
-            }
-            rank += 1;
-            if rank == rows.len() {
-                break;
-            }
-        }
-    }
-    let mut reduced = Vec::new();
-    for (row, parity) in rows {
-        if row.is_zero() {
-            if parity {
-                return None;
-            }
-            continue;
-        }
-        let vars = (0..num_vars).filter(|&i| row.get(i)).collect();
-        reduced.push(XorConstraint { vars, parity });
-    }
-    Some(reduced)
 }
 
 #[cfg(test)]
@@ -475,6 +720,13 @@ mod tests {
     }
 
     #[test]
+    fn contradictory_empty_xor_is_unsat() {
+        let mut s = CnfXorSolver::new(2);
+        s.add_xor(XorConstraint::new(vec![1, 1], true));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    }
+
+    #[test]
     fn enumeration_matches_brute_force_on_random_instances() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(99);
         for _ in 0..10 {
@@ -534,5 +786,70 @@ mod tests {
         assert_eq!(s.solve_calls(), 2);
         let _ = s.enumerate(4);
         assert!(s.solve_calls() >= 6);
+    }
+
+    #[test]
+    fn assumptions_push_and_pop_restore_the_solution_set() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(41);
+        let f = random_k_cnf(&mut rng, 8, 12, 3);
+        let mut s = CnfXorSolver::from_cnf(&f);
+        let unconstrained = s.enumerate(1 << 8).len();
+
+        // Push two rows, solve under them, then pop back.
+        let base = s.assumption_len();
+        let row_a = XorConstraint::from_row(&rng.random_bitvec(8), rng.next_bool());
+        let row_b = XorConstraint::from_row(&rng.random_bitvec(8), rng.next_bool());
+        s.push_assumption(&row_a);
+        s.push_assumption(&row_b);
+        let constrained = s.enumerate(1 << 8);
+        for sol in &constrained {
+            assert!(row_a.eval(sol) && row_b.eval(sol));
+        }
+        let expected = enumerate_cnf_solutions(&f)
+            .into_iter()
+            .filter(|a| row_a.eval(a) && row_b.eval(a))
+            .count();
+        assert_eq!(constrained.len(), expected);
+
+        // Partial pop: only the first row remains.
+        s.pop_assumptions_to(base + 1);
+        let one_row = s.enumerate(1 << 8).len();
+        let expected_one = enumerate_cnf_solutions(&f)
+            .into_iter()
+            .filter(|a| row_a.eval(a))
+            .count();
+        assert_eq!(one_row, expected_one);
+
+        // Full pop: the original solution set is back.
+        s.pop_assumptions_to(base);
+        assert_eq!(s.enumerate(1 << 8).len(), unconstrained);
+    }
+
+    #[test]
+    fn inconsistent_assumptions_are_popped_cleanly() {
+        let mut s = CnfXorSolver::new(4);
+        s.add_clause(vec![Literal::positive(0)]);
+        let base = s.assumption_len();
+        // x1 ⊕ x2 = 0 and x1 ⊕ x2 = 1 together are inconsistent.
+        s.push_assumption(&XorConstraint::new(vec![1, 2], false));
+        s.push_assumption(&XorConstraint::new(vec![1, 2], true));
+        assert_eq!(s.solve(), SolveOutcome::Unsat);
+        s.pop_assumptions_to(base);
+        assert!(matches!(s.solve(), SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn redundant_assumptions_are_popped_cleanly() {
+        let mut s = CnfXorSolver::new(3);
+        let base = s.assumption_len();
+        s.push_assumption(&XorConstraint::new(vec![0, 1], true));
+        // The same row again is redundant (reduces to 0 = 0).
+        s.push_assumption(&XorConstraint::new(vec![0, 1], true));
+        match s.solve() {
+            SolveOutcome::Sat(m) => assert!(m.get(0) ^ m.get(1)),
+            SolveOutcome::Unsat => panic!("satisfiable"),
+        }
+        s.pop_assumptions_to(base);
+        assert_eq!(s.enumerate(1 << 3).len(), 8);
     }
 }

@@ -120,6 +120,76 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_incremental_oracle_matches_fresh_brute_force_per_query(
+        seed in any::<u64>(),
+        n in 3usize..8,
+        clauses in 1usize..12,
+    ) {
+        // A single SatOracle serves a whole sequence of differently-sized
+        // XOR-constraint sets through its assumption stack (the access
+        // pattern of the level searches); every answer must match a fresh
+        // brute-force query, and the stack must come back clean.
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let mut sat = SatOracle::new(f.clone());
+        let unconstrained = sat.enumerate(1 << n).len();
+        for rows in [2usize, 0, 3, 1, 2] {
+            let xors: Vec<XorConstraint> = (0..rows)
+                .map(|_| XorConstraint::from_row(&rng.random_bitvec(n), rng.next_bool()))
+                .collect();
+            let mark = sat.assumption_len();
+            for x in &xors {
+                sat.push_assumption(x);
+            }
+            let got = sat.enumerate(1 << n).len();
+            let exists = sat.exists();
+            sat.pop_assumptions_to(mark);
+
+            let mut brute = BruteForceOracle::from_cnf(f.clone());
+            let expected = brute.enumerate_with_xors(&xors, 1 << n).len();
+            prop_assert_eq!(got, expected, "rows={}", rows);
+            prop_assert_eq!(exists, expected > 0);
+        }
+        prop_assert_eq!(sat.assumption_len(), 0);
+        prop_assert_eq!(sat.enumerate(1 << n).len(), unconstrained);
+    }
+
+    #[test]
+    fn solver_assumption_push_pop_is_state_restoring(
+        seed in any::<u64>(),
+        n in 3usize..8,
+        clauses in 1usize..10,
+        xor_rows in 1usize..4,
+    ) {
+        // Solving under pushed rows and popping them must leave the solver
+        // bit-for-bit equivalent to never having pushed: same satisfiability,
+        // same solution count, repeatable.
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let mut solver = CnfXorSolver::from_cnf(&f);
+        let before = solver.enumerate(1 << n).len();
+        let base = solver.assumption_len();
+        let xors: Vec<XorConstraint> = (0..xor_rows)
+            .map(|_| XorConstraint::from_row(&rng.random_bitvec(n), rng.next_bool()))
+            .collect();
+        for x in &xors {
+            solver.push_assumption(x);
+        }
+        let constrained: Vec<Assignment> = solver.enumerate(1 << n);
+        for sol in &constrained {
+            prop_assert!(f.eval(sol));
+            prop_assert!(xors.iter().all(|x| x.eval(sol)));
+        }
+        solver.pop_assumptions_to(base);
+        prop_assert_eq!(solver.enumerate(1 << n).len(), before);
+        prop_assert_eq!(solver.enumerate(1 << n).len(), before);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // BoundedSAT (Proposition 1)
 // ---------------------------------------------------------------------------
