@@ -28,10 +28,28 @@ fn leading_zeros(v: &BitVec) -> usize {
     v.leading_one().unwrap_or(v.len())
 }
 
+/// One site's upload for one row: its local level and one
+/// ⟨fingerprint, leading-zeros⟩ tuple per cell member.
+type SiteRowUpload = (usize, Vec<(u64, usize)>);
+
 /// Runs the distributed Bucketing protocol over per-site DNF sub-formulas.
 pub fn distributed_bucketing(
     sites: &[DnfFormula],
     config: &CountingConfig,
+    rng: &mut Xoshiro256StarStar,
+) -> DistributedOutcome {
+    distributed_bucketing_parallel(sites, config, 1, rng)
+}
+
+/// [`distributed_bucketing`] with the per-site level searches and tuple
+/// uploads fanned out across up to `threads` std threads. Hashes are drawn
+/// up front in the sequential order and the coordinator ingests tuples in
+/// site order, so the estimate and the ledger are bit-for-bit identical to
+/// the sequential run.
+pub fn distributed_bucketing_parallel(
+    sites: &[DnfFormula],
+    config: &CountingConfig,
+    threads: usize,
     rng: &mut Xoshiro256StarStar,
 ) -> DistributedOutcome {
     assert!(!sites.is_empty(), "at least one site required");
@@ -52,25 +70,51 @@ pub fn distributed_bucketing(
     let fingerprint = XorHash::sample(rng, n, fingerprint_bits);
     ledger.record_downlink((fingerprint.representation_bits() * k) as u64);
 
+    // Coordinator: draw every row's cell hash (site work never touches the
+    // RNG, so this is the sequence the row-by-row protocol draws).
+    let hashes: Vec<ToeplitzHash> = (0..config.rows)
+        .map(|_| ToeplitzHash::sample(rng, n, n))
+        .collect();
+
+    // Site side: per row, find the local level and produce one
+    // ⟨fingerprint, leading-zeros⟩ tuple per cell member.
+    let locals: Vec<Vec<SiteRowUpload>> = crate::par::map_sites(sites, threads, |site| {
+        hashes
+            .iter()
+            .map(|hash| {
+                let mut level = 0usize;
+                let mut cell = bounded_sat_dnf(site, hash, level, thresh);
+                while cell.count() >= thresh && level < n {
+                    level += 1;
+                    cell = bounded_sat_dnf(site, hash, level, thresh);
+                }
+                let tuples = cell
+                    .solutions
+                    .iter()
+                    .map(|solution| {
+                        (
+                            fingerprint.eval(solution).to_u64(),
+                            leading_zeros(&hash.eval(solution)),
+                        )
+                    })
+                    .collect();
+                (level, tuples)
+            })
+            .collect()
+    });
+
     let mut estimates = Vec::with_capacity(config.rows);
-    for _ in 0..config.rows {
-        let hash = ToeplitzHash::sample(rng, n, n);
+    for (row, hash) in hashes.iter().enumerate() {
         ledger.record_downlink((hash.representation_bits() * k) as u64);
 
-        // Site side: find the local level, upload one tuple per cell member.
+        // Coordinator: ingest the uploads in site order (so fingerprint
+        // collisions resolve exactly as in the sequential run).
         let mut tuples: HashMap<u64, usize> = HashMap::new();
         let mut max_site_level = 0usize;
-        for site_formula in sites {
-            let mut level = 0usize;
-            let mut cell = bounded_sat_dnf(site_formula, &hash, level, thresh);
-            while cell.count() >= thresh && level < n {
-                level += 1;
-                cell = bounded_sat_dnf(site_formula, &hash, level, thresh);
-            }
-            max_site_level = max_site_level.max(level);
-            for solution in &cell.solutions {
-                let fp = fingerprint.eval(solution).to_u64();
-                let lz = leading_zeros(&hash.eval(solution));
+        for site_locals in &locals {
+            let (site_level, site_tuples) = &site_locals[row];
+            max_site_level = max_site_level.max(*site_level);
+            for &(fp, lz) in site_tuples {
                 ledger.record_uplink((fingerprint_bits + 8) as u64);
                 // Identical fingerprints from different sites refer to the
                 // same solution (with high probability), so keep one copy.

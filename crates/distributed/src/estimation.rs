@@ -27,6 +27,21 @@ pub fn distributed_estimation(
     r: u32,
     rng: &mut Xoshiro256StarStar,
 ) -> DistributedOutcome {
+    distributed_estimation_parallel(sites, config, r, 1, rng)
+}
+
+/// [`distributed_estimation`] with the per-site `FindMaxRange` computations
+/// fanned out across up to `threads` std threads. Hashes are drawn up front
+/// in the sequential order and the coordinator takes maxima in site order,
+/// so the estimate and the ledger are bit-for-bit identical to the
+/// sequential run.
+pub fn distributed_estimation_parallel(
+    sites: &[DnfFormula],
+    config: &CountingConfig,
+    r: u32,
+    threads: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> DistributedOutcome {
     assert!(!sites.is_empty(), "at least one site required");
     assert!(r >= 1, "r must be at least 1");
     let n = sites[0].num_vars();
@@ -40,18 +55,31 @@ pub fn distributed_estimation(
     let denominator = (1.0 - 2f64.powi(-(r as i32))).ln();
     let per_value_bits = (usize::BITS - n.leading_zeros()) as u64 + 1;
 
+    // Coordinator: draw the t·Thresh hashes (site work never touches the
+    // RNG, so this is the sequence the nested protocol loop draws).
+    let hashes: Vec<ToeplitzHash> = (0..config.rows * thresh)
+        .map(|_| ToeplitzHash::sample(rng, n, n))
+        .collect();
+
+    // Site side: every site uploads its maximum trailing-zero count per hash.
+    let locals: Vec<Vec<Option<usize>>> = crate::par::map_sites(sites, threads, |site| {
+        hashes
+            .iter()
+            .map(|hash| find_max_range_dnf(site, hash))
+            .collect()
+    });
+
     let mut estimates = Vec::with_capacity(config.rows);
-    for _ in 0..config.rows {
+    for row in 0..config.rows {
         let mut hits = 0usize;
-        for _ in 0..thresh {
-            let hash = ToeplitzHash::sample(rng, n, n);
-            ledger.record_downlink((hash.representation_bits() * k) as u64);
-            // Each site uploads its own maximum trailing-zero count.
+        for j in 0..thresh {
+            let idx = row * thresh + j;
+            ledger.record_downlink((hashes[idx].representation_bits() * k) as u64);
+            // Coordinator: max of maxima = maximum over the union.
             let mut union_max: Option<usize> = None;
-            for site_formula in sites {
-                let local = find_max_range_dnf(site_formula, &hash);
+            for site_locals in &locals {
                 ledger.record_uplink(per_value_bits);
-                if let Some(v) = local {
+                if let Some(v) = site_locals[idx] {
                     union_max = Some(union_max.map_or(v, |u: usize| u.max(v)));
                 }
             }

@@ -21,6 +21,12 @@
 //!   trailing-zero counts; the coordinator takes maxima;
 //!   cost Õ(k·(n + 1/ε²)·log(1/δ)).
 //!
+//! Each protocol also has a `*_parallel` variant that fans the per-site
+//! computations out across scoped std threads (no external dependency):
+//! hashes are drawn up front in the sequential order and the coordinator
+//! merges in site order, so estimates and ledgers are bit-for-bit identical
+//! to the sequential runs.
+//!
 //! [`lower_bound`] contains the reduction from distributed F0 estimation to
 //! distributed DNF counting that transfers the Ω(k/ε²) lower bound.
 
@@ -32,9 +38,10 @@ pub mod comm;
 pub mod estimation;
 pub mod lower_bound;
 pub mod minimum;
+mod par;
 
-pub use bucketing::distributed_bucketing;
+pub use bucketing::{distributed_bucketing, distributed_bucketing_parallel};
 pub use comm::{CommLedger, DistributedOutcome};
-pub use estimation::distributed_estimation;
+pub use estimation::{distributed_estimation, distributed_estimation_parallel};
 pub use lower_bound::{dnf_from_site_items, f0_instance_to_dnf_instance};
-pub use minimum::distributed_minimum;
+pub use minimum::{distributed_minimum, distributed_minimum_parallel};

@@ -20,6 +20,20 @@ pub fn distributed_minimum(
     config: &CountingConfig,
     rng: &mut Xoshiro256StarStar,
 ) -> DistributedOutcome {
+    distributed_minimum_parallel(sites, config, 1, rng)
+}
+
+/// [`distributed_minimum`] with the per-site `FindMin` computations fanned
+/// out across up to `threads` std threads. Hash functions are drawn up front
+/// (in the exact order the sequential protocol draws them) and the
+/// coordinator merges uploads in site order, so the estimate and the ledger
+/// are bit-for-bit identical to the sequential run.
+pub fn distributed_minimum_parallel(
+    sites: &[DnfFormula],
+    config: &CountingConfig,
+    threads: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> DistributedOutcome {
     assert!(!sites.is_empty(), "at least one site required");
     let n = sites[0].num_vars();
     assert!(
@@ -28,17 +42,30 @@ pub fn distributed_minimum(
     );
     let thresh = config.thresh;
     let mut ledger = CommLedger::new();
+
+    // Coordinator: draw every row's hash (site work never touches the RNG,
+    // so this is the sequence the row-by-row protocol draws).
+    let hashes: Vec<ToeplitzHash> = (0..config.rows)
+        .map(|_| ToeplitzHash::sample(rng, n, 3 * n))
+        .collect();
+
+    // Site side: every site runs FindMin under every hash.
+    let mut locals: Vec<Vec<Vec<mcf0_gf2::BitVec>>> =
+        crate::par::map_sites(sites, threads, |site| {
+            hashes
+                .iter()
+                .map(|hash| find_min_dnf(site, hash, thresh))
+                .collect()
+        });
+
+    // Coordinator: account the broadcasts and uploads and merge per row, in
+    // site order.
     let mut estimates = Vec::with_capacity(config.rows);
-
-    for _ in 0..config.rows {
-        let hash = ToeplitzHash::sample(rng, n, 3 * n);
-        // Broadcast the hash to every site.
+    for (row, hash) in hashes.iter().enumerate() {
         ledger.record_downlink((hash.representation_bits() * sites.len()) as u64);
-
-        // Each site runs FindMin locally and uploads its minima.
         let mut merged: Vec<mcf0_gf2::BitVec> = Vec::new();
-        for site_formula in sites {
-            let local = find_min_dnf(site_formula, &hash, thresh);
+        for site_locals in locals.iter_mut() {
+            let local = std::mem::take(&mut site_locals[row]);
             ledger.record_uplink((local.len() * 3 * n) as u64);
             merged.extend(local);
         }

@@ -1,0 +1,50 @@
+//! Internal scoped-thread fan-out over sites.
+//!
+//! The protocols draw every hash function up front (coordinator side, one
+//! seedable RNG, unchanged draw order), run the per-site work — which never
+//! touches the RNG — concurrently, and merge in site order. Estimates and
+//! communication ledgers are therefore bit-for-bit identical to the
+//! sequential runs; the proptests pin this.
+
+use mcf0_formula::DnfFormula;
+
+/// Maps `work` over the sites, preserving index order, on up to `threads`
+/// scoped std threads (`threads ≤ 1` runs inline).
+pub(crate) fn map_sites<T, F>(sites: &[DnfFormula], threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&DnfFormula) -> T + Sync,
+{
+    if threads <= 1 || sites.len() <= 1 {
+        return sites.iter().map(work).collect();
+    }
+    let chunk = sites.len().div_ceil(threads.min(sites.len()));
+    let mut out: Vec<Option<T>> = (0..sites.len()).map(|_| None).collect();
+    let work = &work;
+    std::thread::scope(|scope| {
+        for (site_chunk, out_chunk) in sites.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (site, slot) in site_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(work(site));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every site chunk is processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_site_order_at_any_thread_count() {
+        let sites: Vec<DnfFormula> = (1..=7).map(DnfFormula::contradiction).collect();
+        for threads in [0usize, 1, 2, 3, 8] {
+            let vars = map_sites(&sites, threads, |f| f.num_vars());
+            assert_eq!(vars, vec![1, 2, 3, 4, 5, 6, 7], "threads={threads}");
+        }
+    }
+}

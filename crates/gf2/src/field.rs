@@ -231,6 +231,156 @@ impl Gf2Ext {
             .or_insert_with(|| table.clone());
         Some(table)
     }
+
+    /// The shared byte-window multiplication engine for this field (any
+    /// width; the hot paths use it where the discrete-log table is
+    /// unavailable, `w > `[`Gf2MulTable::MAX_WIDTH`]). Built once per width
+    /// and cached for the process lifetime.
+    pub fn wide_mul(&self) -> std::sync::Arc<Gf2WideMul> {
+        static CACHE: OnceLock<Mutex<HashMap<u32, std::sync::Arc<Gf2WideMul>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(t) = cache.lock().unwrap().get(&self.width) {
+            return t.clone();
+        }
+        let engine = std::sync::Arc::new(Gf2WideMul::build(self));
+        cache
+            .lock()
+            .unwrap()
+            .entry(self.width)
+            .or_insert_with(|| engine.clone())
+            .clone()
+    }
+}
+
+/// Byte-window multiplication engine for the wide fields (`w > `
+/// [`Gf2MulTable::MAX_WIDTH`], where a full discrete-log table would not
+/// fit in memory). The engine caches, per field, the *reduction* tables
+/// `fold[j][b] = (b · x^{w + 8j}) mod m` — so reducing a ≤ 127-bit carry-less
+/// product costs one table lookup per overflow byte instead of one
+/// shift-and-xor per overflow bit. Combined with [`Gf2PointMul`]'s per-point
+/// window table, a wide-field multiplication becomes ~16 table lookups with
+/// no data-dependent branches, which is what keeps the s-wise hash hot paths
+/// fast on universes wider than the tabulated `w ≤ 20` range.
+#[derive(Debug)]
+pub struct Gf2WideMul {
+    width: u32,
+    /// `fold[j][b]` = `(b as poly) · x^{w + 8j} mod m`, for every byte the
+    /// overflow part of a ≤ 127-bit product can occupy.
+    fold: Vec<[u64; 256]>,
+}
+
+impl Gf2WideMul {
+    /// Builds the reduction tables for `field`.
+    fn build(field: &Gf2Ext) -> Self {
+        let w = field.width();
+        let m = field.modulus();
+        // Powers x^{w+i} mod m for every overflow bit position of a product
+        // of two degree-< w polynomials (degree ≤ 2w − 2 ≤ 126).
+        let overflow_bits = (127 - w) as usize;
+        let mut powers = Vec::with_capacity(overflow_bits);
+        let mut p: u128 = m ^ (1u128 << w); // x^w mod m
+        for _ in 0..overflow_bits {
+            powers.push(p as u64);
+            p <<= 1;
+            if p >> w & 1 == 1 {
+                // Reduce the freshly shifted-in x^w term.
+                p ^= m;
+            }
+            debug_assert!(p >> w == 0);
+        }
+        let groups = overflow_bits.div_ceil(8);
+        let mut fold = vec![[0u64; 256]; groups];
+        for (j, table) in fold.iter_mut().enumerate() {
+            for b in 1usize..256 {
+                let lsb = b & b.wrapping_neg();
+                let bit = 8 * j + lsb.trailing_zeros() as usize;
+                table[b] = table[b ^ lsb]
+                    ^ if bit < overflow_bits {
+                        powers[bit]
+                    } else {
+                        0 // Bits past degree 126 never occur in a product.
+                    };
+            }
+        }
+        Gf2WideMul { width: w, fold }
+    }
+
+    /// Field width `w`.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Reduces a raw carry-less product (degree ≤ 126) modulo the field
+    /// modulus, byte-window-wise.
+    #[inline]
+    pub fn reduce(&self, t: u128) -> u64 {
+        let w = self.width;
+        let mut acc = (t & ((1u128 << w) - 1)) as u64;
+        let mut high = t >> w;
+        let mut j = 0;
+        while high != 0 {
+            acc ^= self.fold[j][(high & 0xff) as usize];
+            high >>= 8;
+            j += 1;
+        }
+        acc
+    }
+
+    /// Field multiplication via byte-window reduction (no per-point table;
+    /// [`Gf2PointMul`] is faster when one operand repeats).
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce(clmul(a, b))
+    }
+}
+
+/// Multiplication-by-a-fixed-point window table: `mul(a)` computes `a · x`
+/// for the `x` the table was built for, as eight byte lookups into the
+/// carry-less window plus one byte-window reduction.
+///
+/// Building the table costs 256 shift/xor operations, so it pays for itself
+/// once the same `x` is multiplied more than a few dozen times — exactly the
+/// shape of the sketch hot paths, where one stream item is fed to every
+/// hash of every repetition row (`t · Thresh` polynomial evaluations at the
+/// same point).
+pub struct Gf2PointMul {
+    /// `win[b] = clmul(b, x)` for every byte `b` (raw, unreduced).
+    win: Box<[u128; 256]>,
+    wide: std::sync::Arc<Gf2WideMul>,
+}
+
+impl Gf2PointMul {
+    /// Builds the window table for multiplications by `x` in `field`.
+    pub fn new(field: &Gf2Ext, x: u64) -> Self {
+        let x = field.element(x);
+        let mut win = Box::new([0u128; 256]);
+        win[1] = x as u128;
+        for b in 2..256 {
+            win[b] = if b & 1 == 0 {
+                win[b >> 1] << 1
+            } else {
+                win[b ^ 1] ^ x as u128
+            };
+        }
+        Gf2PointMul {
+            win,
+            wide: field.wide_mul(),
+        }
+    }
+
+    /// `a · x` in the field.
+    #[inline]
+    pub fn mul(&self, a: u64) -> u64 {
+        let mut acc: u128 = 0;
+        let mut rest = a;
+        let mut shift = 0u32;
+        while rest != 0 {
+            acc ^= self.win[(rest & 0xff) as usize] << shift;
+            rest >>= 8;
+            shift += 8;
+        }
+        self.wide.reduce(acc)
+    }
 }
 
 /// Discrete-log multiplication table for a small field GF(2^w): `mul(a, b)`
@@ -414,6 +564,46 @@ mod tests {
         assert!(Gf2Ext::new(Gf2MulTable::MAX_WIDTH + 1)
             .mul_table()
             .is_none());
+    }
+
+    #[test]
+    fn wide_mul_agrees_with_direct_multiplication() {
+        // The byte-window engine must match the bit-by-bit reference on
+        // every width class: the wide range it serves (21..=64), the table
+        // range (≤ 20, where it is valid but unused), and the boundaries.
+        let mut x: u64 = 0x0123_4567_89ab_cdef;
+        for w in [3u32, 8, 20, 21, 24, 32, 33, 48, 63, 64] {
+            let f = Gf2Ext::new(w);
+            let wide = f.wide_mul();
+            assert_eq!(wide.width(), w);
+            for _ in 0..300 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let (a, b) = (f.element(x), f.element(x.rotate_left(29)));
+                assert_eq!(wide.mul(a, b), f.mul(a, b), "w={w} a={a:#x} b={b:#x}");
+            }
+            assert_eq!(wide.mul(0, x & f.mask()), 0);
+            assert_eq!(wide.mul(f.mask(), 1), f.mask());
+        }
+    }
+
+    #[test]
+    fn point_mul_agrees_with_direct_multiplication() {
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for w in [5u32, 20, 21, 32, 48, 64] {
+            let f = Gf2Ext::new(w);
+            for _ in 0..20 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let point = f.element(x);
+                let pm = Gf2PointMul::new(&f, point);
+                for a in [0u64, 1, 2, f.mask(), f.element(x.rotate_left(17))] {
+                    assert_eq!(pm.mul(a), f.mul(a, point), "w={w} a={a:#x} x={point:#x}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod prefix;
 
 pub use affine::AffineSubspace;
 pub use bitvec::BitVec;
-pub use field::{Gf2Ext, Gf2MulTable};
+pub use field::{Gf2Ext, Gf2MulTable, Gf2PointMul, Gf2WideMul};
 pub use matrix::BitMatrix;
 pub use poly::Gf2Poly;
 pub use prefix::{lex_enumerate, lex_min, lex_successor, PrefixOracle};

@@ -36,4 +36,4 @@ pub mod swise;
 pub use linear::{LinearHash, ToeplitzHash, XorHash};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use sparse::{RowDensity, SparseXorHash};
-pub use swise::SWiseHash;
+pub use swise::{SWiseHash, SWisePoint};

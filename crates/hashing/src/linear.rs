@@ -112,9 +112,15 @@ pub trait LinearHash {
 
 /// A hash drawn from `H_Toeplitz(n, m)`: `A` is a random Toeplitz matrix
 /// (constant along diagonals), `b` a random vector. The randomness is the
-/// `n + m − 1` diagonal bits plus `b`, i.e. Θ(n + m) bits as in the paper;
-/// the expanded rows are cached at sampling time so that per-item evaluation
-/// in the streaming sketches does not re-materialise them.
+/// `n + m − 1` diagonal bits plus `b`, i.e. Θ(n + m) bits as in the paper.
+///
+/// Three expansions of the matrix are cached at sampling time so that the
+/// per-item streaming hot paths never re-materialise anything: the rows (for
+/// dot-product evaluation), the *columns* (so `h(x)` is the word-wise XOR of
+/// `popcount(x)` columns into `b` — the fast path of the Minimum sketch and
+/// of `image_of_cube`), and, when `n ≤ 64`, each row as a raw `u64` mask (so
+/// the Bucketing cell test `h_{m'}(x) = 0^{m'}` is `m'` AND+popcount word
+/// operations on the item itself, with no `BitVec` materialisation).
 #[derive(Clone, Debug)]
 pub struct ToeplitzHash {
     n: usize,
@@ -123,6 +129,11 @@ pub struct ToeplitzHash {
     diag: BitVec,
     b: BitVec,
     rows: Vec<BitVec>,
+    /// Column `j` of `A` as an `m`-bit vector.
+    cols: Vec<BitVec>,
+    /// Row `i` of `A` packed into a `u64` (MSB-first, matching
+    /// `BitVec::from_u64`); present iff `n ≤ 64`.
+    row_masks: Option<Vec<u64>>,
 }
 
 impl ToeplitzHash {
@@ -130,7 +141,7 @@ impl ToeplitzHash {
     pub fn sample(rng: &mut Xoshiro256StarStar, n: usize, m: usize) -> Self {
         assert!(n > 0 && m > 0);
         let diag = rng.random_bitvec(n + m - 1);
-        let rows = (0..m)
+        let rows: Vec<BitVec> = (0..m)
             .map(|i| {
                 let mut row = BitVec::zeros(n);
                 for j in 0..n {
@@ -142,19 +153,68 @@ impl ToeplitzHash {
                 row
             })
             .collect();
+        let cols = (0..n)
+            .map(|j| {
+                let mut col = BitVec::zeros(m);
+                for i in 0..m {
+                    if diag.get(i + (n - 1) - j) {
+                        col.set(i, true);
+                    }
+                }
+                col
+            })
+            .collect();
+        let row_masks = (n <= 64).then(|| rows.iter().map(BitVec::to_u64).collect());
         ToeplitzHash {
             n,
             m,
             diag,
             b: rng.random_bitvec(m),
             rows,
+            cols,
+            row_masks,
         }
     }
 
     /// Number of random bits this representation stores (Θ(n + m)); the
-    /// cached row expansion is derived data, not randomness.
+    /// cached row/column expansions are derived data, not randomness.
     pub fn representation_bits(&self) -> usize {
         self.diag.len() + self.b.len()
+    }
+
+    /// Evaluates `h(x)` for an item given as the low-`n`-bit integer `x`
+    /// (the streaming-sketch item encoding; requires `n ≤ 64`). Word-wise:
+    /// the result is `b` XOR the columns selected by the set bits of `x`.
+    pub fn eval_u64(&self, x: u64) -> BitVec {
+        assert!(
+            self.n <= 64,
+            "eval_u64 requires an input width of at most 64"
+        );
+        debug_assert!(self.n == 64 || x < (1u64 << self.n), "item out of range");
+        let mut out = self.b.clone();
+        let mut rest = x;
+        while rest != 0 {
+            let p = rest.trailing_zeros() as usize;
+            // u64 bit p is MSB-first index n − 1 − p (see BitVec::from_u64).
+            out.xor_assign(&self.cols[self.n - 1 - p]);
+            rest &= rest - 1;
+        }
+        out
+    }
+
+    /// `h_{m'}(x) = 0^{m'}` for a `u64`-encoded item, via the packed row
+    /// masks: one AND+popcount per row, no `BitVec` materialisation
+    /// (requires `n ≤ 64`).
+    pub fn prefix_is_zero_u64(&self, x: u64, m_prime: usize) -> bool {
+        let masks = self
+            .row_masks
+            .as_ref()
+            .expect("prefix_is_zero_u64 requires an input width of at most 64");
+        debug_assert!(m_prime <= self.m);
+        masks[..m_prime]
+            .iter()
+            .enumerate()
+            .all(|(i, &mask)| ((mask & x).count_ones() & 1 == 1) == self.b.get(i))
     }
 }
 
@@ -177,11 +237,11 @@ impl LinearHash for ToeplitzHash {
 
     fn eval(&self, x: &BitVec) -> BitVec {
         assert_eq!(x.len(), self.n, "input width mismatch");
+        // Column-wise: XOR the columns picked out by the set bits of `x`
+        // into `b` — word operations instead of `m` row dot products.
         let mut out = self.b.clone();
-        for (i, row) in self.rows.iter().enumerate() {
-            if row.dot(x) {
-                out.flip(i);
-            }
+        for j in x.iter_ones() {
+            out.xor_assign(&self.cols[j]);
         }
         out
     }
@@ -202,6 +262,27 @@ impl LinearHash for ToeplitzHash {
             .iter()
             .enumerate()
             .all(|(i, row)| row.dot(x) == self.b.get(i))
+    }
+
+    fn image_of_cube(&self, fixed: &[(usize, bool)]) -> AffineSubspace {
+        // The generators are exactly the cached columns of the free
+        // variables; the default trait implementation would rebuild each one
+        // bit by bit from `m` row clones.
+        let mut is_fixed = vec![false; self.n];
+        let mut x0 = BitVec::zeros(self.n);
+        for &(var, value) in fixed {
+            assert!(var < self.n, "fixed variable index out of range");
+            is_fixed[var] = true;
+            x0.set(var, value);
+        }
+        let offset = self.eval(&x0);
+        let generators = is_fixed
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| !f)
+            .map(|(j, _)| self.cols[j].clone())
+            .collect();
+        AffineSubspace::new(offset, generators)
     }
 }
 
@@ -320,6 +401,59 @@ mod tests {
                 assert_eq!(h.prefix_is_zero(&x, m), full.prefix_is_zero(m));
             }
         }
+    }
+
+    #[test]
+    fn u64_fast_paths_match_bitvec_paths() {
+        let mut rng = rng();
+        for (n, m) in [(1usize, 3usize), (12, 8), (24, 72), (32, 32), (64, 64)] {
+            let h = ToeplitzHash::sample(&mut rng, n, m);
+            for _ in 0..30 {
+                let x = if n == 64 {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() & ((1u64 << n) - 1)
+                };
+                let bits = BitVec::from_u64(x, n);
+                assert_eq!(h.eval_u64(x), h.eval(&bits), "n={n} m={m}");
+                for level in [0usize, 1, m / 2, m] {
+                    assert_eq!(
+                        h.prefix_is_zero_u64(x, level),
+                        h.prefix_is_zero(&bits, level),
+                        "n={n} m={m} level={level}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_column_image_of_cube_matches_default_impl() {
+        // The ToeplitzHash override must produce the exact subspace the
+        // generic row-by-row construction yields (same offset, same
+        // generator order).
+        struct RowView<'a>(&'a ToeplitzHash);
+        impl LinearHash for RowView<'_> {
+            fn input_bits(&self) -> usize {
+                self.0.input_bits()
+            }
+            fn output_bits(&self) -> usize {
+                self.0.output_bits()
+            }
+            fn matrix_row(&self, i: usize) -> BitVec {
+                self.0.matrix_row(i)
+            }
+            fn offset_bit(&self, i: usize) -> bool {
+                self.0.offset_bit(i)
+            }
+        }
+        let mut rng = rng();
+        let h = ToeplitzHash::sample(&mut rng, 10, 14);
+        let fixed = [(0usize, true), (4usize, false), (9usize, true)];
+        let fast = h.image_of_cube(&fixed);
+        let slow = RowView(&h).image_of_cube(&fixed);
+        assert_eq!(fast.offset(), slow.offset());
+        assert_eq!(fast.basis(), slow.basis());
     }
 
     #[test]

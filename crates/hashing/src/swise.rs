@@ -13,7 +13,7 @@
 //! evaluation.
 
 use crate::rng::Xoshiro256StarStar;
-use mcf0_gf2::{BitVec, Gf2Ext, Gf2MulTable, Gf2Poly};
+use mcf0_gf2::{BitVec, Gf2Ext, Gf2MulTable, Gf2PointMul, Gf2Poly, Gf2WideMul};
 use std::sync::Arc;
 
 /// A hash drawn from the s-wise independent polynomial family over GF(2^w).
@@ -21,11 +21,56 @@ use std::sync::Arc;
 /// For small universes (`w ≤ `[`Gf2MulTable::MAX_WIDTH`]) evaluation uses the
 /// field's shared discrete-log multiplication table, which makes the per-item
 /// Horner loop a handful of array lookups instead of software carry-less
-/// multiplications — the hot path of the Estimation sketch and counter.
+/// multiplications — the hot path of the Estimation sketch and counter. Wider
+/// universes use the field's byte-window engine ([`Gf2WideMul`]), and batch
+/// consumers amortise further with [`SWisePoint`]: one window table per
+/// stream item, shared by every hash of every repetition row.
 #[derive(Clone, Debug)]
 pub struct SWiseHash {
     poly: Gf2Poly,
     table: Option<Arc<Gf2MulTable>>,
+    wide: Option<Arc<Gf2WideMul>>,
+}
+
+/// A stream item prepared for evaluation by many [`SWiseHash`]es of the same
+/// width: the multiply-by-`x` window table is built once and reused across
+/// every Horner step of every hash (`t · Thresh · s` multiplications in the
+/// Estimation sketch), which is what makes batched sketch processing cheap on
+/// universes wider than the discrete-log-tabulated `w ≤ 20` range.
+pub struct SWisePoint {
+    width: u32,
+    x: u64,
+    point_mul: Option<Gf2PointMul>,
+}
+
+impl SWisePoint {
+    /// Prepares the item `x` (low `width` bits) for repeated hash evaluation.
+    pub fn prepare(width: u32, x: u64) -> Self {
+        let field = Gf2Ext::new(width);
+        let x = field.element(x);
+        // Small widths keep the discrete-log table; only wide fields need
+        // the per-point window table.
+        let point_mul = if width <= Gf2MulTable::MAX_WIDTH {
+            None
+        } else {
+            Some(Gf2PointMul::new(&field, x))
+        };
+        SWisePoint {
+            width,
+            x,
+            point_mul,
+        }
+    }
+
+    /// Universe width the point was prepared for.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The (masked) item value.
+    pub fn value(&self) -> u64 {
+        self.x
+    }
 }
 
 impl SWiseHash {
@@ -48,7 +93,12 @@ impl SWiseHash {
 
     fn from_poly(poly: Gf2Poly) -> Self {
         let table = poly.field().mul_table();
-        SWiseHash { poly, table }
+        let wide = if table.is_none() {
+            Some(poly.field().wide_mul())
+        } else {
+            None
+        };
+        SWiseHash { poly, table, wide }
     }
 
     /// Universe width `w`.
@@ -63,16 +113,58 @@ impl SWiseHash {
 
     /// Evaluates the hash on a `u64` item (only the low `w` bits are used).
     pub fn eval_u64(&self, x: u64) -> u64 {
-        match &self.table {
-            Some(table) => {
-                let x = self.poly.field().element(x);
+        let x = self.poly.field().element(x);
+        match (&self.table, &self.wide) {
+            (Some(table), _) => {
                 let mut acc = 0u64;
                 for &c in self.poly.coeffs().iter().rev() {
                     acc = table.mul(acc, x) ^ c;
                 }
                 acc
             }
-            None => self.poly.eval(x),
+            (None, Some(wide)) => {
+                let mut acc = 0u64;
+                for &c in self.poly.coeffs().iter().rev() {
+                    acc = wide.mul(acc, x) ^ c;
+                }
+                acc
+            }
+            (None, None) => self.poly.eval(x),
+        }
+    }
+
+    /// Evaluates the hash at a prepared point (the batched hot path: the
+    /// point's window table is shared across all hashes of a sketch).
+    pub fn eval_at(&self, point: &SWisePoint) -> u64 {
+        debug_assert_eq!(point.width, self.width(), "point width mismatch");
+        match (&self.table, &point.point_mul) {
+            (Some(table), _) => {
+                let mut acc = 0u64;
+                for &c in self.poly.coeffs().iter().rev() {
+                    acc = table.mul(acc, point.x) ^ c;
+                }
+                acc
+            }
+            (None, Some(pm)) => {
+                let mut acc = 0u64;
+                for &c in self.poly.coeffs().iter().rev() {
+                    acc = pm.mul(acc) ^ c;
+                }
+                acc
+            }
+            // A point prepared for a tabulated width evaluated by a
+            // wide-field hash: fall back to the per-hash path.
+            (None, None) => self.eval_u64(point.x),
+        }
+    }
+
+    /// `TrailZero(h(x))` at a prepared point (see [`SWiseHash::eval_at`]).
+    pub fn trail_zero_at(&self, point: &SWisePoint) -> u32 {
+        let y = self.eval_at(point);
+        if y == 0 {
+            self.width()
+        } else {
+            y.trailing_zeros()
         }
     }
 
@@ -128,6 +220,26 @@ mod tests {
             for _ in 0..500 {
                 let x = rng.next_u64();
                 assert_eq!(h.eval_u64(x), h.poly.eval(x), "width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_point_eval_matches_per_item_eval() {
+        // Width 16 exercises the discrete-log table, widths 32/48 the
+        // per-point window table; all must agree with eval_u64 bit for bit.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(77);
+        for width in [16u32, 21, 32, 48, 64] {
+            let hashes: Vec<SWiseHash> = (0..6)
+                .map(|_| SWiseHash::sample(&mut rng, width, 5))
+                .collect();
+            for _ in 0..50 {
+                let x = rng.next_u64();
+                let point = SWisePoint::prepare(width, x);
+                for h in &hashes {
+                    assert_eq!(h.eval_at(&point), h.eval_u64(x), "width={width}");
+                    assert_eq!(h.trail_zero_at(&point), h.trail_zero_u64(x));
+                }
             }
         }
     }

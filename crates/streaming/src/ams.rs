@@ -15,7 +15,7 @@
 //! median.
 
 use crate::config::median;
-use mcf0_hashing::{SWiseHash, Xoshiro256StarStar};
+use mcf0_hashing::{SWiseHash, SWisePoint, Xoshiro256StarStar};
 
 /// AMS estimator for the second frequency moment of a stream over
 /// `{0,1}^universe_bits`.
@@ -70,16 +70,19 @@ impl AmsF2 {
         self.items_processed
     }
 
-    /// Processes one item with multiplicity `count`.
+    /// Processes one item with multiplicity `count`. The item is prepared
+    /// once and its multiply-by-the-item window table shared across every
+    /// sign hash of every row (`rows × columns` evaluations at one point).
     pub fn process_with_count(&mut self, item: u64, count: i64) {
         if self.universe_bits < 64 {
             debug_assert!(item < (1u64 << self.universe_bits));
         }
         self.items_processed += count.unsigned_abs();
+        let point = SWisePoint::prepare(self.universe_bits as u32, item);
         for row in &mut self.rows {
             for cell in row.iter_mut() {
                 // ±1 sign from the lowest output bit of the 4-wise hash.
-                let sign = if cell.sign_hash.eval_u64(item) & 1 == 1 {
+                let sign = if cell.sign_hash.eval_at(&point) & 1 == 1 {
                     1
                 } else {
                     -1
@@ -94,10 +97,22 @@ impl AmsF2 {
         self.process_with_count(item, 1);
     }
 
-    /// Processes a finite stream.
+    /// Processes a finite stream, batched: F2 depends on multiplicities (not
+    /// just the distinct set), so the batch is folded into per-item counts
+    /// first and each distinct item hashed exactly once. Integer accumulators
+    /// make this identical to item-at-a-time processing.
     pub fn process_stream(&mut self, items: &[u64]) {
+        let mut order: Vec<u64> = Vec::new();
+        let mut counts: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
         for &item in items {
-            self.process(item);
+            let slot = counts.entry(item).or_insert(0);
+            if *slot == 0 {
+                order.push(item);
+            }
+            *slot += 1;
+        }
+        for item in order {
+            self.process_with_count(item, counts[&item]);
         }
     }
 

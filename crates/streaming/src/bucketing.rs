@@ -8,10 +8,10 @@
 //! This is the streaming algorithm whose transformation recipe yields
 //! `ApproxMC` (Section 3.2 of the paper).
 
+use crate::batch::{dedup_preserving_order, for_each_row_chunk};
 use crate::config::{median, F0Config};
 use crate::sketch::F0Sketch;
-use mcf0_gf2::BitVec;
-use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar};
+use mcf0_hashing::{ToeplitzHash, Xoshiro256StarStar};
 use std::collections::BTreeSet;
 
 struct BucketRow {
@@ -20,10 +20,30 @@ struct BucketRow {
     cell: BTreeSet<u64>,
 }
 
+impl BucketRow {
+    /// Folds one item into the row, word-packed: the cell-membership test
+    /// runs directly on the `u64` item via the hash's packed row masks (no
+    /// `BitVec` materialisation anywhere on this path).
+    fn update(&mut self, item: u64, thresh: usize, universe_bits: usize) {
+        if self.hash.prefix_is_zero_u64(item, self.level) {
+            self.cell.insert(item);
+            // Overflow: raise the level until the cell fits again
+            // (normally one step, but degenerate hash draws may need more).
+            while self.cell.len() > thresh && self.level < universe_bits {
+                self.level += 1;
+                let hash = &self.hash;
+                let level = self.level;
+                self.cell.retain(|&y| hash.prefix_is_zero_u64(y, level));
+            }
+        }
+    }
+}
+
 /// Bucketing-based (ε, δ) F0 sketch.
 pub struct BucketingF0 {
     universe_bits: usize,
     thresh: usize,
+    parallel_rows: usize,
     rows: Vec<BucketRow>,
 }
 
@@ -41,6 +61,7 @@ impl BucketingF0 {
         BucketingF0 {
             universe_bits,
             thresh: config.thresh,
+            parallel_rows: config.parallel_rows,
             rows,
         }
     }
@@ -48,14 +69,6 @@ impl BucketingF0 {
     /// Sampling level of row `i` (used by tests and the distributed variant).
     pub fn level(&self, row: usize) -> usize {
         self.rows[row].level
-    }
-
-    fn item_bits(&self, item: u64) -> BitVec {
-        debug_assert!(
-            self.universe_bits == 64 || item < (1u64 << self.universe_bits),
-            "item outside the declared universe"
-        );
-        BitVec::from_u64(item, self.universe_bits)
     }
 }
 
@@ -65,24 +78,38 @@ impl F0Sketch for BucketingF0 {
     }
 
     fn process(&mut self, item: u64) {
-        let bits = self.item_bits(item);
+        // Hard check (not debug-only): the packed-mask cell test would
+        // silently ignore out-of-range high bits while the cell stored them.
+        assert!(
+            self.universe_bits == 64 || item < (1u64 << self.universe_bits),
+            "item outside the declared universe"
+        );
         let thresh = self.thresh;
         let universe_bits = self.universe_bits;
         for row in &mut self.rows {
-            if row.hash.prefix_is_zero(&bits, row.level) {
-                row.cell.insert(item);
-                // Overflow: raise the level until the cell fits again
-                // (normally one step, but degenerate hash draws may need more).
-                while row.cell.len() > thresh && row.level < universe_bits {
-                    row.level += 1;
-                    let hash = &row.hash;
-                    let level = row.level;
-                    row.cell.retain(|&y| {
-                        hash.prefix_is_zero(&BitVec::from_u64(y, universe_bits), level)
-                    });
+            row.update(item, thresh, universe_bits);
+        }
+    }
+
+    /// Batched path: deduplicate the batch (cell and level are functions of
+    /// the distinct-item set) and split the `t` rows across
+    /// `F0Config::parallel_rows` threads. Identical to the item-at-a-time
+    /// path bit for bit.
+    fn process_stream(&mut self, items: &[u64]) {
+        let distinct = dedup_preserving_order(items);
+        let thresh = self.thresh;
+        let universe_bits = self.universe_bits;
+        assert!(
+            universe_bits == 64 || distinct.iter().all(|&x| x < (1u64 << universe_bits)),
+            "item outside the declared universe"
+        );
+        for_each_row_chunk(&mut self.rows, self.parallel_rows, |chunk| {
+            for row in chunk.iter_mut() {
+                for &item in &distinct {
+                    row.update(item, thresh, universe_bits);
                 }
             }
-        }
+        });
     }
 
     fn estimate(&self) -> f64 {

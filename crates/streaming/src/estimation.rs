@@ -10,13 +10,29 @@
 //! transformation recipe applied to this strategy yields
 //! `ApproxModelCountEst` (Section 3.4 of the paper).
 
+use crate::batch::{dedup_preserving_order, for_each_row_chunk};
 use crate::config::{median, F0Config};
 use crate::sketch::F0Sketch;
-use mcf0_hashing::{SWiseHash, Xoshiro256StarStar};
+use mcf0_hashing::{SWiseHash, SWisePoint, Xoshiro256StarStar};
 
 struct EstimationRow {
     hashes: Vec<SWiseHash>,
     max_trailing: Vec<u32>,
+}
+
+impl EstimationRow {
+    /// Folds one prepared item into the row: per hash, keep the maximum
+    /// trailing-zero count. The prepared point shares its
+    /// multiply-by-the-item window table across every hash of the row — the
+    /// amortisation that makes wide universes (`w > 20`) cheap.
+    fn update_at(&mut self, point: &SWisePoint) {
+        for (hash, slot) in self.hashes.iter().zip(self.max_trailing.iter_mut()) {
+            let tz = hash.trail_zero_at(point);
+            if tz > *slot {
+                *slot = tz;
+            }
+        }
+    }
 }
 
 /// Estimation-based F0 sketch (needs an externally supplied `r`; see
@@ -25,6 +41,7 @@ struct EstimationRow {
 pub struct EstimationF0 {
     universe_bits: usize,
     thresh: usize,
+    parallel_rows: usize,
     rows: Vec<EstimationRow>,
 }
 
@@ -45,6 +62,7 @@ impl EstimationF0 {
         EstimationF0 {
             universe_bits,
             thresh: config.thresh,
+            parallel_rows: config.parallel_rows,
             rows,
         }
     }
@@ -97,13 +115,36 @@ impl F0Sketch for EstimationF0 {
     }
 
     fn process(&mut self, item: u64) {
+        let point = SWisePoint::prepare(self.universe_bits as u32, item);
         for row in &mut self.rows {
-            for (hash, slot) in row.hashes.iter().zip(row.max_trailing.iter_mut()) {
-                let tz = hash.trail_zero_u64(item);
-                if tz > *slot {
-                    *slot = tz;
+            row.update_at(&point);
+        }
+    }
+
+    /// Batched path: deduplicate the batch (the cells are functions of the
+    /// distinct-item set), prepare each item exactly once, and split the `t`
+    /// rows across `F0Config::parallel_rows` threads. Identical to the
+    /// item-at-a-time path bit for bit.
+    ///
+    /// Items are prepared in blocks shared by every thread of the fan-out —
+    /// once per item, not once per item per thread — while bounding the
+    /// live window-table memory to one block (~4 KiB per wide-field point).
+    fn process_stream(&mut self, items: &[u64]) {
+        const POINT_BLOCK: usize = 512;
+        let distinct = dedup_preserving_order(items);
+        let width = self.universe_bits as u32;
+        for block in distinct.chunks(POINT_BLOCK) {
+            let points: Vec<SWisePoint> = block
+                .iter()
+                .map(|&item| SWisePoint::prepare(width, item))
+                .collect();
+            for_each_row_chunk(&mut self.rows, self.parallel_rows, |chunk| {
+                for point in &points {
+                    for row in chunk.iter_mut() {
+                        row.update_at(point);
+                    }
                 }
-            }
+            });
         }
     }
 

@@ -7,6 +7,7 @@
 //! parameter needs, both in streaming and (through the transformation recipe)
 //! in model counting.
 
+use crate::batch::dedup_preserving_order;
 use crate::sketch::F0Sketch;
 use mcf0_hashing::{SWiseHash, Xoshiro256StarStar};
 
@@ -52,6 +53,14 @@ impl F0Sketch for FlajoletMartinF0 {
         let tz = self.hash.trail_zero_u64(item);
         if tz > self.max_trailing {
             self.max_trailing = tz;
+        }
+    }
+
+    /// Batched path: evaluate the (single) hash once per *distinct* item —
+    /// the statistic is a maximum, so duplicates cannot change it.
+    fn process_stream(&mut self, items: &[u64]) {
+        for item in dedup_preserving_order(items) {
+            self.process(item);
         }
     }
 

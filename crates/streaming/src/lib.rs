@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ams;
+pub mod batch;
 pub mod bucketing;
 pub mod compute_f0;
 pub mod config;

@@ -17,6 +17,15 @@ pub trait F0Sketch {
     fn space_bits(&self) -> usize;
 
     /// Processes a whole stream.
+    ///
+    /// **Batching contract** (DESIGN.md §6): the final sketch state must be
+    /// bit-for-bit identical to calling [`F0Sketch::process`] on every item
+    /// in order. Implementors override the default loop with batched
+    /// engines — deduplicating the batch (every F0 sketch is a function of
+    /// the distinct-item set), amortising per-item hash preparation across
+    /// repetition rows, and optionally splitting the rows across std threads
+    /// (`F0Config::parallel_rows`) — but the contract is pinned by parity
+    /// proptests, so callers may mix `process` and `process_stream` freely.
     fn process_stream(&mut self, items: &[u64]) {
         for &item in items {
             self.process(item);

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 use mcf0_hashing::Xoshiro256StarStar;
 use mcf0_streaming::{
-    compute_f0, BucketingF0, EstimationF0, ExactDistinct, F0Config, F0Sketch, FlajoletMartinF0,
-    MinimumF0, SketchStrategy,
+    compute_f0, AmsF2, BucketingF0, EstimationF0, ExactDistinct, F0Config, F0Sketch,
+    FlajoletMartinF0, MinimumF0, SketchStrategy,
 };
 use std::collections::HashSet;
 
@@ -157,6 +157,114 @@ proptest! {
         // 3n bits each, plus Θ(n) representation bits per Toeplitz hash.
         let bound = 4 * (32 * 3 * BITS + 8 * BITS);
         prop_assert!(space <= bound, "space {space} exceeds bound {bound}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched / parallel engine parity: the batched `process_stream` and the
+// row-parallel layer must reproduce the item-at-a-time sequential state bit
+// for bit, for every sketch (the F0Sketch batching contract, DESIGN.md §6).
+// Width 24 exercises the wide-field (`w > 20`) window-table path, width 16
+// the discrete-log-table path.
+// ---------------------------------------------------------------------------
+
+/// Runs `items` through two identically-seeded copies of each sketch — one
+/// item at a time, one batched (with `parallel_rows = threads`) — and
+/// asserts identical estimates, space, and per-cell state.
+fn assert_batched_matches_sequential(
+    bits: usize,
+    items: &[u64],
+    seed: u64,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let config = F0Config::explicit(0.5, 0.3, 24, 5);
+    let batched_config = config.with_parallel_rows(threads);
+
+    // MinimumF0: estimate + space (space counts the stored minima).
+    let mut a = MinimumF0::new(bits, &config, &mut rng_from(seed));
+    let mut b = MinimumF0::new(bits, &batched_config, &mut rng_from(seed));
+    for &x in items {
+        a.process(x);
+    }
+    b.process_stream(items);
+    prop_assert_eq!(a.estimate(), b.estimate());
+    prop_assert_eq!(a.space_bits(), b.space_bits());
+
+    // BucketingF0: estimate + space + every row's level.
+    let mut a = BucketingF0::new(bits, &config, &mut rng_from(seed));
+    let mut b = BucketingF0::new(bits, &batched_config, &mut rng_from(seed));
+    for &x in items {
+        a.process(x);
+    }
+    b.process_stream(items);
+    prop_assert_eq!(a.estimate(), b.estimate());
+    prop_assert_eq!(a.space_bits(), b.space_bits());
+    for i in 0..5 {
+        prop_assert_eq!(a.level(i), b.level(i));
+    }
+
+    // EstimationF0: every cell.
+    let mut a = EstimationF0::new(bits, &config, &mut rng_from(seed));
+    let mut b = EstimationF0::new(bits, &batched_config, &mut rng_from(seed));
+    for &x in items {
+        a.process(x);
+    }
+    b.process_stream(items);
+    prop_assert_eq!(a.estimate(), b.estimate());
+    prop_assert_eq!(a.space_bits(), b.space_bits());
+    for i in 0..a.num_rows() {
+        for j in 0..a.thresh() {
+            prop_assert_eq!(a.cell(i, j), b.cell(i, j));
+        }
+    }
+
+    // FlajoletMartinF0 (single row; batched = deduplicated).
+    let mut a = FlajoletMartinF0::new(bits, &mut rng_from(seed));
+    let mut b = FlajoletMartinF0::new(bits, &mut rng_from(seed));
+    for &x in items {
+        a.process(x);
+    }
+    b.process_stream(items);
+    prop_assert_eq!(a.estimate(), b.estimate());
+    prop_assert_eq!(a.max_trailing_zeros(), b.max_trailing_zeros());
+
+    // ExactDistinct (trait-default loop — the contract's reference point).
+    let mut a = ExactDistinct::new(bits);
+    let mut b = ExactDistinct::new(bits);
+    for &x in items {
+        a.process(x);
+    }
+    b.process_stream(items);
+    prop_assert_eq!(a.estimate(), b.estimate());
+    prop_assert_eq!(a.space_bits(), b.space_bits());
+
+    // AmsF2 (multiplicity-sensitive: batched path folds counts first).
+    let mut a = AmsF2::new(bits, 3, 8, &mut rng_from(seed));
+    let mut b = AmsF2::new(bits, 3, 8, &mut rng_from(seed));
+    for &x in items {
+        a.process(x);
+    }
+    b.process_stream(items);
+    prop_assert_eq!(a.estimate(), b.estimate());
+    prop_assert_eq!(a.items_processed(), b.items_processed());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_process_stream_matches_item_at_a_time(items in stream(BITS, 250), seed in any::<u64>()) {
+        // Wide-field path (24 > 20): sequential batched engine.
+        assert_batched_matches_sequential(BITS, &items, seed, 1)?;
+        // Discrete-log-table path.
+        let narrow: Vec<u64> = items.iter().map(|x| x & 0xffff).collect();
+        assert_batched_matches_sequential(16, &narrow, seed, 1)?;
+    }
+
+    #[test]
+    fn parallel_repetitions_match_sequential_bit_for_bit(items in stream(BITS, 250), seed in any::<u64>(), threads in 2usize..6) {
+        assert_batched_matches_sequential(BITS, &items, seed, threads)?;
     }
 }
 
