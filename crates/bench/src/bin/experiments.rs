@@ -65,6 +65,7 @@ fn main() {
         ("e14", e14_uniform_sampling),
         ("e15", e15_delphic_vs_hashing),
         ("e16", e16_applications),
+        ("e17", e17_large_n_cnf),
     ];
 
     for (id, runner) in experiments {
@@ -309,15 +310,21 @@ fn e5_dnf_fpras_comparison() -> Vec<ExperimentRow> {
 
 /// E6 — distributed DNF counting: communication versus number of sites.
 fn e6_distributed() -> Vec<ExperimentRow> {
+    use mcf0::distributed::estimation_r_policy;
+
     let mut rows = Vec::new();
     let mut rng = Xoshiro256StarStar::seed_from_u64(SEED + 6);
     let formula = random_dnf(&mut rng, 20, 48, (4, 9));
     let exact = count_dnf_exact(&formula) as f64;
     let config = CountingConfig::explicit(0.8, 0.2, 150, 7);
     let est_config = CountingConfig::explicit(0.5, 0.2, 48, 5);
-    let r = (exact * 2.0).log2().ceil().max(1.0) as u32;
     for &k in &[2usize, 4, 8, 16] {
         let sites = partition_dnf(&mut rng, &formula, k);
+        // The Estimation protocol's r comes from the cheap per-site F0 lower
+        // bound (greedy disjoint-term packing), clamped to the n-bit hash
+        // range — deriving it from the exact count pushed r past n on this
+        // near-saturating workload and collapsed the estimate to −0.0.
+        let r = estimation_r_policy(&sites);
         let params = format!("n=20, terms=48, sites={k}");
 
         let b = distributed_bucketing(&sites, &config, &mut rng);
@@ -783,6 +790,98 @@ fn e15_delphic_vs_hashing() -> Vec<ExperimentRow> {
         )
         .with_metric("ms_per_item", aps_ms),
     );
+    rows
+}
+
+/// E17 — large-`n` CNF workloads on the CDCL oracle. No ground truth: at
+/// n ≥ 36 the exact counts are out of brute-force reach, which is exactly
+/// the regime the hashing algorithms exist for; the table reports the
+/// estimates with their oracle-call and conflict budgets. The chronological
+/// engine needed minutes to forever on these instances
+/// (`BENCH_solver.json`, `chrono_baseline`).
+fn e17_large_n_cnf() -> Vec<ExperimentRow> {
+    use mcf0::counting::approx_mc_on_oracle;
+    use mcf0::hashing::ToeplitzHash;
+    use mcf0::sat::{find_max_range_cnf, find_min_cnf, SatOracle, SolutionOracle};
+
+    let mut rows = Vec::new();
+    let config = CountingConfig::explicit(0.8, 0.2, 40, 3);
+
+    // ApproxMC at n = 36 and 40 (levels reach ~20–24 XOR rows).
+    for &n in &[36usize, 40] {
+        let f = mcf0_bench::large_n::approxmc_formula(n);
+        let input = FormulaInput::Cnf(f.clone());
+        let mut oracle = SatOracle::new(f);
+        let mut hash_rng = mcf0_bench::large_n::approxmc_hash_rng();
+        let start = Instant::now();
+        let out = approx_mc_on_oracle(
+            &input,
+            &config,
+            LevelSearch::Galloping,
+            &mut hash_rng,
+            |rng| ToeplitzHash::sample(rng, n, n),
+            Some(&mut oracle as &mut dyn SolutionOracle),
+        );
+        rows.push(
+            ExperimentRow::new(
+                "E17",
+                format!(
+                    "3-CNF n={n}, m={}, {} oracle calls, {} conflicts",
+                    2 * n,
+                    out.oracle_calls,
+                    oracle.solver_stats().conflicts
+                ),
+                "ApproxMC (CDCL oracle)",
+                None,
+                out.estimate,
+            )
+            .with_metric("seconds", start.elapsed().as_secs_f64()),
+        );
+    }
+
+    // FindMin at n = 40 under a 3n-bit hash (the Minimum counter's pattern).
+    {
+        let (f, h, p) = mcf0_bench::large_n::findmin_n40();
+        let mut oracle = SatOracle::new(f);
+        let start = Instant::now();
+        let minima = find_min_cnf(&mut oracle, &h, p);
+        rows.push(
+            ExperimentRow::new(
+                "E17",
+                format!(
+                    "3-CNF n=40, m=80, p=8, {} oracle calls, {} conflicts",
+                    oracle.stats().sat_calls,
+                    oracle.solver_stats().conflicts
+                ),
+                "FindMin prefix search (CDCL oracle)",
+                None,
+                minima.len() as f64,
+            )
+            .with_metric("seconds", start.elapsed().as_secs_f64()),
+        );
+    }
+
+    // FindMaxRange at n = 56 (the Estimation counter's pattern).
+    {
+        let (f, h) = mcf0_bench::large_n::findmaxrange_n56();
+        let mut oracle = SatOracle::new(f);
+        let start = Instant::now();
+        let max_tz = find_max_range_cnf(&mut oracle, &h);
+        rows.push(
+            ExperimentRow::new(
+                "E17",
+                format!(
+                    "3-CNF n=56, m=112, {} oracle calls, {} conflicts",
+                    oracle.stats().sat_calls,
+                    oracle.solver_stats().conflicts
+                ),
+                "FindMaxRange binary search (CDCL oracle)",
+                None,
+                max_tz.map_or(-1.0, |v| v as f64),
+            )
+            .with_metric("seconds", start.elapsed().as_secs_f64()),
+        );
+    }
     rows
 }
 

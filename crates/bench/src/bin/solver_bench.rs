@@ -1,11 +1,12 @@
 //! Solver benchmark harness: seeded regression instances for the CNF-XOR
-//! oracle stack, with wall-clock and oracle-call accounting.
+//! oracle stack, with wall-clock, oracle-call, and CDCL-work accounting.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p mcf0-bench --bin solver_bench             # print table
 //! cargo run --release -p mcf0-bench --bin solver_bench -- --check  # fail on call-count drift
+//! cargo run --release -p mcf0-bench --bin solver_bench -- --heavy  # + large-n workloads
 //! cargo run --release -p mcf0-bench --bin solver_bench -- --write  # rewrite BENCH_solver.json
 //! ```
 //!
@@ -15,17 +16,26 @@
 //! fast each query runs). `--check` exits non-zero if any count drifts.
 //! Wall-clock numbers are informational; `BENCH_solver.json` records the
 //! trajectory across PRs (the `seed_baseline` block holds the pre-rewrite
-//! numbers of the naive DPLL solver for comparison).
+//! numbers of the naive DPLL solver, the `chrono_baseline` block the
+//! chronological engine's numbers on the large-`n` workloads the CDCL
+//! engine unlocked — `timed_out: true` rows record the cap at which the
+//! chronological run was abandoned, so the wall column is a floor).
+//!
+//! The large-`n` workloads (`--heavy`, run in the release heavy-tests CI
+//! step) are sized so the CDCL engine finishes in seconds-to-a-minute while
+//! the chronological engine needs minutes to forever; `findmin_cnf_n40`
+//! stays in the default set as the always-on evidence of the CDCL win
+//! (0.3 s vs 20 s).
 
 use mcf0::counting::est_based::EstBackend;
 use mcf0::counting::{
-    approx_mc, approx_model_count_est, approx_model_count_min, CountingConfig, FormulaInput,
-    LevelSearch,
+    approx_mc_on_oracle, approx_model_count_est, approx_model_count_min, CountingConfig,
+    FormulaInput, LevelSearch,
 };
 use mcf0::formula::generators::random_k_cnf;
 use mcf0::formula::{Clause, CnfFormula, Literal};
 use mcf0::hashing::{ToeplitzHash, Xoshiro256StarStar};
-use mcf0::sat::{find_max_range_cnf, find_min_cnf, SatOracle, SolutionOracle};
+use mcf0::sat::{find_max_range_cnf, find_min_cnf, SatOracle, SolutionOracle, SolverStats};
 use mcf0_bench::bench_dnf;
 use serde::Serialize;
 use std::time::Instant;
@@ -41,6 +51,12 @@ struct InstanceResult {
     oracle_calls: u64,
     /// The estimate or statistic the instance produced (for sanity).
     value: f64,
+    /// CDCL conflicts analysed (0 for oracle-free paths).
+    conflicts: u64,
+    /// CDCL clauses learned (0 for oracle-free paths).
+    learned: u64,
+    /// CDCL restarts (0 for oracle-free paths).
+    restarts: u64,
 }
 
 /// Per-instance numbers measured at the seed revision (the naive recursive
@@ -57,6 +73,21 @@ const SEED_BASELINE: &[(&str, f64, u64)] = &[
     ("findmaxrange_cnf", 0.03, 5),
     ("est_enumerative_dnf", 1548.66, 0),
     ("min_counter_cnf", 28.36, 4889),
+];
+
+/// The large-`n` workloads with the chronological engine's wall-clock as
+/// the baseline: `(name, chrono_wall_ms, chrono_timed_out, oracle_calls)`.
+/// A `true` flag means the chronological run was killed at that wall-clock
+/// cap without finishing — the CDCL engine is the first engine in this
+/// workspace to complete the workload at all. Oracle-call counts are pinned
+/// exactly like the seed table (`findmin_cnf_n40`'s chronological run
+/// finished and issued the identical 1148 calls — the accounting is
+/// engine-independent).
+const CHRONO_BASELINE: &[(&str, f64, bool, u64)] = &[
+    ("findmin_cnf_n40", 20430.07, false, 1148),
+    ("findmaxrange_cnf_n56", 300000.0, true, 7),
+    ("findmin_cnf_n48", 300000.0, true, 1375),
+    ("approxmc_cnf_n44", 435988.57, false, 1014),
 ];
 
 /// The planted blocking CNF from the end-to-end suite: n = 12, 45 solutions,
@@ -87,18 +118,40 @@ fn blocking_cnf(n: usize, solutions: usize) -> CnfFormula {
     CnfFormula::new(n, clauses)
 }
 
-fn run_instances() -> Vec<InstanceResult> {
-    let mut out = Vec::new();
-    let mut record = |name: &str, wall_ms: f64, oracle_calls: u64, value: f64| {
-        out.push(InstanceResult {
+struct Recorder {
+    out: Vec<InstanceResult>,
+}
+
+impl Recorder {
+    fn record(&mut self, name: &str, wall_ms: f64, oracle_calls: u64, value: f64) {
+        self.record_with_stats(name, wall_ms, oracle_calls, value, SolverStats::default());
+    }
+
+    fn record_with_stats(
+        &mut self,
+        name: &str,
+        wall_ms: f64,
+        oracle_calls: u64,
+        value: f64,
+        stats: SolverStats,
+    ) {
+        self.out.push(InstanceResult {
             name: name.to_string(),
             wall_ms,
             oracle_calls,
             value,
+            conflicts: stats.conflicts,
+            learned: stats.learned_clauses,
+            restarts: stats.restarts,
         });
-    };
+    }
+}
 
-    // ApproxMC on a random 3-CNF, both level-search policies.
+fn run_instances(heavy: bool) -> Vec<InstanceResult> {
+    let mut rec = Recorder { out: Vec::new() };
+
+    // ApproxMC on a random 3-CNF, both level-search policies (run on an
+    // explicit oracle so the solver's work counters reach the report).
     let mut cnf_rng = Xoshiro256StarStar::seed_from_u64(8);
     let cnf = random_k_cnf(&mut cnf_rng, 10, 20, 3);
     let config = CountingConfig::explicit(0.8, 0.3, 40, 3);
@@ -107,14 +160,23 @@ fn run_instances() -> Vec<InstanceResult> {
         ("approxmc_cnf_galloping", LevelSearch::Galloping),
     ] {
         let input = FormulaInput::Cnf(cnf.clone());
+        let mut oracle = SatOracle::new(cnf.clone());
         let start = Instant::now();
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-        let result = approx_mc(&input, &config, search, &mut rng);
-        record(
+        let result = approx_mc_on_oracle(
+            &input,
+            &config,
+            search,
+            &mut rng,
+            |rng| ToeplitzHash::sample(rng, 10, 10),
+            Some(&mut oracle as &mut dyn SolutionOracle),
+        );
+        rec.record_with_stats(
             name,
             start.elapsed().as_secs_f64() * 1e3,
             result.oracle_calls,
             result.estimate,
+            oracle.solver_stats(),
         );
     }
 
@@ -122,16 +184,25 @@ fn run_instances() -> Vec<InstanceResult> {
     // suite's dominant workload).
     {
         let cnf = blocking_cnf(12, 45);
-        let input = FormulaInput::Cnf(cnf);
+        let input = FormulaInput::Cnf(cnf.clone());
         let config = CountingConfig::explicit(0.8, 0.2, 150, 5);
+        let mut oracle = SatOracle::new(cnf);
         let start = Instant::now();
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
-        let result = approx_mc(&input, &config, LevelSearch::Galloping, &mut rng);
-        record(
+        let result = approx_mc_on_oracle(
+            &input,
+            &config,
+            LevelSearch::Galloping,
+            &mut rng,
+            |rng| ToeplitzHash::sample(rng, 12, 12),
+            Some(&mut oracle as &mut dyn SolutionOracle),
+        );
+        rec.record_with_stats(
             "approxmc_cnf_blocking",
             start.elapsed().as_secs_f64() * 1e3,
             result.oracle_calls,
             result.estimate,
+            oracle.solver_stats(),
         );
     }
 
@@ -143,11 +214,12 @@ fn run_instances() -> Vec<InstanceResult> {
         let mut oracle = SatOracle::new(f);
         let start = Instant::now();
         let minima = find_min_cnf(&mut oracle, &h, 16);
-        record(
+        rec.record_with_stats(
             "findmin_cnf",
             start.elapsed().as_secs_f64() * 1e3,
             oracle.stats().sat_calls,
             minima.len() as f64,
+            oracle.solver_stats(),
         );
     }
 
@@ -159,11 +231,12 @@ fn run_instances() -> Vec<InstanceResult> {
         let mut oracle = SatOracle::new(f);
         let start = Instant::now();
         let max_tz = find_max_range_cnf(&mut oracle, &h);
-        record(
+        rec.record_with_stats(
             "findmaxrange_cnf",
             start.elapsed().as_secs_f64() * 1e3,
             oracle.stats().sat_calls,
             max_tz.map_or(-1.0, |v| v as f64),
+            oracle.solver_stats(),
         );
     }
 
@@ -179,7 +252,7 @@ fn run_instances() -> Vec<InstanceResult> {
         let mut rng = Xoshiro256StarStar::seed_from_u64(3);
         let result =
             approx_model_count_est(&input, &est_config, r, EstBackend::Enumerative, &mut rng);
-        record(
+        rec.record(
             "est_enumerative_dnf",
             start.elapsed().as_secs_f64() * 1e3,
             result.oracle_calls,
@@ -195,7 +268,7 @@ fn run_instances() -> Vec<InstanceResult> {
         let config = CountingConfig::explicit(0.8, 0.3, 30, 5);
         let start = Instant::now();
         let result = approx_model_count_min(&input, &config, &mut rng);
-        record(
+        rec.record(
             "min_counter_cnf",
             start.elapsed().as_secs_f64() * 1e3,
             result.oracle_calls,
@@ -203,7 +276,84 @@ fn run_instances() -> Vec<InstanceResult> {
         );
     }
 
-    out
+    // FindMin at n = 40 under a 120-bit hash: the smallest of the large-n
+    // workloads, kept in the default set as the always-on CDCL-vs-chrono
+    // regression witness (the chronological engine needs 20 s here).
+    {
+        let (f, h, p) = mcf0_bench::large_n::findmin_n40();
+        let mut oracle = SatOracle::new(f);
+        let start = Instant::now();
+        let minima = find_min_cnf(&mut oracle, &h, p);
+        rec.record_with_stats(
+            "findmin_cnf_n40",
+            start.elapsed().as_secs_f64() * 1e3,
+            oracle.stats().sat_calls,
+            minima.len() as f64,
+            oracle.solver_stats(),
+        );
+    }
+
+    if heavy {
+        // FindMaxRange at n = 56: ~56 rows of Gaussian state under binary
+        // search; the chronological engine did not finish in 5 minutes.
+        {
+            let (f, h) = mcf0_bench::large_n::findmaxrange_n56();
+            let mut oracle = SatOracle::new(f);
+            let start = Instant::now();
+            let max_tz = find_max_range_cnf(&mut oracle, &h);
+            rec.record_with_stats(
+                "findmaxrange_cnf_n56",
+                start.elapsed().as_secs_f64() * 1e3,
+                oracle.stats().sat_calls,
+                max_tz.map_or(-1.0, |v| v as f64),
+                oracle.solver_stats(),
+            );
+        }
+
+        // FindMin at n = 48 under a 144-bit hash; chronological engine did
+        // not finish in 5 minutes.
+        {
+            let (f, h, p) = mcf0_bench::large_n::findmin_n48();
+            let mut oracle = SatOracle::new(f);
+            let start = Instant::now();
+            let minima = find_min_cnf(&mut oracle, &h, p);
+            rec.record_with_stats(
+                "findmin_cnf_n48",
+                start.elapsed().as_secs_f64() * 1e3,
+                oracle.stats().sat_calls,
+                minima.len() as f64,
+                oracle.solver_stats(),
+            );
+        }
+
+        // ApproxMC at n = 44 (level searches reach ~26 XOR rows, cells of
+        // up to 40 solutions each); chronological engine: 436 s.
+        {
+            let f = mcf0_bench::large_n::approxmc_formula(44);
+            let config = CountingConfig::explicit(0.8, 0.2, 40, 3);
+            let input = FormulaInput::Cnf(f.clone());
+            let mut oracle = SatOracle::new(f);
+            let start = Instant::now();
+            let mut hash_rng = mcf0_bench::large_n::approxmc_hash_rng();
+            let result = approx_mc_on_oracle(
+                &input,
+                &config,
+                LevelSearch::Galloping,
+                &mut hash_rng,
+                |rng| ToeplitzHash::sample(rng, 44, 44),
+                Some(&mut oracle as &mut dyn SolutionOracle),
+            );
+            rec.record_with_stats(
+                "approxmc_cnf_n44",
+                start.elapsed().as_secs_f64() * 1e3,
+                result.oracle_calls,
+                result.estimate,
+                oracle.solver_stats(),
+            );
+        }
+    }
+
+    rec.out
 }
 
 #[derive(Serialize)]
@@ -214,10 +364,19 @@ struct BaselineRow {
 }
 
 #[derive(Serialize)]
+struct ChronoBaselineRow {
+    name: String,
+    wall_ms: f64,
+    timed_out: bool,
+    oracle_calls: u64,
+}
+
+#[derive(Serialize)]
 struct Report {
     generated_by: String,
     profile: String,
     seed_baseline: Vec<BaselineRow>,
+    chrono_baseline: Vec<ChronoBaselineRow>,
     instances: Vec<InstanceResult>,
 }
 
@@ -225,14 +384,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
     let write = args.iter().any(|a| a == "--write");
+    let heavy = args.iter().any(|a| a == "--heavy") || write;
 
-    let results = run_instances();
-    println!("| instance | wall (ms) | oracle calls | value |");
-    println!("|---|---|---|---|");
+    let results = run_instances(heavy);
+    println!("| instance | wall (ms) | oracle calls | value | conflicts | learned | restarts |");
+    println!("|---|---|---|---|---|---|---|");
     for r in &results {
         println!(
-            "| {} | {:.2} | {} | {:.2} |",
-            r.name, r.wall_ms, r.oracle_calls, r.value
+            "| {} | {:.2} | {} | {:.2} | {} | {} | {} |",
+            r.name, r.wall_ms, r.oracle_calls, r.value, r.conflicts, r.learned, r.restarts
         );
     }
 
@@ -248,6 +408,17 @@ fn main() {
                     oracle_calls,
                 })
                 .collect(),
+            chrono_baseline: CHRONO_BASELINE
+                .iter()
+                .map(
+                    |&(name, wall_ms, timed_out, oracle_calls)| ChronoBaselineRow {
+                        name: name.to_string(),
+                        wall_ms,
+                        timed_out,
+                        oracle_calls,
+                    },
+                )
+                .collect(),
             instances: results.clone(),
         };
         let json = serde_json::to_string(&report).expect("serialization is infallible");
@@ -257,19 +428,30 @@ fn main() {
 
     if check {
         let mut drift = false;
-        for &(name, _, expected) in SEED_BASELINE {
-            let got = results
-                .iter()
-                .find(|r| r.name == name)
-                .unwrap_or_else(|| panic!("pinned instance {name} missing"))
-                .oracle_calls;
-            if got != expected {
-                eprintln!("oracle-call drift on {name}: expected {expected}, got {got}");
+        let pinned = SEED_BASELINE
+            .iter()
+            .map(|&(name, _, calls)| (name, calls))
+            .chain(
+                CHRONO_BASELINE
+                    .iter()
+                    .map(|&(name, _, _, calls)| (name, calls)),
+            );
+        for (name, expected) in pinned {
+            let Some(got) = results.iter().find(|r| r.name == name) else {
+                // Heavy instances are only pinned when the heavy set ran.
+                assert!(!heavy, "pinned instance {name} missing from a heavy run");
+                continue;
+            };
+            if got.oracle_calls != expected {
+                eprintln!(
+                    "oracle-call drift on {name}: expected {expected}, got {}",
+                    got.oracle_calls
+                );
                 drift = true;
             }
         }
         if drift {
-            eprintln!("solver change altered the oracle-call accounting; see SEED_BASELINE");
+            eprintln!("solver change altered the oracle-call accounting; see the pinned tables");
             std::process::exit(1);
         }
         println!("oracle-call counts match the pinned baseline");

@@ -54,18 +54,46 @@ pub fn approx_mc_with_sampler<H: LinearHash>(
     config: &CountingConfig,
     search: LevelSearch,
     rng: &mut Xoshiro256StarStar,
-    mut sample_hash: impl FnMut(&mut Xoshiro256StarStar) -> H,
+    sample_hash: impl FnMut(&mut Xoshiro256StarStar) -> H,
 ) -> CountOutcome {
-    let thresh = config.thresh;
-    let mut per_iteration = Vec::with_capacity(config.rows);
-    let mut estimates = Vec::with_capacity(config.rows);
-    let mut oracle_calls = 0u64;
     // One solver instance for the whole run: hash rows are pushed and popped
     // as assumptions, so neither iterations nor level probes rebuild it.
     let mut cnf_oracle = match input {
         FormulaInput::Cnf(cnf) => Some(SatOracle::new(cnf.clone())),
         FormulaInput::Dnf(_) => None,
     };
+    approx_mc_on_oracle(
+        input,
+        config,
+        search,
+        rng,
+        sample_hash,
+        cnf_oracle.as_mut().map(|o| o as &mut dyn SolutionOracle),
+    )
+}
+
+/// [`approx_mc_with_sampler`] against a caller-supplied oracle for the CNF
+/// path (`None` is only valid for DNF inputs). This is the hook the solver
+/// parity tests and benchmarks use to run the same counting logic over the
+/// CDCL and chronological backends — and to read the backend's solver
+/// statistics afterwards. Oracle-call accounting is identical to
+/// [`approx_mc`].
+pub fn approx_mc_on_oracle<H: LinearHash>(
+    input: &FormulaInput,
+    config: &CountingConfig,
+    search: LevelSearch,
+    rng: &mut Xoshiro256StarStar,
+    mut sample_hash: impl FnMut(&mut Xoshiro256StarStar) -> H,
+    mut cnf_oracle: Option<&mut dyn SolutionOracle>,
+) -> CountOutcome {
+    let thresh = config.thresh;
+    let mut per_iteration = Vec::with_capacity(config.rows);
+    let mut estimates = Vec::with_capacity(config.rows);
+    let mut oracle_calls = 0u64;
+    assert!(
+        cnf_oracle.is_some() || matches!(input, FormulaInput::Dnf(_)),
+        "CNF inputs need an oracle"
+    );
 
     for _ in 0..config.rows {
         let hash = sample_hash(rng);
@@ -79,7 +107,8 @@ pub fn approx_mc_with_sampler<H: LinearHash>(
         // Cell-size probe at a given level, saturating at `thresh`.
         let (level, cell) = match input {
             FormulaInput::Cnf(_) => {
-                let oracle = cnf_oracle.as_mut().expect("CNF input has an oracle");
+                let oracle: &mut dyn SolutionOracle =
+                    *cnf_oracle.as_mut().expect("CNF input has an oracle");
                 let calls_before = oracle.stats().sat_calls;
                 // All candidate rows for this iteration's hash; level m uses
                 // the prefix `rows[..m]`, which both search policies visit

@@ -145,3 +145,57 @@ proptest! {
         prop_assert_eq!(linear.estimate, galloping.estimate);
     }
 }
+
+// ---------------------------------------------------------------------------
+// ApproxMC parity across solver engines: with identical hash draws, the CDCL
+// oracle and the chronological reference oracle must produce bit-identical
+// (level, cell) pairs, estimates, and oracle-call counts — the whole counting
+// layer sees only solution sets, never the search strategy.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn approx_mc_is_bit_identical_across_solver_engines(
+        seed in any::<u64>(),
+        n in 5usize..10,
+        clauses in 4usize..16,
+    ) {
+        use mcf0_counting::approx_mc_on_oracle;
+        use mcf0_hashing::ToeplitzHash;
+        use mcf0_sat::{ChronoOracle, SatOracle, SolutionOracle};
+
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let config = CountingConfig::explicit(0.8, 0.3, 24, 3);
+        let input = FormulaInput::Cnf(f.clone());
+
+        let mut rng_a = rng_from(seed ^ 0xABCD);
+        let mut cdcl = SatOracle::new(f.clone());
+        let a = approx_mc_on_oracle(
+            &input,
+            &config,
+            LevelSearch::Galloping,
+            &mut rng_a,
+            |rng| ToeplitzHash::sample(rng, n, n),
+            Some(&mut cdcl as &mut dyn SolutionOracle),
+        );
+
+        let mut rng_b = rng_from(seed ^ 0xABCD);
+        let mut chrono = ChronoOracle::new(f);
+        let b = approx_mc_on_oracle(
+            &input,
+            &config,
+            LevelSearch::Galloping,
+            &mut rng_b,
+            |rng| ToeplitzHash::sample(rng, n, n),
+            Some(&mut chrono as &mut dyn SolutionOracle),
+        );
+
+        prop_assert_eq!(a.per_iteration, b.per_iteration);
+        prop_assert_eq!(a.estimate, b.estimate);
+        prop_assert_eq!(a.oracle_calls, b.oracle_calls);
+        prop_assert_eq!(cdcl.stats(), chrono.stats());
+    }
+}

@@ -42,6 +42,9 @@ mod par;
 
 pub use bucketing::{distributed_bucketing, distributed_bucketing_parallel};
 pub use comm::{CommLedger, DistributedOutcome};
-pub use estimation::{distributed_estimation, distributed_estimation_parallel};
+pub use estimation::{
+    distributed_estimation, distributed_estimation_parallel, dnf_union_f0_lower_bound,
+    dnf_union_f0_upper_bound, estimation_r_policy,
+};
 pub use lower_bound::{dnf_from_site_items, f0_instance_to_dnf_instance};
 pub use minimum::{distributed_minimum, distributed_minimum_parallel};

@@ -6,13 +6,18 @@
 //! satisfiability queries over "CNF ∧ XOR" formulas (the XOR part encodes the
 //! hash constraint `h(x) = c`):
 //!
-//! * [`solver::CnfXorSolver`] — an incremental CNF-XOR engine: two-watched-
-//!   literal unit propagation, counter-based parity propagation over
-//!   per-variable occurrence lists, incremental Gaussian elimination, an
-//!   iterative trail with chronological backtracking, and assumption-based
-//!   XOR push/pop so hash constraints come and go without rebuilding the
-//!   solver. This substitutes the production CNF-XOR solvers (CryptoMiniSat)
-//!   used by ApproxMC in practice; see DESIGN.md §2 and §5.
+//! * [`solver::CnfXorSolver`] — an incremental CNF-XOR **CDCL** engine:
+//!   two-watched-literal unit propagation, counter-based parity propagation
+//!   over per-variable occurrence lists, incremental Gaussian elimination,
+//!   first-UIP conflict analysis with XOR reason extraction, VSIDS-style
+//!   decisions with phase saving, Luby restarts, LBD-based learned-clause
+//!   database reduction, and assumption-based XOR push/pop so hash
+//!   constraints come and go without rebuilding the solver (learned clauses
+//!   carry derivation dependencies and are purged exactly when a pop
+//!   invalidates them). This substitutes the production CNF-XOR solvers
+//!   (CryptoMiniSat) used by ApproxMC in practice; see DESIGN.md §2 and §5.
+//!   The previous chronological engine survives as
+//!   [`solver::ChronoSolver`], the differential-testing reference.
 //! * [`oracle::SolutionOracle`] — the abstract assumption-based oracle
 //!   interface, with the solver backend ([`oracle::SatOracle`]) and a
 //!   brute-force backend ([`oracle::BruteForceOracle`]) used for ground truth
@@ -47,5 +52,10 @@ pub use affine::{affine_find_min, AffineSystem};
 pub use bounded::{bounded_sat_cnf, bounded_sat_dnf, BoundedSatResult};
 pub use findmaxrange::{find_max_range_cnf, find_max_range_dnf, find_max_range_enumerative};
 pub use findmin::{find_min_cnf, find_min_dnf};
-pub use oracle::{BruteForceOracle, OracleStats, SatOracle, SolutionOracle, XorPrefixSession};
-pub use solver::{ClauseMark, CnfXorSolver, SolveOutcome, XorConstraint};
+pub use oracle::{
+    BruteForceOracle, ChronoOracle, OracleStats, SatOracle, SatOracleOn, SolutionOracle,
+    XorPrefixSession,
+};
+pub use solver::{
+    ChronoSolver, ClauseMark, CnfXorSolver, SolveOutcome, SolverCore, SolverStats, XorConstraint,
+};

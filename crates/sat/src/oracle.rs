@@ -27,7 +27,9 @@
 //!   cannot be encoded as XOR constraints (such as trailing-zero constraints
 //!   on the s-wise polynomial hash used by the Estimation strategy).
 
-use crate::solver::{CnfXorSolver, SolveOutcome, XorConstraint};
+use crate::solver::{
+    ChronoSolver, CnfXorSolver, SolveOutcome, SolverCore, SolverStats, XorConstraint,
+};
 use mcf0_formula::{Assignment, CnfFormula, DnfFormula};
 use mcf0_gf2::BitVec;
 
@@ -149,21 +151,32 @@ impl Drop for XorPrefixSession<'_> {
     }
 }
 
-/// Oracle backed by the incremental CNF-XOR engine. The solver instance is
+/// Oracle backed by an incremental CNF-XOR solver. The solver instance is
 /// built once from the formula and reused across every query; hash
-/// constraints come and go through the assumption stack.
+/// constraints come and go through the assumption stack. The backend is any
+/// [`SolverCore`] — the CDCL engine in production ([`SatOracle`]), the
+/// chronological reference engine in the parity tests and baseline
+/// benchmarks ([`ChronoOracle`]).
 #[derive(Clone, Debug)]
-pub struct SatOracle {
+pub struct SatOracleOn<S: SolverCore> {
     formula: CnfFormula,
-    solver: CnfXorSolver,
+    solver: S,
     stats: OracleStats,
 }
 
-impl SatOracle {
+/// The production oracle: the CDCL engine behind the [`SolutionOracle`]
+/// interface.
+pub type SatOracle = SatOracleOn<CnfXorSolver>;
+
+/// The reference oracle: the chronological engine behind the same
+/// interface, for differential tests and baseline benchmarks.
+pub type ChronoOracle = SatOracleOn<ChronoSolver>;
+
+impl<S: SolverCore> SatOracleOn<S> {
     /// Creates an oracle over the solutions of a CNF formula.
     pub fn new(formula: CnfFormula) -> Self {
-        let solver = CnfXorSolver::from_cnf(&formula);
-        SatOracle {
+        let solver = S::from_cnf(&formula);
+        SatOracleOn {
             formula,
             solver,
             stats: OracleStats::default(),
@@ -174,9 +187,15 @@ impl SatOracle {
     pub fn formula(&self) -> &CnfFormula {
         &self.formula
     }
+
+    /// The backend solver's search-work counters (decisions, conflicts,
+    /// propagations, learned/deleted clauses, restarts).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
 }
 
-impl SolutionOracle for SatOracle {
+impl<S: SolverCore> SolutionOracle for SatOracleOn<S> {
     fn num_vars(&self) -> usize {
         self.formula.num_vars()
     }

@@ -1,100 +1,16 @@
-//! An incremental CNF-XOR solver: the workspace's NP oracle.
+//! The previous incremental CNF-XOR engine — chronological backtracking, no
+//! learning — kept verbatim as [`ChronoSolver`].
 //!
-//! The hashing-based algorithms only ever ask satisfiability / bounded
-//! enumeration questions about formulas of the form `φ ∧ (h(x) = c)` where
-//! `φ` is CNF and the hash constraint is a conjunction of XOR (parity)
-//! equations. The solver therefore carries two constraint stores — ordinary
-//! clauses and parity rows — and propagates over both:
-//!
-//! * **two-watched-literal** unit propagation over clauses (a clause is only
-//!   visited when one of its two watched literals becomes false),
-//! * **counter-based parity propagation** over XOR rows: per-variable
-//!   occurrence lists keep an `unassigned` count and an accumulated parity
-//!   per row, so a row forces its last unassigned variable (or raises a
-//!   conflict) in O(1) per assignment touching it,
-//! * **incremental Gaussian elimination** over the XOR rows: every added row
-//!   is reduced against the existing pivots once; an inconsistent hash system
-//!   is detected before any search, and the reduced rows double as the
-//!   propagation rows. Rows are only ever appended, so popping assumptions is
-//!   a truncation.
-//!
-//! Search is an explicit iterative trail with chronological backtracking (no
-//! recursion, no full-assignment resets between decisions). The engine is
-//! **assumption-based**: XOR rows can be pushed and popped
-//! ([`CnfXorSolver::push_assumption`] / [`CnfXorSolver::pop_assumptions_to`]),
-//! which is how the oracle layer reuses one solver instance — and one
-//! Gaussian-elimination state — across all the level probes of a counting
-//! run (`h_{m+1}` extends `h_m` by one row). Scratch clauses (the blocking
-//! clauses of [`CnfXorSolver::enumerate`]) are likewise popped by truncation.
-//!
-//! This is deliberately a compact solver rather than a CDCL engine; DESIGN.md
-//! §2 documents the architecture and §5 the substitution for CryptoMiniSat.
-//! All the paper's complexity accounting is in terms of *oracle calls*, which
-//! the [`crate::oracle`] layer counts, so the solver's absolute speed only
-//! scales the time axis of the experiments.
+//! It serves two purposes: it is the differential-testing reference the
+//! parity proptests pin the CDCL engine against (same watched-literal and
+//! parity propagation, but an exhaustive flip-the-last-decision search that
+//! is easy to trust), and it is the baseline the large-`n` benchmarks
+//! measure the CDCL engine's wall-clock win over. New workloads should use
+//! [`super::CnfXorSolver`].
 
+use super::{lit_code, ClauseMark, SolveOutcome, SolverCore, SolverStats, XorConstraint};
 use mcf0_formula::{Assignment, CnfFormula, Literal};
 use mcf0_gf2::BitVec;
-
-/// A parity constraint `⊕_{v ∈ vars} x_v = parity`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct XorConstraint {
-    /// Variables appearing in the constraint (deduplicated internally:
-    /// a variable appearing twice cancels).
-    pub vars: Vec<usize>,
-    /// Required parity of the sum.
-    pub parity: bool,
-}
-
-impl XorConstraint {
-    /// Builds a constraint, cancelling duplicate variables.
-    pub fn new(mut vars: Vec<usize>, parity: bool) -> Self {
-        vars.sort_unstable();
-        let mut deduped: Vec<usize> = Vec::with_capacity(vars.len());
-        let mut i = 0;
-        while i < vars.len() {
-            let mut run = 1;
-            while i + run < vars.len() && vars[i + run] == vars[i] {
-                run += 1;
-            }
-            if run % 2 == 1 {
-                deduped.push(vars[i]);
-            }
-            i += run;
-        }
-        XorConstraint {
-            vars: deduped,
-            parity,
-        }
-    }
-
-    /// Builds the constraint `row · x = target` from a hash-matrix row
-    /// (word-wise set-bit iteration; the row's bits are already distinct).
-    pub fn from_row(row: &BitVec, target: bool) -> Self {
-        XorConstraint {
-            vars: row.iter_ones().collect(),
-            parity: target,
-        }
-    }
-
-    /// Evaluates the constraint under a total assignment.
-    pub fn eval(&self, assignment: &Assignment) -> bool {
-        let mut parity = false;
-        for &v in &self.vars {
-            parity ^= assignment.get(v);
-        }
-        parity == self.parity
-    }
-}
-
-/// Outcome of a satisfiability query.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SolveOutcome {
-    /// A satisfying assignment was found.
-    Sat(Assignment),
-    /// The formula (with its XOR constraints) is unsatisfiable.
-    Unsat,
-}
 
 /// A clause in the two-watched-literal scheme. For clauses of length ≥ 2 the
 /// invariant is that `lits[0]` and `lits[1]` are the watched literals; unit
@@ -104,11 +20,7 @@ struct WatchedClause {
     lits: Vec<Literal>,
 }
 
-/// A reduced XOR row with cached propagation counters. `unassigned` and `acc`
-/// (the parity of the variables currently assigned true) are maintained
-/// incrementally by [`CnfXorSolver::enqueue`] and the backtracking unwinder;
-/// outside of `solve` the trail is empty, so `unassigned == vars.len()` and
-/// `acc == false` — which is what lets rows be pushed and popped freely.
+/// A reduced XOR row with cached propagation counters.
 #[derive(Clone, Debug)]
 struct XorRow {
     vars: Vec<usize>,
@@ -120,20 +32,9 @@ struct XorRow {
 /// Undo record for one pushed XOR constraint (assumption or permanent).
 #[derive(Clone, Copy, Debug)]
 enum XorUndo {
-    /// The constraint contributed a new reduced row (always the last one).
     AddedRow,
-    /// The constraint reduced to `0 = 1`: it bumped the inconsistency count.
     Inconsistent,
-    /// The constraint reduced to `0 = 0`: nothing to undo.
     Redundant,
-}
-
-/// Checkpoint of the clause store, returned by [`CnfXorSolver::clause_mark`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ClauseMark {
-    clauses: usize,
-    units: usize,
-    empty: bool,
 }
 
 /// Result of the propagation loop.
@@ -142,30 +43,26 @@ enum Propagation {
     NoConflict,
 }
 
-/// The incremental CNF-XOR solver.
+/// The chronological-backtracking incremental CNF-XOR solver (the pre-CDCL
+/// engine). Same constraint stores and incremental API as
+/// [`super::CnfXorSolver`]; the search unwinds to the deepest decision whose
+/// second phase is untried and flips it.
 #[derive(Clone, Debug)]
-pub struct CnfXorSolver {
+pub struct ChronoSolver {
     num_vars: usize,
 
-    // Clause store. `clauses` holds clauses of length ≥ 2 (watched);
-    // unit clauses live in `unit_lits`; an empty clause sets `has_empty`.
     clauses: Vec<WatchedClause>,
     watches: Vec<Vec<u32>>,
     unit_lits: Vec<Literal>,
     has_empty: bool,
 
-    // XOR store: forward-reduced Gaussian rows (`gauss` keeps the dense row
-    // and its pivot column; `xor_rows` the propagation view with counters),
-    // per-variable occurrence lists, and the count of `0 = 1` reductions.
     gauss: Vec<(BitVec, usize)>,
     xor_rows: Vec<XorRow>,
     xor_occ: Vec<Vec<u32>>,
     inconsistent: u32,
 
-    // Assumption stack: undo records for pushed XOR constraints.
     assumptions: Vec<XorUndo>,
 
-    // Search state. Empty between `solve` calls.
     assigns: Vec<Option<bool>>,
     trail: Vec<usize>,
     trail_lim: Vec<usize>,
@@ -173,17 +70,13 @@ pub struct CnfXorSolver {
     qhead: usize,
 
     solve_calls: u64,
+    stats: SolverStats,
 }
 
-#[inline]
-fn lit_code(l: Literal) -> usize {
-    2 * l.var() + usize::from(l.is_positive())
-}
-
-impl CnfXorSolver {
+impl ChronoSolver {
     /// Creates an empty solver over `num_vars` variables.
     pub fn new(num_vars: usize) -> Self {
-        CnfXorSolver {
+        ChronoSolver {
             num_vars,
             clauses: Vec::new(),
             watches: vec![Vec::new(); 2 * num_vars],
@@ -200,6 +93,7 @@ impl CnfXorSolver {
             decisions: Vec::new(),
             qhead: 0,
             solve_calls: 0,
+            stats: SolverStats::default(),
         }
     }
 
@@ -220,6 +114,12 @@ impl CnfXorSolver {
     /// Number of `solve` invocations so far (the oracle-call metric).
     pub fn solve_calls(&self) -> u64 {
         self.solve_calls
+    }
+
+    /// Work counters (decisions/conflicts/propagations; the learning
+    /// counters stay zero — this engine does not learn).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// Adds a clause (empty clause makes the instance unsatisfiable).
@@ -259,9 +159,7 @@ impl CnfXorSolver {
         let _ = self.insert_xor(&xor);
     }
 
-    /// Pushes an XOR constraint as a popable assumption (the hash-prefix
-    /// rows of the oracle layer). Returns nothing; pop with
-    /// [`Self::pop_assumptions_to`].
+    /// Pushes an XOR constraint as a popable assumption.
     pub fn push_assumption(&mut self, xor: &XorConstraint) {
         let undo = self.insert_xor(xor);
         self.assumptions.push(undo);
@@ -300,14 +198,9 @@ impl CnfXorSolver {
         }
         let mut bits = BitVec::zeros(self.num_vars);
         for &v in &xor.vars {
-            // Duplicates in a raw `vars` list cancel, matching XorConstraint
-            // semantics even for hand-built constraints.
             bits.set(v, !bits.get(v));
         }
         let mut parity = xor.parity;
-        // Forward reduction: each existing row has zeros at the pivots of all
-        // earlier rows, so one pass in insertion order fully clears the new
-        // row's bits at every existing pivot.
         for (i, (row, pivot)) in self.gauss.iter().enumerate() {
             if bits.get(*pivot) {
                 bits.xor_assign(row);
@@ -342,9 +235,7 @@ impl CnfXorSolver {
         }
     }
 
-    /// Checkpoint of the clause store; clauses added afterwards (blocking
-    /// clauses, scratch constraints) are removed by
-    /// [`Self::pop_clauses_to`].
+    /// Checkpoint of the clause store.
     pub fn clause_mark(&self) -> ClauseMark {
         ClauseMark {
             clauses: self.clauses.len(),
@@ -388,9 +279,7 @@ impl CnfXorSolver {
     }
 
     /// Decides satisfiability under the permanent constraints plus all pushed
-    /// assumptions, returning a model if one exists. The search trail is
-    /// fully unwound before returning, so constraints can be pushed or popped
-    /// freely between calls.
+    /// assumptions, returning a model if one exists.
     pub fn solve(&mut self) -> SolveOutcome {
         self.solve_calls += 1;
         if self.has_empty || self.inconsistent > 0 {
@@ -426,6 +315,7 @@ impl CnfXorSolver {
         loop {
             match self.propagate() {
                 Propagation::Conflict => {
+                    self.stats.conflicts += 1;
                     if !self.resolve_conflict() {
                         self.cancel_all();
                         return SolveOutcome::Unsat;
@@ -446,6 +336,7 @@ impl CnfXorSolver {
                         }
                         Some(var) => {
                             // Decide: false first, true on backtrack.
+                            self.stats.decisions += 1;
                             self.trail_lim.push(self.trail.len());
                             self.decisions.push((var, false));
                             let enqueued = self.enqueue(var, false);
@@ -533,8 +424,6 @@ impl CnfXorSolver {
             self.qhead += 1;
             let value = self.assigns[var].expect("queued variables are assigned");
 
-            // Parity propagation: counters were updated at enqueue time; a
-            // row fires when this assignment left it unit or fully assigned.
             for i in 0..self.xor_occ[var].len() {
                 let r = self.xor_occ[var][i] as usize;
                 let (unassigned, acc, parity) = {
@@ -551,14 +440,13 @@ impl CnfXorSolver {
                         .iter()
                         .find(|&&v| self.assigns[v].is_none())
                         .expect("exactly one variable is unassigned");
+                    self.stats.propagations += 1;
                     if !self.enqueue(forced_var, acc ^ parity) {
                         return Propagation::Conflict;
                     }
                 }
             }
 
-            // Clause propagation: visit only clauses watching the literal
-            // that just became false.
             let false_lit = if value {
                 Literal::negative(var)
             } else {
@@ -583,7 +471,7 @@ impl CnfXorSolver {
                         i += 1;
                         continue 'clauses;
                     }
-                    // Look for a non-false literal to watch instead.
+                    let mut replaced = false;
                     for k in 2..lits.len() {
                         let cand = lits[k];
                         let non_false = match self.assigns[cand.var()] {
@@ -594,11 +482,13 @@ impl CnfXorSolver {
                             lits.swap(1, k);
                             self.watches[lit_code(cand)].push(ci as u32);
                             self.watches[code].swap_remove(i);
-                            continue 'clauses;
+                            replaced = true;
+                            break;
                         }
                     }
-                    // No replacement: `first` is unit (or the clause is
-                    // falsified). Keep watching `false_lit`.
+                    if replaced {
+                        continue 'clauses;
+                    }
                     i += 1;
                     first
                 };
@@ -608,6 +498,7 @@ impl CnfXorSolver {
                         return Propagation::Conflict;
                     }
                     None => {
+                        self.stats.propagations += 1;
                         if !self.enqueue(unit.var(), unit.is_positive()) {
                             return Propagation::Conflict;
                         }
@@ -637,8 +528,7 @@ impl CnfXorSolver {
         out
     }
 
-    /// Checks a model against all clauses and active XOR rows (the reduced
-    /// rows are an equivalent system to every constraint added or pushed).
+    /// Checks a model against all clauses and active XOR rows.
     pub fn verify(&self, model: &Assignment) -> bool {
         if self.has_empty || self.inconsistent > 0 {
             return false;
@@ -656,200 +546,29 @@ impl CnfXorSolver {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mcf0_formula::exact::{count_cnf_brute_force, enumerate_cnf_solutions};
-    use mcf0_formula::generators::random_k_cnf;
-    use mcf0_hashing::Xoshiro256StarStar;
-
-    #[test]
-    fn solves_simple_formula() {
-        // (x0 ∨ x1) ∧ (¬x0 ∨ x2) ∧ (¬x1)
-        let mut s = CnfXorSolver::new(3);
-        s.add_clause(vec![Literal::positive(0), Literal::positive(1)]);
-        s.add_clause(vec![Literal::negative(0), Literal::positive(2)]);
-        s.add_clause(vec![Literal::negative(1)]);
-        match s.solve() {
-            SolveOutcome::Sat(model) => {
-                assert!(model.get(0));
-                assert!(!model.get(1));
-                assert!(model.get(2));
-            }
-            SolveOutcome::Unsat => panic!("formula is satisfiable"),
-        }
+impl SolverCore for ChronoSolver {
+    fn from_cnf(formula: &CnfFormula) -> Self {
+        ChronoSolver::from_cnf(formula)
     }
-
-    #[test]
-    fn detects_unsat_via_clauses() {
-        let mut s = CnfXorSolver::new(2);
-        s.add_clause(vec![Literal::positive(0)]);
-        s.add_clause(vec![Literal::negative(0)]);
-        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    fn assumption_len(&self) -> usize {
+        ChronoSolver::assumption_len(self)
     }
-
-    #[test]
-    fn detects_unsat_via_inconsistent_xors() {
-        let mut s = CnfXorSolver::new(3);
-        s.add_xor(XorConstraint::new(vec![0, 1], false));
-        s.add_xor(XorConstraint::new(vec![1, 2], false));
-        s.add_xor(XorConstraint::new(vec![0, 2], true));
-        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    fn push_assumption(&mut self, xor: &XorConstraint) {
+        ChronoSolver::push_assumption(self, xor);
     }
-
-    #[test]
-    fn xor_constraints_restrict_the_model() {
-        let mut s = CnfXorSolver::new(4);
-        s.add_xor(XorConstraint::new(vec![0, 1, 2], true));
-        s.add_xor(XorConstraint::new(vec![2, 3], false));
-        match s.solve() {
-            SolveOutcome::Sat(model) => {
-                assert!(model.get(0) ^ model.get(1) ^ model.get(2));
-                assert_eq!(model.get(2), model.get(3));
-            }
-            SolveOutcome::Unsat => panic!("satisfiable"),
-        }
+    fn pop_assumptions_to(&mut self, len: usize) {
+        ChronoSolver::pop_assumptions_to(self, len);
     }
-
-    #[test]
-    fn xor_duplicate_variables_cancel() {
-        let x = XorConstraint::new(vec![3, 1, 3, 3, 1], true);
-        assert_eq!(x.vars, vec![3]);
-        let y = XorConstraint::new(vec![2, 2], true);
-        assert!(y.vars.is_empty());
+    fn solve(&mut self) -> SolveOutcome {
+        ChronoSolver::solve(self)
     }
-
-    #[test]
-    fn contradictory_empty_xor_is_unsat() {
-        let mut s = CnfXorSolver::new(2);
-        s.add_xor(XorConstraint::new(vec![1, 1], true));
-        assert_eq!(s.solve(), SolveOutcome::Unsat);
+    fn enumerate(&mut self, limit: usize) -> Vec<Assignment> {
+        ChronoSolver::enumerate(self, limit)
     }
-
-    #[test]
-    fn enumeration_matches_brute_force_on_random_instances() {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
-        for _ in 0..10 {
-            let f = random_k_cnf(&mut rng, 8, 14, 3);
-            let expected = count_cnf_brute_force(&f);
-            let mut s = CnfXorSolver::from_cnf(&f);
-            let sols = s.enumerate(1 << 9);
-            assert_eq!(sols.len() as u128, expected, "{f}");
-            // All reported solutions are genuine and distinct.
-            let brute = enumerate_cnf_solutions(&f);
-            for sol in &sols {
-                assert!(brute.contains(sol));
-            }
-            let mut dedup = sols.clone();
-            dedup.sort();
-            dedup.dedup();
-            assert_eq!(dedup.len(), sols.len());
-        }
+    fn solve_calls(&self) -> u64 {
+        ChronoSolver::solve_calls(self)
     }
-
-    #[test]
-    fn enumeration_respects_limit_and_is_repeatable() {
-        let f = CnfFormula::tautology(5);
-        let mut s = CnfXorSolver::from_cnf(&f);
-        assert_eq!(s.enumerate(7).len(), 7);
-        // The scratch blocking clauses must not leak: a second enumeration
-        // sees the full solution set again.
-        assert_eq!(s.enumerate(40).len(), 32);
-    }
-
-    #[test]
-    fn solutions_with_xor_constraints_match_brute_force() {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
-        for _ in 0..10 {
-            let f = random_k_cnf(&mut rng, 7, 10, 3);
-            let row = rng.random_bitvec(7);
-            let parity = rng.next_bool();
-            let xor = XorConstraint::from_row(&row, parity);
-            let mut s = CnfXorSolver::from_cnf(&f);
-            s.add_xor(xor.clone());
-            let got = s.enumerate(1 << 8).len();
-            let expected = enumerate_cnf_solutions(&f)
-                .into_iter()
-                .filter(|a| xor.eval(a))
-                .count();
-            assert_eq!(got, expected);
-        }
-    }
-
-    #[test]
-    fn solve_call_counter_increments() {
-        let mut s = CnfXorSolver::new(3);
-        s.add_clause(vec![Literal::positive(0)]);
-        assert_eq!(s.solve_calls(), 0);
-        let _ = s.solve();
-        let _ = s.solve();
-        assert_eq!(s.solve_calls(), 2);
-        let _ = s.enumerate(4);
-        assert!(s.solve_calls() >= 6);
-    }
-
-    #[test]
-    fn assumptions_push_and_pop_restore_the_solution_set() {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(41);
-        let f = random_k_cnf(&mut rng, 8, 12, 3);
-        let mut s = CnfXorSolver::from_cnf(&f);
-        let unconstrained = s.enumerate(1 << 8).len();
-
-        // Push two rows, solve under them, then pop back.
-        let base = s.assumption_len();
-        let row_a = XorConstraint::from_row(&rng.random_bitvec(8), rng.next_bool());
-        let row_b = XorConstraint::from_row(&rng.random_bitvec(8), rng.next_bool());
-        s.push_assumption(&row_a);
-        s.push_assumption(&row_b);
-        let constrained = s.enumerate(1 << 8);
-        for sol in &constrained {
-            assert!(row_a.eval(sol) && row_b.eval(sol));
-        }
-        let expected = enumerate_cnf_solutions(&f)
-            .into_iter()
-            .filter(|a| row_a.eval(a) && row_b.eval(a))
-            .count();
-        assert_eq!(constrained.len(), expected);
-
-        // Partial pop: only the first row remains.
-        s.pop_assumptions_to(base + 1);
-        let one_row = s.enumerate(1 << 8).len();
-        let expected_one = enumerate_cnf_solutions(&f)
-            .into_iter()
-            .filter(|a| row_a.eval(a))
-            .count();
-        assert_eq!(one_row, expected_one);
-
-        // Full pop: the original solution set is back.
-        s.pop_assumptions_to(base);
-        assert_eq!(s.enumerate(1 << 8).len(), unconstrained);
-    }
-
-    #[test]
-    fn inconsistent_assumptions_are_popped_cleanly() {
-        let mut s = CnfXorSolver::new(4);
-        s.add_clause(vec![Literal::positive(0)]);
-        let base = s.assumption_len();
-        // x1 ⊕ x2 = 0 and x1 ⊕ x2 = 1 together are inconsistent.
-        s.push_assumption(&XorConstraint::new(vec![1, 2], false));
-        s.push_assumption(&XorConstraint::new(vec![1, 2], true));
-        assert_eq!(s.solve(), SolveOutcome::Unsat);
-        s.pop_assumptions_to(base);
-        assert!(matches!(s.solve(), SolveOutcome::Sat(_)));
-    }
-
-    #[test]
-    fn redundant_assumptions_are_popped_cleanly() {
-        let mut s = CnfXorSolver::new(3);
-        let base = s.assumption_len();
-        s.push_assumption(&XorConstraint::new(vec![0, 1], true));
-        // The same row again is redundant (reduces to 0 = 0).
-        s.push_assumption(&XorConstraint::new(vec![0, 1], true));
-        match s.solve() {
-            SolveOutcome::Sat(m) => assert!(m.get(0) ^ m.get(1)),
-            SolveOutcome::Unsat => panic!("satisfiable"),
-        }
-        s.pop_assumptions_to(base);
-        assert_eq!(s.enumerate(1 << 3).len(), 8);
+    fn stats(&self) -> SolverStats {
+        ChronoSolver::stats(self)
     }
 }

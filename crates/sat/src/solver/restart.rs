@@ -1,0 +1,42 @@
+//! The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …) scaled by a base
+//! conflict budget. Restart intervals grow without bound, which together
+//! with the geometrically growing learned-clause budget keeps the engine
+//! complete: eventually an interval is long enough to finish any exhaustive
+//! search the instance requires.
+
+/// The `i`-th term (0-based) of the Luby sequence for base `y`, following
+/// the standard finite-subsequence characterisation.
+pub(super) fn luby(y: f64, mut x: u64) -> f64 {
+    let (mut size, mut seq) = (1u64, 0i32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    y.powi(seq)
+}
+
+/// Conflicts allowed before the `restarts`-th restart of a `solve` call.
+pub(super) fn restart_budget(restarts: u64) -> u64 {
+    const RESTART_FIRST: f64 = 64.0;
+    const RESTART_BASE: f64 = 2.0;
+    (luby(RESTART_BASE, restarts) * RESTART_FIRST) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix_matches_the_known_sequence() {
+        let got: Vec<f64> = (0..15).map(|i| luby(2.0, i)).collect();
+        let expected = [
+            1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 8.0,
+        ];
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,161 @@
+//! The parity store: incremental Gaussian elimination over XOR rows,
+//! propagation counters, and per-variable occurrence lists.
+//!
+//! Identical discipline to the chronological engine: every added constraint
+//! is forward-reduced against the existing pivot rows once; an inconsistent
+//! system is detected before any search; rows are only ever appended, so
+//! popping assumptions is a truncation. The counters (`unassigned`, `acc`)
+//! are maintained by the engine's `enqueue`/`cancel` and are trivially
+//! consistent whenever the trail is empty — which is what lets rows be
+//! pushed and popped freely between `solve` calls.
+
+use super::{CnfXorSolver, XorConstraint};
+use mcf0_gf2::BitVec;
+
+/// A reduced XOR row with cached propagation counters.
+#[derive(Clone, Debug)]
+pub(super) struct XorRow {
+    pub vars: Vec<usize>,
+    pub parity: bool,
+    pub unassigned: usize,
+    pub acc: bool,
+}
+
+/// Undo record for one pushed XOR constraint (assumption or permanent).
+#[derive(Clone, Copy, Debug)]
+pub(super) enum XorUndo {
+    /// The constraint contributed a new reduced row (always the last one).
+    AddedRow,
+    /// The constraint reduced to `0 = 1`: it bumped the inconsistency count.
+    Inconsistent,
+    /// The constraint reduced to `0 = 0`: nothing to undo.
+    Redundant,
+}
+
+/// The Gaussian-elimination state and propagation view of the XOR rows.
+#[derive(Clone, Debug)]
+pub(super) struct XorStore {
+    /// Dense reduced rows with their pivot columns.
+    pub gauss: Vec<(BitVec, usize)>,
+    /// Propagation view of the same rows.
+    pub rows: Vec<XorRow>,
+    /// Per-variable occurrence lists into `rows`.
+    pub occ: Vec<Vec<u32>>,
+    /// Number of `0 = 1` reductions currently active.
+    pub inconsistent: u32,
+    /// Undo records for pushed assumptions.
+    pub undo: Vec<XorUndo>,
+}
+
+impl XorStore {
+    pub fn new(num_vars: usize) -> Self {
+        XorStore {
+            gauss: Vec::new(),
+            rows: Vec::new(),
+            occ: vec![Vec::new(); num_vars],
+            inconsistent: 0,
+            undo: Vec::new(),
+        }
+    }
+
+    /// Reduces the constraint against the current Gaussian rows and installs
+    /// the result (new pivot row, inconsistency, or nothing).
+    pub fn insert(&mut self, xor: &XorConstraint, num_vars: usize) -> XorUndo {
+        for &v in &xor.vars {
+            assert!(v < num_vars, "XOR variable out of range");
+        }
+        let mut bits = BitVec::zeros(num_vars);
+        for &v in &xor.vars {
+            // Duplicates in a raw `vars` list cancel, matching XorConstraint
+            // semantics even for hand-built constraints.
+            bits.set(v, !bits.get(v));
+        }
+        let mut parity = xor.parity;
+        // Forward reduction: each existing row has zeros at the pivots of all
+        // earlier rows, so one pass in insertion order fully clears the new
+        // row's bits at every existing pivot.
+        for (i, (row, pivot)) in self.gauss.iter().enumerate() {
+            if bits.get(*pivot) {
+                bits.xor_assign(row);
+                parity ^= self.rows[i].parity;
+            }
+        }
+        match bits.leading_one() {
+            None => {
+                if parity {
+                    self.inconsistent += 1;
+                    XorUndo::Inconsistent
+                } else {
+                    XorUndo::Redundant
+                }
+            }
+            Some(pivot) => {
+                let vars: Vec<usize> = bits.iter_ones().collect();
+                let idx = self.rows.len() as u32;
+                for &v in &vars {
+                    self.occ[v].push(idx);
+                }
+                let unassigned = vars.len();
+                self.rows.push(XorRow {
+                    vars,
+                    parity,
+                    unassigned,
+                    acc: false,
+                });
+                self.gauss.push((bits, pivot));
+                XorUndo::AddedRow
+            }
+        }
+    }
+
+    /// Pops undo records until only the first `len` remain.
+    pub fn pop_to(&mut self, len: usize) {
+        while self.undo.len() > len {
+            match self.undo.pop().expect("stack is non-empty") {
+                XorUndo::Redundant => {}
+                XorUndo::Inconsistent => self.inconsistent -= 1,
+                XorUndo::AddedRow => {
+                    let idx = self.rows.len() - 1;
+                    let row = self.rows.pop().expect("row stack is non-empty");
+                    self.gauss.pop();
+                    for &v in &row.vars {
+                        let popped = self.occ[v].pop();
+                        debug_assert_eq!(popped, Some(idx as u32));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CnfXorSolver {
+    /// Adds a permanent XOR constraint. Must not be called while assumptions
+    /// are pushed (permanent rows would be popped with them).
+    pub fn add_xor(&mut self, xor: XorConstraint) {
+        assert!(
+            self.xors.undo.is_empty(),
+            "add_xor with active assumptions; use push_assumption"
+        );
+        let _ = self.xors.insert(&xor, self.num_vars);
+    }
+
+    /// Pushes an XOR constraint as a popable assumption (the hash-prefix
+    /// rows of the oracle layer). Pop with [`Self::pop_assumptions_to`].
+    pub fn push_assumption(&mut self, xor: &XorConstraint) {
+        let undo = self.xors.insert(xor, self.num_vars);
+        self.xors.undo.push(undo);
+    }
+
+    /// Number of assumptions currently pushed.
+    pub fn assumption_len(&self) -> usize {
+        self.xors.undo.len()
+    }
+
+    /// Pops assumptions until only the first `len` remain. Learned clauses
+    /// whose derivation used a popped row are purged.
+    pub fn pop_assumptions_to(&mut self, len: usize) {
+        debug_assert!(self.trail.is_empty(), "pops happen between solves");
+        self.xors.pop_to(len);
+        self.purge_invalid_learned();
+    }
+}

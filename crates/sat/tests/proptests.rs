@@ -417,3 +417,172 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// CDCL vs chronological engine parity (the differential contract of the CDCL
+// rewrite: identical verdicts, identical solution sets, identical subroutine
+// outputs — only the search inside each oracle call may differ)
+// ---------------------------------------------------------------------------
+
+use mcf0_sat::{ChronoOracle, ChronoSolver};
+
+fn sorted_solutions(sols: Vec<Assignment>) -> Vec<Assignment> {
+    let mut sols = sols;
+    sols.sort();
+    sols
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cdcl_matches_chrono_on_verdicts_and_solution_sets(
+        seed in any::<u64>(),
+        n in 3usize..9,
+        clauses in 1usize..18,
+        xor_rows in 0usize..5,
+    ) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let mut cdcl = CnfXorSolver::from_cnf(&f);
+        let mut chrono = ChronoSolver::from_cnf(&f);
+        for _ in 0..xor_rows {
+            let xor = XorConstraint::from_row(&rng.random_bitvec(n), rng.next_bool());
+            cdcl.add_xor(xor.clone());
+            chrono.add_xor(xor);
+        }
+        let a = matches!(cdcl.solve(), SolveOutcome::Sat(_));
+        let b = matches!(chrono.solve(), SolveOutcome::Sat(_));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(
+            sorted_solutions(cdcl.enumerate(1 << n)),
+            sorted_solutions(chrono.enumerate(1 << n))
+        );
+    }
+
+    #[test]
+    fn cdcl_matches_chrono_on_assumption_session_replay(
+        seed in any::<u64>(),
+        n in 3usize..8,
+        clauses in 1usize..12,
+        ops in proptest::collection::vec((0usize..4, any::<u64>()), 1..12),
+    ) {
+        // Replay one interleaved push/pop/solve/enumerate sequence against
+        // both engines; every intermediate answer must be bit-identical.
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let mut cdcl = CnfXorSolver::from_cnf(&f);
+        let mut chrono = ChronoSolver::from_cnf(&f);
+        for (op, op_seed) in ops {
+            let mut op_rng = rng_from(op_seed);
+            match op {
+                0 => {
+                    let xor = XorConstraint::from_row(
+                        &op_rng.random_bitvec(n),
+                        op_rng.next_bool(),
+                    );
+                    cdcl.push_assumption(&xor);
+                    chrono.push_assumption(&xor);
+                }
+                1 => {
+                    let len = cdcl.assumption_len();
+                    let target = if len == 0 { 0 } else { op_seed as usize % (len + 1) };
+                    cdcl.pop_assumptions_to(target);
+                    chrono.pop_assumptions_to(target);
+                }
+                2 => {
+                    prop_assert_eq!(
+                        matches!(cdcl.solve(), SolveOutcome::Sat(_)),
+                        matches!(chrono.solve(), SolveOutcome::Sat(_))
+                    );
+                }
+                _ => {
+                    prop_assert_eq!(
+                        sorted_solutions(cdcl.enumerate(1 << n)),
+                        sorted_solutions(chrono.enumerate(1 << n))
+                    );
+                }
+            }
+            prop_assert_eq!(cdcl.assumption_len(), chrono.assumption_len());
+        }
+        cdcl.pop_assumptions_to(0);
+        chrono.pop_assumptions_to(0);
+        prop_assert_eq!(
+            sorted_solutions(cdcl.enumerate(1 << n)),
+            sorted_solutions(chrono.enumerate(1 << n))
+        );
+    }
+
+    #[test]
+    fn find_min_and_max_range_agree_across_engines(
+        seed in any::<u64>(),
+        n in 3usize..8,
+        clauses in 1usize..10,
+        p in 1usize..12,
+    ) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let h = ToeplitzHash::sample(&mut rng, n, 2 * n);
+        let mut cdcl = SatOracle::new(f.clone());
+        let mut chrono = ChronoOracle::new(f);
+        prop_assert_eq!(
+            find_min_cnf(&mut cdcl, &h, p),
+            find_min_cnf(&mut chrono, &h, p)
+        );
+        prop_assert_eq!(
+            find_max_range_cnf(&mut cdcl, &h),
+            find_max_range_cnf(&mut chrono, &h)
+        );
+        // The paper's accounting must be engine-independent: both backends
+        // issue exactly the same number of oracle calls.
+        prop_assert_eq!(cdcl.stats(), chrono.stats());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Learned-clause soundness: every clause the CDCL engine retains is implied
+// by the original formula plus the currently active XOR constraints
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn learned_clauses_are_implied_by_the_formula(
+        seed in any::<u64>(),
+        n in 3usize..8,
+        clauses in 1usize..16,
+        xor_rows in 0usize..4,
+    ) {
+        let mut rng = rng_from(seed);
+        let f = random_k_cnf(&mut rng, n, clauses, 3.min(n));
+        let xors: Vec<XorConstraint> = (0..xor_rows)
+            .map(|_| XorConstraint::from_row(&rng.random_bitvec(n), rng.next_bool()))
+            .collect();
+        let mut solver = CnfXorSolver::from_cnf(&f);
+        for x in &xors {
+            solver.push_assumption(x);
+        }
+        let _ = solver.enumerate(1 << n);
+
+        // Brute-force model check: with the rows still pushed, learned
+        // clauses must hold in every model of φ ∧ rows.
+        let implied_by = |constraints: &[XorConstraint], clause: &Vec<mcf0_formula::Literal>| {
+            (0..(1u64 << n)).all(|v| {
+                let a = assignment_from_u64(v, n);
+                let model = f.eval(&a) && constraints.iter().all(|x| x.eval(&a));
+                !model || clause.iter().any(|l| l.eval(a.get(l.var())))
+            })
+        };
+        for clause in solver.learned_clause_lits() {
+            prop_assert!(implied_by(&xors, &clause), "clause {:?} under rows", clause);
+        }
+
+        // After popping every row, the surviving clauses must be implied by
+        // the formula alone.
+        solver.pop_assumptions_to(0);
+        for clause in solver.learned_clause_lits() {
+            prop_assert!(implied_by(&[], &clause), "clause {:?} after pop", clause);
+        }
+    }
+}
