@@ -1,0 +1,430 @@
+//! Sketch-service benchmark harness: seeded regression workloads driven
+//! through the sharded multi-tenant service, with wall-clock / throughput
+//! accounting and pinned-output gates — the service-layer counterpart of
+//! `sketch_bench`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mcf0-bench --bin service_bench             # print table
+//! cargo run --release -p mcf0-bench --bin service_bench -- --check  # fail on output drift
+//! cargo run --release -p mcf0-bench --bin service_bench -- --check --heavy
+//! cargo run --release -p mcf0-bench --bin service_bench -- --write  # update BENCH_streaming.json
+//! ```
+//!
+//! The default workloads reuse `sketch_bench`'s seeds, so every service
+//! estimate is pinned to the *direct sketch engine's* long-standing value:
+//! sharding, batching, merging and save/restore are pure routing, and this
+//! gate enforces it in CI at both 1 and 4 shards. `--heavy` runs a
+//! paper-scale (w = 48, Thresh = 150, 2·10^5 items) self-differential pass —
+//! the sharded service against the unsharded reference interpreter,
+//! snapshot documents compared byte for byte. `--write` merges a `service`
+//! section into BENCH_streaming.json, preserving `sketch_bench`'s sections.
+
+use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::service::{
+    CommandReply, ReferenceService, ServiceCommand, SessionSpec, SketchKind, SketchService,
+};
+use mcf0::streaming::workloads::{planted_f0_stream, skewed_stream};
+use mcf0_bench::merge_bench_json;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured service workload.
+#[derive(Clone, Debug, Serialize)]
+struct InstanceResult {
+    /// Workload name.
+    name: String,
+    /// Wall-clock milliseconds for one run (release).
+    wall_ms: f64,
+    /// The estimate the workload produced (pinned).
+    estimate: f64,
+    /// Space bits of the merged session sketch (pinned).
+    space_bits: u64,
+    /// Ingest throughput in items/second (history only, not pinned).
+    items_per_sec: Option<f64>,
+}
+
+/// Pinned `(name, estimate, space_bits)` — the values the *direct* sketch
+/// engine has produced for these seeds since the word-packed-engine PR
+/// (see `sketch_bench::PINNED`); the service must reproduce them at every
+/// shard count. Drift means routing stopped being pure.
+const PINNED: &[(&str, f64, u64)] = &[
+    ("service_minimum_w32_s1", 19632.324160866257, 131607),
+    ("service_minimum_w32_s4", 19632.324160866257, 131607),
+    ("service_bucketing_w32_s4", 20480.0, 29015),
+    ("service_estimation_w32_s4", 3604.454333655757, 220416),
+    ("service_ams_f2_w24_s4", 9033068.157142857, 313600),
+    ("service_structured_dnf_w16_s4", 53866.590500399325, 14955),
+    ("service_merge_minimum_w32_s4", 19632.324160866257, 131607),
+    ("service_restore_minimum_w32_s4", 19632.324160866257, 131607),
+];
+
+fn minimum_spec() -> SessionSpec {
+    SessionSpec {
+        kind: SketchKind::Minimum,
+        universe_bits: 32,
+        epsilon: 0.8,
+        delta: 0.2,
+        thresh: 150,
+        rows: 9,
+        columns: 0,
+        seed: 22,
+    }
+}
+
+fn minimum_stream() -> Vec<u64> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+    planted_f0_stream(&mut rng, 32, 20_000, 40_000)
+}
+
+/// Minimum workload through `shards` shard threads (the `sketch_bench`
+/// `minimum_w32` seeds), with ingest throughput measured over the batch.
+fn minimum(shards: usize) -> (f64, u64, Option<f64>) {
+    let stream = minimum_stream();
+    let mut service = SketchService::new(shards);
+    service.create_session("t", minimum_spec()).unwrap();
+    let start = Instant::now();
+    service.ingest("t", &stream).unwrap();
+    let ingest_secs = start.elapsed().as_secs_f64();
+    (
+        service.estimate("t").unwrap(),
+        service.space_bits("t").unwrap() as u64,
+        Some(stream.len() as f64 / ingest_secs),
+    )
+}
+
+fn bucketing(shards: usize) -> (f64, u64, Option<f64>) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+    let stream = planted_f0_stream(&mut rng, 32, 20_000, 40_000);
+    let mut service = SketchService::new(shards);
+    let spec = SessionSpec {
+        kind: SketchKind::Bucketing,
+        universe_bits: 32,
+        epsilon: 0.8,
+        delta: 0.2,
+        thresh: 150,
+        rows: 9,
+        columns: 0,
+        seed: 12,
+    };
+    service.create_session("t", spec).unwrap();
+    let start = Instant::now();
+    service.ingest("t", &stream).unwrap();
+    let ingest_secs = start.elapsed().as_secs_f64();
+    (
+        service.estimate("t").unwrap(),
+        service.space_bits("t").unwrap() as u64,
+        Some(stream.len() as f64 / ingest_secs),
+    )
+}
+
+fn estimation(shards: usize) -> (f64, u64, Option<f64>) {
+    let truth = 4000usize;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+    let stream = planted_f0_stream(&mut rng, 32, truth, 2 * truth);
+    let mut service = SketchService::new(shards);
+    let spec = SessionSpec {
+        kind: SketchKind::Estimation,
+        universe_bits: 32,
+        epsilon: 0.5,
+        delta: 0.2,
+        thresh: 96,
+        rows: 7,
+        columns: 0,
+        seed: 32,
+    };
+    service.create_session("t", spec).unwrap();
+    let start = Instant::now();
+    service.ingest("t", &stream).unwrap();
+    let ingest_secs = start.elapsed().as_secs_f64();
+    let r = ((truth as f64 * 8.0).log2().round()) as u32;
+    let estimate = service
+        .estimate_with_r("t", r)
+        .unwrap()
+        .expect("valid r yields an estimate");
+    (
+        estimate,
+        service.space_bits("t").unwrap() as u64,
+        Some(stream.len() as f64 / ingest_secs),
+    )
+}
+
+fn ams_f2(shards: usize) -> (f64, u64, Option<f64>) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(51);
+    let (stream, _) = skewed_stream(&mut rng, 24, 1000, 6000, 0.5);
+    let mut service = SketchService::new(shards);
+    let spec = SessionSpec {
+        kind: SketchKind::Ams,
+        universe_bits: 24,
+        epsilon: 0.8,
+        delta: 0.2,
+        thresh: 280,
+        rows: 7,
+        columns: 280,
+        seed: 52,
+    };
+    service.create_session("t", spec).unwrap();
+    let start = Instant::now();
+    service.ingest("t", &stream).unwrap();
+    let ingest_secs = start.elapsed().as_secs_f64();
+    (
+        service.estimate("t").unwrap(),
+        service.space_bits("t").unwrap() as u64,
+        Some(stream.len() as f64 / ingest_secs),
+    )
+}
+
+fn structured_dnf(shards: usize) -> (f64, u64, Option<f64>) {
+    use mcf0::formula::generators::random_dnf;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(61);
+    let sets: Vec<_> = (0..6)
+        .map(|_| random_dnf(&mut rng, 16, 5, (3, 6)))
+        .collect();
+    let mut service = SketchService::new(shards);
+    let spec = SessionSpec {
+        kind: SketchKind::StructuredMinimum,
+        universe_bits: 16,
+        epsilon: 0.8,
+        delta: 0.2,
+        thresh: 60,
+        rows: 5,
+        columns: 0,
+        seed: 62,
+    };
+    service.create_session("t", spec).unwrap();
+    service.ingest_structured("t", &sets).unwrap();
+    (
+        service.estimate("t").unwrap(),
+        service.space_bits("t").unwrap() as u64,
+        None,
+    )
+}
+
+/// Half the minimum stream into each of two same-spec sessions, then a
+/// pairwise merge: the merged estimate must equal the single-session value.
+fn merge_minimum(shards: usize) -> (f64, u64, Option<f64>) {
+    let stream = minimum_stream();
+    let mut service = SketchService::new(shards);
+    service.create_session("a", minimum_spec()).unwrap();
+    service.create_session("b", minimum_spec()).unwrap();
+    let (left, right): (Vec<_>, Vec<_>) = stream.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+    service
+        .ingest("a", &left.into_iter().map(|(_, x)| *x).collect::<Vec<_>>())
+        .unwrap();
+    service
+        .ingest("b", &right.into_iter().map(|(_, x)| *x).collect::<Vec<_>>())
+        .unwrap();
+    service.merge_sessions("a", "b").unwrap();
+    (
+        service.estimate("a").unwrap(),
+        service.space_bits("a").unwrap() as u64,
+        None,
+    )
+}
+
+/// Save → restore into a fresh service → the restored session must carry the
+/// exact state (byte-identical re-save enforced here, pinned estimate in the
+/// table).
+fn restore_minimum(shards: usize) -> (f64, u64, Option<f64>) {
+    let stream = minimum_stream();
+    let mut service = SketchService::new(shards);
+    service.create_session("t", minimum_spec()).unwrap();
+    service.ingest("t", &stream).unwrap();
+    let saved = service.save("t").unwrap();
+    let mut fresh = SketchService::new(shards.max(2) - 1);
+    fresh.restore(&saved).unwrap();
+    assert_eq!(fresh.save("t").unwrap(), saved, "restore → save round trip");
+    (
+        fresh.estimate("t").unwrap(),
+        fresh.space_bits("t").unwrap() as u64,
+        None,
+    )
+}
+
+fn run_instances() -> Vec<InstanceResult> {
+    let mut out = Vec::new();
+    let mut record = |name: &str, body: &dyn Fn() -> (f64, u64, Option<f64>)| {
+        let start = Instant::now();
+        let (estimate, space_bits, items_per_sec) = body();
+        out.push(InstanceResult {
+            name: name.to_string(),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            estimate,
+            space_bits,
+            items_per_sec,
+        });
+    };
+
+    record("service_minimum_w32_s1", &|| minimum(1));
+    record("service_minimum_w32_s4", &|| minimum(4));
+    record("service_bucketing_w32_s4", &|| bucketing(4));
+    record("service_estimation_w32_s4", &|| estimation(4));
+    record("service_ams_f2_w24_s4", &|| ams_f2(4));
+    record("service_structured_dnf_w16_s4", &|| structured_dnf(4));
+    record("service_merge_minimum_w32_s4", &|| merge_minimum(4));
+    record("service_restore_minimum_w32_s4", &|| restore_minimum(4));
+    out
+}
+
+/// Paper-scale self-differential pass: the 4-shard service against the
+/// unsharded reference interpreter on a wide-universe, paper-Thresh
+/// workload, snapshot documents compared byte for byte. No baked-in
+/// constants — the gate is the bit-identity contract itself.
+fn run_heavy() -> Result<Vec<InstanceResult>, String> {
+    let mut out = Vec::new();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2026);
+    let stream = planted_f0_stream(&mut rng, 48, 100_000, 200_000);
+    for kind in [
+        SketchKind::Minimum,
+        SketchKind::Bucketing,
+        SketchKind::Estimation,
+        SketchKind::Ams,
+    ] {
+        let spec = SessionSpec {
+            kind,
+            universe_bits: 48,
+            epsilon: 0.8,
+            delta: 0.2,
+            thresh: 150,
+            rows: 9,
+            columns: if kind == SketchKind::Ams { 150 } else { 0 },
+            seed: 4242,
+        };
+        let name = format!("service_heavy_{}_w48_s4", spec.kind.name());
+        let start = Instant::now();
+
+        let mut reference = ReferenceService::new();
+        reference
+            .apply(&ServiceCommand::Create {
+                name: "big".into(),
+                spec,
+            })
+            .unwrap();
+        let mut service = SketchService::new(4);
+        service.create_session("big", spec).unwrap();
+        let ingest_start = Instant::now();
+        for batch in stream.chunks(20_000) {
+            service.ingest("big", batch).unwrap();
+        }
+        let ingest_secs = ingest_start.elapsed().as_secs_f64();
+        for batch in stream.chunks(20_000) {
+            reference
+                .apply(&ServiceCommand::Ingest {
+                    name: "big".into(),
+                    items: batch.to_vec(),
+                })
+                .unwrap();
+        }
+
+        let expected = match reference
+            .apply(&ServiceCommand::Save { name: "big".into() })
+            .unwrap()
+        {
+            CommandReply::Snapshot(doc) => doc,
+            other => panic!("Save replied {other:?}"),
+        };
+        let got = service.save("big").unwrap();
+        if expected != got {
+            return Err(format!(
+                "{name}: sharded snapshot diverged from the direct engine"
+            ));
+        }
+        out.push(InstanceResult {
+            name,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            estimate: service.estimate("big").unwrap(),
+            space_bits: service.space_bits("big").unwrap() as u64,
+            items_per_sec: Some(stream.len() as f64 / ingest_secs),
+        });
+    }
+    Ok(out)
+}
+
+#[derive(Serialize)]
+struct ServiceSection {
+    generated_by: String,
+    profile: String,
+    instances: Vec<InstanceResult>,
+}
+
+#[derive(Serialize)]
+struct Fragment {
+    service: ServiceSection,
+}
+
+fn print_table(results: &[InstanceResult]) {
+    println!("| workload | wall (ms) | estimate | space bits | items/s |");
+    println!("|---|---|---|---|---|");
+    for r in results {
+        println!(
+            "| {} | {:.2} | {} | {} | {} |",
+            r.name,
+            r.wall_ms,
+            r.estimate,
+            r.space_bits,
+            r.items_per_sec
+                .map_or("–".to_string(), |v| format!("{v:.0}"))
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let write = args.iter().any(|a| a == "--write");
+    let heavy = args.iter().any(|a| a == "--heavy");
+
+    let mut results = run_instances();
+    let mut heavy_failure = None;
+    if heavy {
+        match run_heavy() {
+            Ok(rows) => results.extend(rows),
+            Err(why) => heavy_failure = Some(why),
+        }
+    }
+    print_table(&results);
+
+    if write {
+        let fragment = Fragment {
+            service: ServiceSection {
+                generated_by: "cargo run --release -p mcf0-bench --bin service_bench -- --write"
+                    .into(),
+                profile: "release".into(),
+                instances: results.clone(),
+            },
+        };
+        let json = serde_json::to_string(&fragment).expect("serialization is infallible");
+        merge_bench_json("BENCH_streaming.json", &json).expect("write BENCH_streaming.json");
+        println!("merged service section into BENCH_streaming.json");
+    }
+
+    if check {
+        let mut drift = false;
+        if let Some(why) = heavy_failure {
+            eprintln!("{why}");
+            drift = true;
+        }
+        for &(name, estimate, space_bits) in PINNED {
+            let got = results
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("pinned workload {name} missing"));
+            if got.estimate != estimate || got.space_bits != space_bits {
+                eprintln!(
+                    "output drift on {name}: expected ({estimate}, {space_bits}), got ({}, {})",
+                    got.estimate, got.space_bits
+                );
+                drift = true;
+            }
+        }
+        if drift {
+            eprintln!("service layer altered pinned sketch outputs; routing must stay pure");
+            std::process::exit(1);
+        }
+        println!("service outputs match the direct-engine pinned baseline");
+    } else if let Some(why) = heavy_failure {
+        eprintln!("{why}");
+        std::process::exit(1);
+    }
+}

@@ -231,7 +231,10 @@ fn main() {
             instances: results.clone(),
         };
         let json = serde_json::to_string(&report).expect("serialization is infallible");
-        std::fs::write("BENCH_streaming.json", json + "\n").expect("write BENCH_streaming.json");
+        // Merge rather than overwrite: `service_bench --write` owns the
+        // `service` section of the same file.
+        mcf0_bench::merge_bench_json("BENCH_streaming.json", &json)
+            .expect("write BENCH_streaming.json");
         println!("wrote BENCH_streaming.json");
     }
 

@@ -343,6 +343,24 @@ impl BitVec {
         v.mask_tail();
         v
     }
+
+    /// The packed words backing the vector (MSB-first inside each word, tail
+    /// bits zero) — the lossless export used by snapshot serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a vector from a [`BitVec::words`] export. Tail bits beyond
+    /// `len` in the last word are masked off.
+    pub fn from_words(len: usize, words: &[u64]) -> BitVec {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count does not match the bit length"
+        );
+        let mut it = words.iter().copied();
+        BitVec::fill_from_words(len, || it.next().expect("word count checked above"))
+    }
 }
 
 impl PartialOrd for BitVec {

@@ -141,6 +141,19 @@ impl ToeplitzHash {
     pub fn sample(rng: &mut Xoshiro256StarStar, n: usize, m: usize) -> Self {
         assert!(n > 0 && m > 0);
         let diag = rng.random_bitvec(n + m - 1);
+        let b = rng.random_bitvec(m);
+        Self::from_parts(n, m, diag, b)
+    }
+
+    /// Rebuilds the hash from its randomness `(diag, b)` — the lossless
+    /// import matching [`ToeplitzHash::diagonal`] / [`ToeplitzHash::offset`],
+    /// used by the sketch-service snapshot restore path. The cached row,
+    /// column and packed-mask expansions are rederived, so a round trip is
+    /// bit-identical to the originally sampled hash.
+    pub fn from_parts(n: usize, m: usize, diag: BitVec, b: BitVec) -> Self {
+        assert!(n > 0 && m > 0);
+        assert_eq!(diag.len(), n + m - 1, "diagonal width mismatch");
+        assert_eq!(b.len(), m, "offset width mismatch");
         let rows: Vec<BitVec> = (0..m)
             .map(|i| {
                 let mut row = BitVec::zeros(n);
@@ -169,7 +182,7 @@ impl ToeplitzHash {
             n,
             m,
             diag,
-            b: rng.random_bitvec(m),
+            b,
             rows,
             cols,
             row_masks,
@@ -180,6 +193,16 @@ impl ToeplitzHash {
     /// cached row/column expansions are derived data, not randomness.
     pub fn representation_bits(&self) -> usize {
         self.diag.len() + self.b.len()
+    }
+
+    /// The diagonal bits of `A` (the matrix half of the hash's randomness).
+    pub fn diagonal(&self) -> &BitVec {
+        &self.diag
+    }
+
+    /// The offset vector `b` (the other half of the randomness).
+    pub fn offset(&self) -> &BitVec {
+        &self.b
     }
 
     /// Evaluates `h(x)` for an item given as the low-`n`-bit integer `x`
@@ -217,6 +240,19 @@ impl ToeplitzHash {
             .all(|(i, &mask)| ((mask & x).count_ones() & 1 == 1) == self.b.get(i))
     }
 }
+
+impl PartialEq for ToeplitzHash {
+    /// Two hashes are equal iff they were drawn identically: same dimensions
+    /// and same randomness `(diag, b)`. The cached expansions are derived
+    /// data, so they are not compared. This is the compatibility check the
+    /// mergeable sketches use — distinct-union merge semantics only make
+    /// sense between sketches sharing their hash draws.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.m == other.m && self.diag == other.diag && self.b == other.b
+    }
+}
+
+impl Eq for ToeplitzHash {}
 
 impl LinearHash for ToeplitzHash {
     fn input_bits(&self) -> usize {

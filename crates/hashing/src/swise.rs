@@ -73,6 +73,17 @@ impl SWisePoint {
     }
 }
 
+impl PartialEq for SWiseHash {
+    /// Two hashes are equal iff their randomness matches (same field width,
+    /// same coefficients); the cached multiplication engines are derived
+    /// data. Used by the mergeable-sketch compatibility checks.
+    fn eq(&self, other: &Self) -> bool {
+        self.width() == other.width() && self.coeffs() == other.coeffs()
+    }
+}
+
+impl Eq for SWiseHash {}
+
 impl SWiseHash {
     /// Samples a uniformly random degree-(s−1) polynomial hash over GF(2^w).
     ///
@@ -109,6 +120,13 @@ impl SWiseHash {
     /// Independence parameter `s` (number of coefficients).
     pub fn independence(&self) -> usize {
         self.poly.num_coeffs()
+    }
+
+    /// The polynomial coefficients (lowest degree first) — together with
+    /// [`SWiseHash::width`] the full randomness of the hash, losslessly
+    /// re-importable through [`SWiseHash::from_coeffs`].
+    pub fn coeffs(&self) -> &[u64] {
+        self.poly.coeffs()
     }
 
     /// Evaluates the hash on a `u64` item (only the low `w` bits are used).

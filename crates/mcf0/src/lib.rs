@@ -68,7 +68,12 @@
 //! * [`distributed`] — distributed DNF counting with communication ledgers;
 //! * [`structured`] — F0 over DNF-set / range / progression / affine
 //!   streams, weighted #DNF, Delphic sets with the APS-Estimator, and the
-//!   distinct-summation / max-dominance / triangle-counting reductions.
+//!   distinct-summation / max-dominance / triangle-counting reductions;
+//! * [`service`] — the multi-tenant sharded sketch service: named streaming
+//!   sessions over the sketches above, batched ingestion routed to per-shard
+//!   worker threads, pairwise distinct-union merge, and serde-based
+//!   snapshot save/restore — all bit-identical to driving the sketches
+//!   directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -79,6 +84,7 @@ pub use mcf0_formula as formula;
 pub use mcf0_gf2 as gf2;
 pub use mcf0_hashing as hashing;
 pub use mcf0_sat as sat;
+pub use mcf0_service as service;
 pub use mcf0_streaming as streaming;
 pub use mcf0_structured as structured;
 

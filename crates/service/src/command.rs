@@ -1,0 +1,106 @@
+//! The replayable command surface.
+//!
+//! Every public operation of the service has a command form, so whole
+//! workloads can be expressed as traces and replayed — against the sharded
+//! service at any shard count, or against the unsharded
+//! [`crate::reference::ReferenceService`] — with outputs compared
+//! bit-for-bit (the differential test harness).
+
+use crate::session::SessionSpec;
+use mcf0_formula::DnfFormula;
+
+/// One service operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceCommand {
+    /// Register a session.
+    Create {
+        /// Session name.
+        name: String,
+        /// Draw specification.
+        spec: SessionSpec,
+    },
+    /// Feed a batch of `u64` stream items.
+    Ingest {
+        /// Session name.
+        name: String,
+        /// The batch, in arrival order (duplicates allowed).
+        items: Vec<u64>,
+    },
+    /// Feed a batch of structured (DNF) set items.
+    IngestStructured {
+        /// Session name.
+        name: String,
+        /// The batch, in arrival order.
+        sets: Vec<DnfFormula>,
+    },
+    /// Fold `src`'s sketch into `dst` (distinct-union semantics; both
+    /// sessions keep existing, `dst` now covers both streams).
+    Merge {
+        /// Destination session.
+        dst: String,
+        /// Source session (unchanged).
+        src: String,
+    },
+    /// Query the current estimate.
+    Estimate {
+        /// Session name.
+        name: String,
+    },
+    /// Query the Estimation strategy's (ε, δ) estimate for a rough `r`.
+    EstimateWithR {
+        /// Session name.
+        name: String,
+        /// Rough estimate parameter (`2·F0 ≤ 2^r ≤ 50·F0` for the
+        /// guarantee).
+        r: u32,
+    },
+    /// Query the sketch size.
+    SpaceBits {
+        /// Session name.
+        name: String,
+    },
+    /// Serialize the session to its canonical snapshot document.
+    Save {
+        /// Session name.
+        name: String,
+    },
+    /// Forget the session.
+    Drop {
+        /// Session name.
+        name: String,
+    },
+}
+
+impl ServiceCommand {
+    /// The session name(s) the command addresses (destination first).
+    pub fn sessions(&self) -> Vec<&str> {
+        match self {
+            ServiceCommand::Create { name, .. }
+            | ServiceCommand::Ingest { name, .. }
+            | ServiceCommand::IngestStructured { name, .. }
+            | ServiceCommand::Estimate { name }
+            | ServiceCommand::EstimateWithR { name, .. }
+            | ServiceCommand::SpaceBits { name }
+            | ServiceCommand::Save { name }
+            | ServiceCommand::Drop { name } => vec![name],
+            ServiceCommand::Merge { dst, src } => vec![dst, src],
+        }
+    }
+}
+
+/// A command's successful result. `f64` payloads compare bit-for-bit under
+/// `PartialEq` in the workloads the service runs (no NaNs), which is what
+/// the differential suite relies on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CommandReply {
+    /// The command mutated state and returned nothing.
+    Done,
+    /// An estimate.
+    Estimate(f64),
+    /// An `estimate_with_r` answer (`None`: wrong kind or degenerate `r`).
+    MaybeEstimate(Option<f64>),
+    /// A sketch size in bits.
+    SpaceBits(usize),
+    /// A snapshot document.
+    Snapshot(String),
+}

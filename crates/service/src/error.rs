@@ -1,0 +1,58 @@
+//! Error type of the service control plane.
+
+use std::fmt;
+
+/// Why a service command was rejected. Every variant is a caller mistake the
+/// control plane detects *before* dispatching work to the shard threads, so
+/// a failed command never leaves partial state behind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No session registered under this name.
+    UnknownSession(String),
+    /// A session with this name already exists (create / restore).
+    DuplicateSession(String),
+    /// The command's item type does not match the session's sketch kind
+    /// (`u64` ingestion into a structured session or vice versa).
+    WrongItemType {
+        /// Session the command addressed.
+        session: String,
+        /// What the session's kind ingests.
+        expected: &'static str,
+    },
+    /// The two sessions of a merge were not created from identical
+    /// specifications (kind, universe, accuracy parameters **and** seed):
+    /// distinct-union merge semantics require shared hash draws.
+    MergeIncompatible {
+        /// Merge destination.
+        dst: String,
+        /// Merge source.
+        src: String,
+    },
+    /// A snapshot document could not be decoded (malformed JSON, missing
+    /// members, or an unknown sketch kind).
+    Snapshot(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownSession(name) => write!(f, "unknown session `{name}`"),
+            ServiceError::DuplicateSession(name) => {
+                write!(f, "session `{name}` already exists")
+            }
+            ServiceError::WrongItemType { session, expected } => {
+                write!(f, "session `{session}` ingests {expected}")
+            }
+            ServiceError::MergeIncompatible { dst, src } => {
+                write!(
+                    f,
+                    "sessions `{dst}` and `{src}` were not drawn from the same \
+                     specification, so their sketches cannot be merged"
+                )
+            }
+            ServiceError::Snapshot(why) => write!(f, "snapshot rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,63 @@
+//! Multi-tenant sharded F0 sketch service.
+//!
+//! The streaming front-end the ROADMAP queued once the word-packed,
+//! deterministically-parallel sketch engine landed: named sessions own one
+//! sketch each (Minimum / Bucketing / Estimation / AMS F2 / structured F0),
+//! batched ingestion commands are routed to per-shard worker threads, and
+//! estimates, pairwise merges, snapshots and serde-based save/restore all
+//! operate on the deterministic shard-order merge of the per-shard partial
+//! sketches.
+//!
+//! ## The determinism contract
+//!
+//! Sharding and batching are **pure routing, never a semantic change**.
+//! Every F0 sketch here is a function of the distinct item *set*, its
+//! repetition rows are independent given their hash draws, and every shard
+//! of a session re-derives the identical draw from the session seed — so
+//! partitioning a stream across shards and re-merging the partial sketches
+//! (distinct-union semantics; multiset-sum for the linear AMS sketch)
+//! reproduces the unsharded sketch bit for bit. The same argument makes the
+//! cross-*session* [`SketchService::merge_sessions`] sound, mirroring the
+//! mergeable-sketch protocols of the paper's distributed F0 section. The
+//! differential test suite replays every command trace against the
+//! unsharded [`reference::ReferenceService`] and pins estimates, ledgers
+//! and serialized snapshots bit-identical across shard counts and batch
+//! splits.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use mcf0_service::{ServiceCommand, SessionSpec, SketchKind, SketchService};
+//!
+//! let mut service = SketchService::new(4); // 4 shard worker threads
+//! let spec = SessionSpec::new(SketchKind::Minimum, 32, 64, 5, 7);
+//! service.create_session("tenant-a", spec).unwrap();
+//! service.ingest("tenant-a", &[1, 2, 3, 2, 1]).unwrap();
+//! assert_eq!(service.estimate("tenant-a").unwrap(), 3.0);
+//!
+//! // Snapshot → restore round trips are byte-identical.
+//! let saved = service.save("tenant-a").unwrap();
+//! service.drop_session("tenant-a").unwrap();
+//! service.restore(&saved).unwrap();
+//! assert_eq!(service.save("tenant-a").unwrap(), saved);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod error;
+pub mod reference;
+pub mod service;
+pub mod session;
+pub mod sketch;
+pub mod snapshot;
+
+mod shard;
+
+pub use command::{CommandReply, ServiceCommand};
+pub use error::ServiceError;
+pub use reference::ReferenceService;
+pub use service::{SessionSnapshot, SketchService};
+pub use session::{SessionLedger, SessionSpec, SketchKind};
+pub use sketch::TenantSketch;

@@ -1,0 +1,142 @@
+//! The unsharded reference interpreter.
+//!
+//! [`ReferenceService`] applies the same [`ServiceCommand`] trace surface as
+//! [`crate::SketchService`], but holds exactly one direct sketch per session
+//! on the calling thread — no shards, no routing, no worker threads. It is
+//! the semantic ground truth of the differential suite: the sharded service
+//! must reproduce its estimates, ledgers and snapshot documents bit for bit
+//! at every shard count and batch split.
+
+use crate::command::{CommandReply, ServiceCommand};
+use crate::error::ServiceError;
+use crate::session::{SessionLedger, SessionSpec, SketchKind};
+use crate::sketch::TenantSketch;
+use crate::snapshot;
+use std::collections::BTreeMap;
+
+struct ReferenceEntry {
+    spec: SessionSpec,
+    ledger: SessionLedger,
+    sketch: TenantSketch,
+}
+
+/// Direct (unsharded) execution of service command traces.
+#[derive(Default)]
+pub struct ReferenceService {
+    sessions: BTreeMap<String, ReferenceEntry>,
+}
+
+impl ReferenceService {
+    /// An empty interpreter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one command, mirroring [`crate::SketchService::apply`].
+    pub fn apply(&mut self, command: &ServiceCommand) -> Result<CommandReply, ServiceError> {
+        match command {
+            ServiceCommand::Create { name, spec } => {
+                if self.sessions.contains_key(name) {
+                    return Err(ServiceError::DuplicateSession(name.clone()));
+                }
+                self.sessions.insert(
+                    name.clone(),
+                    ReferenceEntry {
+                        spec: *spec,
+                        ledger: SessionLedger::default(),
+                        sketch: TenantSketch::new(spec),
+                    },
+                );
+                Ok(CommandReply::Done)
+            }
+            ServiceCommand::Ingest { name, items } => {
+                let entry = self.entry_mut(name)?;
+                if entry.spec.kind == SketchKind::StructuredMinimum {
+                    return Err(ServiceError::WrongItemType {
+                        session: name.clone(),
+                        expected: "structured (DNF) set items",
+                    });
+                }
+                entry.sketch.ingest(name, items)?;
+                entry.ledger.batches += 1;
+                entry.ledger.items += items.len() as u64;
+                Ok(CommandReply::Done)
+            }
+            ServiceCommand::IngestStructured { name, sets } => {
+                let entry = self.entry_mut(name)?;
+                if entry.spec.kind != SketchKind::StructuredMinimum {
+                    return Err(ServiceError::WrongItemType {
+                        session: name.clone(),
+                        expected: "u64 stream items",
+                    });
+                }
+                entry.sketch.ingest_structured(name, sets)?;
+                entry.ledger.batches += 1;
+                entry.ledger.structured_items += sets.len() as u64;
+                Ok(CommandReply::Done)
+            }
+            ServiceCommand::Merge { dst, src } => {
+                // Same check order as the sharded service (dst first), so
+                // error replies compare equal in the differential suite.
+                let dst_entry = self.entry(dst)?;
+                let src_entry = self.entry(src)?;
+                if dst_entry.spec != src_entry.spec {
+                    return Err(ServiceError::MergeIncompatible {
+                        dst: dst.clone(),
+                        src: src.clone(),
+                    });
+                }
+                let src_sketch = src_entry.sketch.clone();
+                let dst_entry = self.entry_mut(dst).expect("checked above");
+                dst_entry.sketch.merge_from(&src_sketch);
+                dst_entry.ledger.merges += 1;
+                Ok(CommandReply::Done)
+            }
+            ServiceCommand::Estimate { name } => {
+                Ok(CommandReply::Estimate(self.entry(name)?.sketch.estimate()))
+            }
+            ServiceCommand::EstimateWithR { name, r } => Ok(CommandReply::MaybeEstimate(
+                self.entry(name)?.sketch.estimate_with_r(*r),
+            )),
+            ServiceCommand::SpaceBits { name } => Ok(CommandReply::SpaceBits(
+                self.entry(name)?.sketch.space_bits(),
+            )),
+            ServiceCommand::Save { name } => {
+                let entry = self.entry(name)?;
+                Ok(CommandReply::Snapshot(snapshot::encode(
+                    name,
+                    &entry.spec,
+                    &entry.ledger,
+                    &entry.sketch,
+                )))
+            }
+            ServiceCommand::Drop { name } => {
+                self.entry(name)?;
+                self.sessions.remove(name);
+                Ok(CommandReply::Done)
+            }
+        }
+    }
+
+    /// The ledger of a session (for ledger-pinning assertions).
+    pub fn ledger(&self, name: &str) -> Result<&SessionLedger, ServiceError> {
+        self.entry(name).map(|e| &e.ledger)
+    }
+
+    /// Registered session names, sorted.
+    pub fn list_sessions(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+
+    fn entry(&self, name: &str) -> Result<&ReferenceEntry, ServiceError> {
+        self.sessions
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))
+    }
+
+    fn entry_mut(&mut self, name: &str) -> Result<&mut ReferenceEntry, ServiceError> {
+        self.sessions
+            .get_mut(name)
+            .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))
+    }
+}

@@ -1,0 +1,386 @@
+//! The sharded multi-tenant service front-end.
+
+use crate::command::{CommandReply, ServiceCommand};
+use crate::error::ServiceError;
+use crate::session::{SessionLedger, SessionSpec, SketchKind};
+use crate::shard::{ShardHandle, ShardReply, ShardRequest};
+use crate::sketch::TenantSketch;
+use crate::snapshot;
+use mcf0_formula::DnfFormula;
+use std::collections::BTreeMap;
+
+/// A fully materialized view of one session (the merged cross-shard state).
+#[derive(Clone)]
+pub struct SessionSnapshot {
+    /// Session name.
+    pub name: String,
+    /// Draw specification.
+    pub spec: SessionSpec,
+    /// Control-plane accounting.
+    pub ledger: SessionLedger,
+    /// The merged sketch — bit-identical to an unsharded run over the same
+    /// commands.
+    pub sketch: TenantSketch,
+}
+
+impl SessionSnapshot {
+    /// The canonical JSON document of this snapshot.
+    pub fn to_json(&self) -> String {
+        snapshot::encode(&self.name, &self.spec, &self.ledger, &self.sketch)
+    }
+}
+
+struct SessionEntry {
+    spec: SessionSpec,
+    ledger: SessionLedger,
+}
+
+/// A multi-tenant, sharded sketch service.
+///
+/// Named sessions own one sketch each; ingestion batches are routed to
+/// per-shard worker threads holding identically-drawn partial sketches, and
+/// every read (estimate, snapshot, save) folds the partials back together in
+/// shard order. Sharding and batching are **pure routing**: every output is
+/// bit-identical to driving the underlying sketch directly with the same
+/// command trace, for every shard count and batch split — the invariant the
+/// differential test suite pins against
+/// [`crate::reference::ReferenceService`].
+pub struct SketchService {
+    shards: Vec<ShardHandle>,
+    sessions: BTreeMap<String, SessionEntry>,
+}
+
+impl SketchService {
+    /// Starts the service with `shards` worker threads (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        SketchService {
+            shards: (0..shards).map(ShardHandle::spawn).collect(),
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// Number of shard worker threads.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registered session names, sorted.
+    pub fn list_sessions(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+
+    /// A session's specification.
+    pub fn spec(&self, name: &str) -> Result<&SessionSpec, ServiceError> {
+        self.entry(name).map(|e| &e.spec)
+    }
+
+    /// A session's command-accounting ledger (deterministic and
+    /// shard-count-invariant; see [`SessionLedger`]).
+    pub fn ledger(&self, name: &str) -> Result<&SessionLedger, ServiceError> {
+        self.entry(name).map(|e| &e.ledger)
+    }
+
+    /// Registers a session. Every shard draws an identical sketch from the
+    /// spec's seed; the draws never touch shared state.
+    pub fn create_session(&mut self, name: &str, spec: SessionSpec) -> Result<(), ServiceError> {
+        if self.sessions.contains_key(name) {
+            return Err(ServiceError::DuplicateSession(name.to_string()));
+        }
+        self.broadcast(|| ShardRequest::Create {
+            name: name.to_string(),
+            spec,
+        });
+        self.sessions.insert(
+            name.to_string(),
+            SessionEntry {
+                spec,
+                ledger: SessionLedger::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Forgets a session on every shard.
+    pub fn drop_session(&mut self, name: &str) -> Result<(), ServiceError> {
+        self.entry(name)?;
+        self.broadcast(|| ShardRequest::Drop {
+            name: name.to_string(),
+        });
+        self.sessions.remove(name);
+        Ok(())
+    }
+
+    /// Feeds a batch of `u64` items: each item is routed to its shard (a
+    /// fixed function of the item value alone), the sub-batches are
+    /// processed concurrently by the workers' batched sketch engines, and
+    /// the call returns once every shard has applied its share. Routing
+    /// never changes semantics — the sketches are functions of the distinct
+    /// item set, and the shard partials merge back losslessly.
+    pub fn ingest(&mut self, name: &str, items: &[u64]) -> Result<(), ServiceError> {
+        let entry = self.entry(name)?;
+        if entry.spec.kind == SketchKind::StructuredMinimum {
+            return Err(ServiceError::WrongItemType {
+                session: name.to_string(),
+                expected: "structured (DNF) set items",
+            });
+        }
+        let shards = self.shards.len();
+        let mut routed: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        for &item in items {
+            routed[route_item(item, shards)].push(item);
+        }
+        // Fan out first, then drain replies in shard order (the distributed
+        // protocols' deterministic merge discipline).
+        let pending: Vec<_> = self
+            .shards
+            .iter()
+            .zip(routed)
+            .filter(|(_, sub)| !sub.is_empty())
+            .map(|(shard, sub)| {
+                shard.dispatch(ShardRequest::Ingest {
+                    name: name.to_string(),
+                    items: sub,
+                })
+            })
+            .collect();
+        for reply in pending {
+            let _ = reply.recv().expect("shard worker replies");
+        }
+        let ledger = &mut self.sessions.get_mut(name).expect("checked above").ledger;
+        ledger.batches += 1;
+        ledger.items += items.len() as u64;
+        Ok(())
+    }
+
+    /// Feeds a batch of structured set items, routed round-robin by the
+    /// session's running structured-item counter (again: pure routing).
+    pub fn ingest_structured(
+        &mut self,
+        name: &str,
+        sets: &[DnfFormula],
+    ) -> Result<(), ServiceError> {
+        let entry = self.entry(name)?;
+        if entry.spec.kind != SketchKind::StructuredMinimum {
+            return Err(ServiceError::WrongItemType {
+                session: name.to_string(),
+                expected: "u64 stream items",
+            });
+        }
+        let shards = self.shards.len();
+        let offset = entry.ledger.structured_items;
+        let mut routed: Vec<Vec<DnfFormula>> = vec![Vec::new(); shards];
+        for (i, set) in sets.iter().enumerate() {
+            routed[(offset as usize + i) % shards].push(set.clone());
+        }
+        let pending: Vec<_> = self
+            .shards
+            .iter()
+            .zip(routed)
+            .filter(|(_, sub)| !sub.is_empty())
+            .map(|(shard, sub)| {
+                shard.dispatch(ShardRequest::IngestStructured {
+                    name: name.to_string(),
+                    sets: sub,
+                })
+            })
+            .collect();
+        for reply in pending {
+            let _ = reply.recv().expect("shard worker replies");
+        }
+        let ledger = &mut self.sessions.get_mut(name).expect("checked above").ledger;
+        ledger.batches += 1;
+        ledger.structured_items += sets.len() as u64;
+        Ok(())
+    }
+
+    /// Folds `src`'s sketch into `dst` (both sessions keep existing). The
+    /// sessions must share their draw — equal specifications — for the
+    /// distinct-union semantics to be meaningful; the merged `dst` is then
+    /// bit-identical to a session that ingested both command streams.
+    pub fn merge_sessions(&mut self, dst: &str, src: &str) -> Result<(), ServiceError> {
+        let dst_spec = self.entry(dst)?.spec;
+        let src_spec = self.entry(src)?.spec;
+        if dst_spec != src_spec {
+            return Err(ServiceError::MergeIncompatible {
+                dst: dst.to_string(),
+                src: src.to_string(),
+            });
+        }
+        let merged_src = self.merged_sketch(src);
+        // All cross-shard state lands on shard 0; the per-sketch merges are
+        // associative and commute with the shard partition, so estimates and
+        // snapshots after this are exactly the direct-run values.
+        let ShardReply::Done = self.shards[0].request(ShardRequest::Apply {
+            name: dst.to_string(),
+            sketch: Box::new(merged_src),
+        }) else {
+            unreachable!("Apply replies Done");
+        };
+        self.sessions
+            .get_mut(dst)
+            .expect("checked above")
+            .ledger
+            .merges += 1;
+        Ok(())
+    }
+
+    /// The session's current estimate (F0; F2 for AMS sessions).
+    pub fn estimate(&mut self, name: &str) -> Result<f64, ServiceError> {
+        self.entry(name)?;
+        Ok(self.merged_sketch(name).estimate())
+    }
+
+    /// The Estimation strategy's (ε, δ) estimate given a rough `r` (`None`
+    /// for other session kinds or a degenerate `r`).
+    pub fn estimate_with_r(&mut self, name: &str, r: u32) -> Result<Option<f64>, ServiceError> {
+        self.entry(name)?;
+        Ok(self.merged_sketch(name).estimate_with_r(r))
+    }
+
+    /// The merged sketch's size in bits.
+    pub fn space_bits(&mut self, name: &str) -> Result<usize, ServiceError> {
+        self.entry(name)?;
+        Ok(self.merged_sketch(name).space_bits())
+    }
+
+    /// A fully materialized snapshot of the session (merged sketch + spec +
+    /// ledger).
+    pub fn snapshot(&mut self, name: &str) -> Result<SessionSnapshot, ServiceError> {
+        let entry = self.entry(name)?;
+        let (spec, ledger) = (entry.spec, entry.ledger);
+        Ok(SessionSnapshot {
+            name: name.to_string(),
+            spec,
+            ledger,
+            sketch: self.merged_sketch(name),
+        })
+    }
+
+    /// Serializes the session to its canonical JSON snapshot document.
+    pub fn save(&mut self, name: &str) -> Result<String, ServiceError> {
+        Ok(self.snapshot(name)?.to_json())
+    }
+
+    /// Restores a session from a [`SketchService::save`] document, under its
+    /// saved name. The shards re-draw their empty partials from the saved
+    /// spec and the saved state lands on shard 0, so subsequent ingestion
+    /// continues exactly where the saved session left off (restore → save
+    /// round trips are byte-identical).
+    pub fn restore(&mut self, json: &str) -> Result<String, ServiceError> {
+        let (name, spec, ledger, sketch) = snapshot::decode(json)?;
+        if self.sessions.contains_key(&name) {
+            return Err(ServiceError::DuplicateSession(name));
+        }
+        // Shape validation happened in decode; now pin the *draw*: the
+        // document's hashes must be exactly what the spec's seed produces,
+        // or the shard partials (redrawn from that seed) could never merge
+        // with the restored state. A tampered seed or hash word is rejected
+        // here instead of detonating a worker-thread assert later.
+        if !TenantSketch::new(&spec).same_draw(&sketch) {
+            return Err(ServiceError::Snapshot(
+                "hash draws do not match the specification's seed".into(),
+            ));
+        }
+        self.broadcast(|| ShardRequest::Create {
+            name: name.clone(),
+            spec,
+        });
+        let ShardReply::Done = self.shards[0].request(ShardRequest::Apply {
+            name: name.clone(),
+            sketch: Box::new(sketch),
+        }) else {
+            unreachable!("Apply replies Done");
+        };
+        self.sessions
+            .insert(name.clone(), SessionEntry { spec, ledger });
+        Ok(name)
+    }
+
+    /// Applies one replayable command (the trace surface the differential
+    /// harness drives).
+    pub fn apply(&mut self, command: &ServiceCommand) -> Result<CommandReply, ServiceError> {
+        match command {
+            ServiceCommand::Create { name, spec } => self
+                .create_session(name, *spec)
+                .map(|()| CommandReply::Done),
+            ServiceCommand::Ingest { name, items } => {
+                self.ingest(name, items).map(|()| CommandReply::Done)
+            }
+            ServiceCommand::IngestStructured { name, sets } => self
+                .ingest_structured(name, sets)
+                .map(|()| CommandReply::Done),
+            ServiceCommand::Merge { dst, src } => {
+                self.merge_sessions(dst, src).map(|()| CommandReply::Done)
+            }
+            ServiceCommand::Estimate { name } => self.estimate(name).map(CommandReply::Estimate),
+            ServiceCommand::EstimateWithR { name, r } => self
+                .estimate_with_r(name, *r)
+                .map(CommandReply::MaybeEstimate),
+            ServiceCommand::SpaceBits { name } => {
+                self.space_bits(name).map(CommandReply::SpaceBits)
+            }
+            ServiceCommand::Save { name } => self.save(name).map(CommandReply::Snapshot),
+            ServiceCommand::Drop { name } => self.drop_session(name).map(|()| CommandReply::Done),
+        }
+    }
+
+    fn entry(&self, name: &str) -> Result<&SessionEntry, ServiceError> {
+        self.sessions
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))
+    }
+
+    /// Extracts every shard's partial and folds them **in shard order** into
+    /// the session's full sketch.
+    fn merged_sketch(&self, name: &str) -> TenantSketch {
+        let pending: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard.dispatch(ShardRequest::Extract {
+                    name: name.to_string(),
+                })
+            })
+            .collect();
+        let mut partials =
+            pending
+                .into_iter()
+                .map(|rx| match rx.recv().expect("shard worker replies") {
+                    ShardReply::Sketch(sketch) => *sketch,
+                    ShardReply::Done => unreachable!("Extract replies with a sketch"),
+                });
+        let mut merged = partials.next().expect("at least one shard");
+        for partial in partials {
+            merged.merge_from(&partial);
+        }
+        merged
+    }
+
+    /// Sends one request to every shard and waits for all of them.
+    fn broadcast(&self, request: impl Fn() -> ShardRequest) {
+        let pending: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| shard.dispatch(request()))
+            .collect();
+        for reply in pending {
+            let _ = reply.recv().expect("shard worker replies");
+        }
+    }
+}
+
+/// The item → shard routing function: a fixed splitmix-style scramble so
+/// consecutive items spread across shards. Any deterministic function of the
+/// item alone is semantically equivalent (the sketches depend only on the
+/// distinct item *set*); this one is pinned so ledger-free shard-level
+/// accounting stays reproducible run to run.
+fn route_item(item: u64, shards: usize) -> usize {
+    if shards == 1 {
+        return 0;
+    }
+    let mut z = item.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ((z >> 32) as usize) % shards
+}

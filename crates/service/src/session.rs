@@ -1,0 +1,119 @@
+//! Session specifications and command-accounting ledgers.
+
+use serde::{Deserialize, Serialize};
+
+/// Which sketch a session runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SketchKind {
+    /// KMV ([`mcf0_streaming::MinimumF0`]).
+    Minimum,
+    /// Gibbons–Tirthapura adaptive sampling ([`mcf0_streaming::BucketingF0`]).
+    Bucketing,
+    /// Trailing-zero sketches ([`mcf0_streaming::EstimationF0`]).
+    Estimation,
+    /// AMS F2 ([`mcf0_streaming::AmsF2`]) — the higher-moment tenant type.
+    Ams,
+    /// Minimum strategy over structured set items
+    /// ([`mcf0_structured::StructuredMinimumF0`], DNF items).
+    StructuredMinimum,
+}
+
+impl SketchKind {
+    /// Stable name used by snapshots and displays.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SketchKind::Minimum => "minimum",
+            SketchKind::Bucketing => "bucketing",
+            SketchKind::Estimation => "estimation",
+            SketchKind::Ams => "ams",
+            SketchKind::StructuredMinimum => "structured_minimum",
+        }
+    }
+
+    /// Inverse of [`SketchKind::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "minimum" => SketchKind::Minimum,
+            "bucketing" => SketchKind::Bucketing,
+            "estimation" => SketchKind::Estimation,
+            "ams" => SketchKind::Ams,
+            "structured_minimum" => SketchKind::StructuredMinimum,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything that determines a session's sketch *draw*: two sessions with
+/// equal specifications hold identical hash functions, which is exactly the
+/// precondition for the service's pairwise merge (and for the sharding layer
+/// itself — every shard of a session rederives the same draw from `seed`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionSpec {
+    /// Sketch strategy.
+    pub kind: SketchKind,
+    /// Universe width `n` in bits.
+    pub universe_bits: usize,
+    /// Relative error target ε (recorded; `thresh`/`rows` govern the shape).
+    pub epsilon: f64,
+    /// Failure probability target δ (recorded).
+    pub delta: f64,
+    /// Bucket / reservoir size `Thresh` (AMS: unused).
+    pub thresh: usize,
+    /// Median repetitions `t` (AMS: median rows).
+    pub rows: usize,
+    /// Averaged columns per row (AMS only; 0 otherwise).
+    pub columns: usize,
+    /// Seed of the session's private hash-drawing RNG.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// A specification with explicit shape parameters and the workspace's
+    /// standard loose accuracy targets (ε = 0.8, δ = 0.2) recorded.
+    pub fn new(
+        kind: SketchKind,
+        universe_bits: usize,
+        thresh: usize,
+        rows: usize,
+        seed: u64,
+    ) -> Self {
+        SessionSpec {
+            kind,
+            universe_bits,
+            epsilon: 0.8,
+            delta: 0.2,
+            thresh,
+            rows,
+            columns: if kind == SketchKind::Ams { thresh } else { 0 },
+            seed,
+        }
+    }
+
+    /// The streaming-crate configuration this spec describes (sequential:
+    /// the service's parallelism is the shard layer, not the in-sketch
+    /// row-parallel knob).
+    pub fn f0_config(&self) -> mcf0_streaming::F0Config {
+        mcf0_streaming::F0Config::explicit(self.epsilon, self.delta, self.thresh, self.rows)
+    }
+
+    /// The counting-crate configuration (structured sessions).
+    pub fn counting_config(&self) -> mcf0_counting::CountingConfig {
+        mcf0_counting::CountingConfig::explicit(self.epsilon, self.delta, self.thresh, self.rows)
+    }
+}
+
+/// Deterministic per-session accounting, maintained on the control plane —
+/// never on the shard threads — so it is identical for every shard count and
+/// equal to the reference interpreter's ledger on the same command trace
+/// (the differential suite pins this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionLedger {
+    /// Ingestion batches accepted (both item kinds).
+    pub batches: u64,
+    /// `u64` stream items accepted, with multiplicity.
+    pub items: u64,
+    /// Structured set items accepted.
+    pub structured_items: u64,
+    /// Merges applied *into* this session.
+    pub merges: u64,
+}

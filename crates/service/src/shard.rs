@@ -1,0 +1,171 @@
+//! The shard worker threads.
+//!
+//! Each shard is a long-lived std thread owning its slice of every session's
+//! state (one complete [`TenantSketch`] per session, drawn from the session
+//! seed, fed only the items routed to the shard). Workers never touch a
+//! shared RNG and never talk to each other; the coordinator fans commands
+//! out over `mpsc` channels and collects replies **in shard order** — the
+//! same deterministic-merge discipline as the distributed protocols'
+//! `par.rs` fan-out, which is why sharding is pure routing and never a
+//! semantic change.
+
+use crate::session::SessionSpec;
+use crate::sketch::TenantSketch;
+use mcf0_formula::DnfFormula;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// One request to a shard worker. The control plane validates session
+/// existence and item kinds before dispatch, so workers may unwrap.
+pub(crate) enum ShardRequest {
+    /// Register a session: the worker draws its partial from the spec.
+    Create {
+        /// Session name.
+        name: String,
+        /// Draw specification (equal on every shard).
+        spec: SessionSpec,
+    },
+    /// Feed routed `u64` items to a session's partial.
+    Ingest {
+        /// Session name.
+        name: String,
+        /// The sub-batch routed to this shard, in arrival order.
+        items: Vec<u64>,
+    },
+    /// Feed routed structured items to a session's partial.
+    IngestStructured {
+        /// Session name.
+        name: String,
+        /// The sub-batch routed to this shard, in arrival order.
+        sets: Vec<DnfFormula>,
+    },
+    /// Reply with a clone of the session's partial.
+    Extract {
+        /// Session name.
+        name: String,
+    },
+    /// Merge a sketch into the session's partial (cross-session merge and
+    /// snapshot restore both land here, always on shard 0).
+    Apply {
+        /// Session name.
+        name: String,
+        /// Sketch to fold in.
+        sketch: Box<TenantSketch>,
+    },
+    /// Forget a session.
+    Drop {
+        /// Session name.
+        name: String,
+    },
+    /// Exit the worker loop (service drop).
+    Shutdown,
+}
+
+/// A worker's answer.
+pub(crate) enum ShardReply {
+    /// Command applied.
+    Done,
+    /// The extracted partial.
+    Sketch(Box<TenantSketch>),
+}
+
+type Envelope = (ShardRequest, mpsc::Sender<ShardReply>);
+
+/// Coordinator-side handle to one worker thread.
+pub(crate) struct ShardHandle {
+    sender: mpsc::Sender<Envelope>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// Spawns the worker.
+    pub(crate) fn spawn(shard_index: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<Envelope>();
+        let thread = std::thread::Builder::new()
+            .name(format!("mcf0-shard-{shard_index}"))
+            .spawn(move || run_worker(receiver))
+            .expect("spawn shard worker");
+        ShardHandle {
+            sender,
+            thread: Some(thread),
+        }
+    }
+
+    /// Sends a request without waiting; the caller collects the reply from
+    /// the returned receiver (batch fan-out sends to every shard first, then
+    /// drains in shard order).
+    pub(crate) fn dispatch(&self, request: ShardRequest) -> mpsc::Receiver<ShardReply> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.sender
+            .send((request, reply_tx))
+            .expect("shard worker alive");
+        reply_rx
+    }
+
+    /// Sends a request and waits for the worker to apply it.
+    pub(crate) fn request(&self, request: ShardRequest) -> ShardReply {
+        self.dispatch(request)
+            .recv()
+            .expect("shard worker replies once per request")
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        // A worker that already panicked has dropped its receiver; ignore
+        // the send failure and surface the panic through join instead.
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        let _ = self.sender.send((ShardRequest::Shutdown, reply_tx));
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run_worker(receiver: mpsc::Receiver<Envelope>) {
+    let mut sessions: HashMap<String, TenantSketch> = HashMap::new();
+    for (request, reply) in receiver {
+        match request {
+            ShardRequest::Create { name, spec } => {
+                sessions.insert(name, TenantSketch::new(&spec));
+                let _ = reply.send(ShardReply::Done);
+            }
+            ShardRequest::Ingest { name, items } => {
+                sessions
+                    .get_mut(&name)
+                    .expect("control plane checked the session")
+                    .ingest(&name, &items)
+                    .expect("control plane checked the item kind");
+                let _ = reply.send(ShardReply::Done);
+            }
+            ShardRequest::IngestStructured { name, sets } => {
+                sessions
+                    .get_mut(&name)
+                    .expect("control plane checked the session")
+                    .ingest_structured(&name, &sets)
+                    .expect("control plane checked the item kind");
+                let _ = reply.send(ShardReply::Done);
+            }
+            ShardRequest::Extract { name } => {
+                let sketch = sessions
+                    .get(&name)
+                    .expect("control plane checked the session")
+                    .clone();
+                let _ = reply.send(ShardReply::Sketch(Box::new(sketch)));
+            }
+            ShardRequest::Apply { name, sketch } => {
+                sessions
+                    .get_mut(&name)
+                    .expect("control plane checked the session")
+                    .merge_from(&sketch);
+                let _ = reply.send(ShardReply::Done);
+            }
+            ShardRequest::Drop { name } => {
+                sessions.remove(&name);
+                let _ = reply.send(ShardReply::Done);
+            }
+            ShardRequest::Shutdown => break,
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The per-tenant sketch: one enum over every session kind the service
+//! hosts, with a uniform ingest / merge / estimate surface.
+
+use crate::error::ServiceError;
+use crate::session::{SessionSpec, SketchKind};
+use mcf0_formula::DnfFormula;
+use mcf0_hashing::Xoshiro256StarStar;
+use mcf0_streaming::{AmsF2, BucketingF0, EstimationF0, F0Sketch, MinimumF0};
+use mcf0_structured::{DnfSet, StructuredMinimumF0};
+
+/// A session's sketch state. Each shard of a session holds one of these,
+/// drawn from the session seed (identical draws across shards), fed only the
+/// items routed to that shard; [`TenantSketch::merge_from`] recombines the
+/// partials in shard order into the exact state of an unsharded run.
+#[derive(Clone)]
+pub enum TenantSketch {
+    /// KMV rows.
+    Minimum(MinimumF0),
+    /// Adaptive-sampling rows.
+    Bucketing(BucketingF0),
+    /// Trailing-zero rows.
+    Estimation(EstimationF0),
+    /// AMS F2 counters.
+    Ams(AmsF2),
+    /// Minimum strategy over structured (DNF set) items.
+    StructuredMinimum(StructuredMinimumF0),
+}
+
+impl TenantSketch {
+    /// Draws a fresh sketch for `spec`. Deterministic: equal specs yield
+    /// bit-identical sketches, which is what makes the sharded partials
+    /// mergeable and the pairwise session merge sound.
+    pub fn new(spec: &SessionSpec) -> Self {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(spec.seed);
+        match spec.kind {
+            SketchKind::Minimum => TenantSketch::Minimum(MinimumF0::new(
+                spec.universe_bits,
+                &spec.f0_config(),
+                &mut rng,
+            )),
+            SketchKind::Bucketing => TenantSketch::Bucketing(BucketingF0::new(
+                spec.universe_bits,
+                &spec.f0_config(),
+                &mut rng,
+            )),
+            SketchKind::Estimation => TenantSketch::Estimation(EstimationF0::new(
+                spec.universe_bits,
+                &spec.f0_config(),
+                &mut rng,
+            )),
+            SketchKind::Ams => TenantSketch::Ams(AmsF2::new(
+                spec.universe_bits,
+                spec.rows,
+                spec.columns,
+                &mut rng,
+            )),
+            SketchKind::StructuredMinimum => TenantSketch::StructuredMinimum(
+                StructuredMinimumF0::new(spec.universe_bits, &spec.counting_config(), &mut rng),
+            ),
+        }
+    }
+
+    /// The kind this sketch variant serves.
+    pub fn kind(&self) -> SketchKind {
+        match self {
+            TenantSketch::Minimum(_) => SketchKind::Minimum,
+            TenantSketch::Bucketing(_) => SketchKind::Bucketing,
+            TenantSketch::Estimation(_) => SketchKind::Estimation,
+            TenantSketch::Ams(_) => SketchKind::Ams,
+            TenantSketch::StructuredMinimum(_) => SketchKind::StructuredMinimum,
+        }
+    }
+
+    /// Feeds a batch of `u64` stream items through the sketch's batched
+    /// engine. `Err` on structured sessions (the control plane checks this
+    /// before dispatch, so shard threads never see the error path).
+    pub fn ingest(&mut self, session: &str, items: &[u64]) -> Result<(), ServiceError> {
+        match self {
+            TenantSketch::Minimum(s) => s.process_stream(items),
+            TenantSketch::Bucketing(s) => s.process_stream(items),
+            TenantSketch::Estimation(s) => s.process_stream(items),
+            TenantSketch::Ams(s) => s.process_stream(items),
+            TenantSketch::StructuredMinimum(_) => {
+                return Err(ServiceError::WrongItemType {
+                    session: session.to_string(),
+                    expected: "structured (DNF) set items",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Feeds a batch of structured set items. `Err` on `u64` sessions.
+    pub fn ingest_structured(
+        &mut self,
+        session: &str,
+        sets: &[DnfFormula],
+    ) -> Result<(), ServiceError> {
+        match self {
+            TenantSketch::StructuredMinimum(s) => {
+                for f in sets {
+                    s.process_item(&DnfSet::new(f.clone()));
+                }
+                Ok(())
+            }
+            _ => Err(ServiceError::WrongItemType {
+                session: session.to_string(),
+                expected: "u64 stream items",
+            }),
+        }
+    }
+
+    /// Merges another sketch of the same draw into this one (see the
+    /// per-sketch `merge_from` contracts: distinct-union semantics for the
+    /// F0 sketches, multiset-sum for AMS). Panics on a kind or draw
+    /// mismatch — the control plane validates specs first.
+    pub fn merge_from(&mut self, other: &Self) {
+        match (self, other) {
+            (TenantSketch::Minimum(a), TenantSketch::Minimum(b)) => a.merge_from(b),
+            (TenantSketch::Bucketing(a), TenantSketch::Bucketing(b)) => a.merge_from(b),
+            (TenantSketch::Estimation(a), TenantSketch::Estimation(b)) => a.merge_from(b),
+            (TenantSketch::Ams(a), TenantSketch::Ams(b)) => a.merge_from(b),
+            (TenantSketch::StructuredMinimum(a), TenantSketch::StructuredMinimum(b)) => {
+                a.merge_from(b)
+            }
+            _ => panic!("merge across sketch kinds"),
+        }
+    }
+
+    /// Whether the two sketches carry identical hash draws (kind, shape and
+    /// every hash's randomness; the accumulated *state* is not compared).
+    /// This is the merge precondition, and the restore path uses it to
+    /// reject well-formed snapshot documents whose hashes were not actually
+    /// drawn from the accompanying spec's seed — such a document would
+    /// otherwise pass shape validation and only explode later, inside a
+    /// shard worker's `merge_from` assert.
+    pub fn same_draw(&self, other: &Self) -> bool {
+        match (self, other) {
+            (TenantSketch::Minimum(a), TenantSketch::Minimum(b)) => {
+                a.num_rows() == b.num_rows()
+                    && (0..a.num_rows()).all(|i| a.row_parts(i).0 == b.row_parts(i).0)
+            }
+            (TenantSketch::Bucketing(a), TenantSketch::Bucketing(b)) => {
+                a.num_rows() == b.num_rows()
+                    && (0..a.num_rows()).all(|i| a.row_parts(i).0 == b.row_parts(i).0)
+            }
+            (TenantSketch::Estimation(a), TenantSketch::Estimation(b)) => {
+                a.num_rows() == b.num_rows()
+                    && (0..a.num_rows()).all(|i| a.row_parts(i).0 == b.row_parts(i).0)
+            }
+            (TenantSketch::Ams(a), TenantSketch::Ams(b)) => {
+                a.num_rows() == b.num_rows()
+                    && a.num_columns() == b.num_columns()
+                    && (0..a.num_rows()).all(|i| {
+                        (0..a.num_columns()).all(|j| a.cell_parts(i, j).0 == b.cell_parts(i, j).0)
+                    })
+            }
+            (TenantSketch::StructuredMinimum(a), TenantSketch::StructuredMinimum(b)) => {
+                a.num_rows() == b.num_rows()
+                    && (0..a.num_rows()).all(|i| a.row_parts(i).0 == b.row_parts(i).0)
+            }
+            _ => false,
+        }
+    }
+
+    /// The sketch's current estimate (F0, or F2 for AMS sessions).
+    pub fn estimate(&self) -> f64 {
+        match self {
+            TenantSketch::Minimum(s) => s.estimate(),
+            TenantSketch::Bucketing(s) => s.estimate(),
+            TenantSketch::Estimation(s) => s.estimate(),
+            TenantSketch::Ams(s) => s.estimate(),
+            TenantSketch::StructuredMinimum(s) => s.estimate(),
+        }
+    }
+
+    /// The Estimation strategy's (ε, δ) estimate given a rough `r`
+    /// (`None` for every other kind, and on degenerate `r`).
+    pub fn estimate_with_r(&self, r: u32) -> Option<f64> {
+        match self {
+            TenantSketch::Estimation(s) => s.estimate_with_r(r),
+            _ => None,
+        }
+    }
+
+    /// Approximate sketch size in bits.
+    pub fn space_bits(&self) -> usize {
+        match self {
+            TenantSketch::Minimum(s) => s.space_bits(),
+            TenantSketch::Bucketing(s) => s.space_bits(),
+            TenantSketch::Estimation(s) => s.space_bits(),
+            TenantSketch::Ams(s) => s.space_bits(),
+            TenantSketch::StructuredMinimum(s) => s.space_bits(),
+        }
+    }
+}

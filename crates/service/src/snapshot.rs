@@ -1,0 +1,486 @@
+//! Serde-based session snapshots.
+//!
+//! A snapshot is the *complete* session: name, specification, ledger and
+//! full sketch state (hash randomness included), rendered as one JSON
+//! document through the vendored serde pair (`serde_json::to_string` /
+//! `serde_json::from_str`). Encoding is canonical — field order is fixed by
+//! the struct definitions and numbers use Rust's shortest-roundtrip
+//! rendering — so two equal sketch states always serialize to the same
+//! bytes; the differential suite pins snapshot equality across shard counts
+//! on exactly this property. Decoding reverses it losslessly: restore →
+//! save round trips are byte-identical.
+
+use crate::error::ServiceError;
+use crate::session::{SessionLedger, SessionSpec, SketchKind};
+use crate::sketch::TenantSketch;
+use mcf0_gf2::BitVec;
+use mcf0_hashing::{LinearHash, SWiseHash, ToeplitzHash};
+use mcf0_streaming::{AmsF2, BucketingF0, EstimationF0, MinimumF0};
+use mcf0_structured::StructuredMinimumF0;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Magic/version tag of the document format.
+pub const SNAPSHOT_FORMAT: &str = "mcf0-sketch-service/v1";
+
+#[derive(Serialize, Deserialize)]
+struct BitVecSnap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVecSnap {
+    fn of(v: &BitVec) -> Self {
+        BitVecSnap {
+            len: v.len(),
+            words: v.words().to_vec(),
+        }
+    }
+
+    fn build(&self) -> Result<BitVec, ServiceError> {
+        if self.words.len() != self.len.div_ceil(64) {
+            return Err(ServiceError::Snapshot(
+                "bit vector word count does not match its length".into(),
+            ));
+        }
+        Ok(BitVec::from_words(self.len, &self.words))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct ToeplitzSnap {
+    input_bits: usize,
+    output_bits: usize,
+    diag: BitVecSnap,
+    offset: BitVecSnap,
+}
+
+impl ToeplitzSnap {
+    fn of(h: &ToeplitzHash) -> Self {
+        ToeplitzSnap {
+            input_bits: h.input_bits(),
+            output_bits: h.output_bits(),
+            diag: BitVecSnap::of(h.diagonal()),
+            offset: BitVecSnap::of(h.offset()),
+        }
+    }
+
+    fn build(&self) -> Result<ToeplitzHash, ServiceError> {
+        if self.input_bits == 0
+            || self.output_bits == 0
+            || self.diag.len != self.input_bits + self.output_bits - 1
+            || self.offset.len != self.output_bits
+        {
+            return Err(ServiceError::Snapshot("malformed Toeplitz hash".into()));
+        }
+        Ok(ToeplitzHash::from_parts(
+            self.input_bits,
+            self.output_bits,
+            self.diag.build()?,
+            self.offset.build()?,
+        ))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SWiseSnap {
+    width: u32,
+    coeffs: Vec<u64>,
+}
+
+impl SWiseSnap {
+    fn of(h: &SWiseHash) -> Self {
+        SWiseSnap {
+            width: h.width(),
+            coeffs: h.coeffs().to_vec(),
+        }
+    }
+
+    fn build(&self) -> Result<SWiseHash, ServiceError> {
+        if self.width == 0 || self.width > 64 || self.coeffs.is_empty() {
+            return Err(ServiceError::Snapshot("malformed s-wise hash".into()));
+        }
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        if self.coeffs.iter().any(|&c| c & !mask != 0) {
+            return Err(ServiceError::Snapshot(
+                "s-wise coefficient outside the field".into(),
+            ));
+        }
+        Ok(SWiseHash::from_coeffs(self.width, self.coeffs.clone()))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct MinimumRowSnap {
+    hash: ToeplitzSnap,
+    smallest: Vec<BitVecSnap>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BucketingRowSnap {
+    hash: ToeplitzSnap,
+    level: usize,
+    cell: Vec<u64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EstimationRowSnap {
+    hashes: Vec<SWiseSnap>,
+    cells: Vec<u32>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct AmsCellSnap {
+    hash: SWiseSnap,
+    accumulator: i64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct AmsSnap {
+    rows: usize,
+    columns: usize,
+    /// Row-major cells, `rows × columns` of them.
+    cells: Vec<AmsCellSnap>,
+    items_processed: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct StructuredSnap {
+    rows: Vec<MinimumRowSnap>,
+    items_processed: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SpecSnap {
+    kind: String,
+    universe_bits: usize,
+    epsilon: f64,
+    delta: f64,
+    thresh: usize,
+    rows: usize,
+    columns: usize,
+    seed: u64,
+}
+
+/// The document. Exactly one of the per-kind state members is non-null,
+/// selected by `spec.kind` (the vendored derive supports structs only, so
+/// the sketch variants are encoded as optional members rather than an
+/// enum).
+#[derive(Serialize, Deserialize)]
+struct SessionDoc {
+    format: String,
+    name: String,
+    spec: SpecSnap,
+    ledger: SessionLedger,
+    minimum: Option<Vec<MinimumRowSnap>>,
+    bucketing: Option<Vec<BucketingRowSnap>>,
+    estimation: Option<Vec<EstimationRowSnap>>,
+    ams: Option<AmsSnap>,
+    structured_minimum: Option<StructuredSnap>,
+}
+
+/// Renders a session to its canonical JSON document.
+pub fn encode(
+    name: &str,
+    spec: &SessionSpec,
+    ledger: &SessionLedger,
+    sketch: &TenantSketch,
+) -> String {
+    let mut doc = SessionDoc {
+        format: SNAPSHOT_FORMAT.to_string(),
+        name: name.to_string(),
+        spec: SpecSnap {
+            kind: spec.kind.name().to_string(),
+            universe_bits: spec.universe_bits,
+            epsilon: spec.epsilon,
+            delta: spec.delta,
+            thresh: spec.thresh,
+            rows: spec.rows,
+            columns: spec.columns,
+            seed: spec.seed,
+        },
+        ledger: *ledger,
+        minimum: None,
+        bucketing: None,
+        estimation: None,
+        ams: None,
+        structured_minimum: None,
+    };
+    match sketch {
+        TenantSketch::Minimum(s) => {
+            doc.minimum = Some(
+                (0..s.num_rows())
+                    .map(|i| {
+                        let (hash, smallest) = s.row_parts(i);
+                        MinimumRowSnap {
+                            hash: ToeplitzSnap::of(hash),
+                            smallest: smallest.iter().map(BitVecSnap::of).collect(),
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        TenantSketch::Bucketing(s) => {
+            doc.bucketing = Some(
+                (0..s.num_rows())
+                    .map(|i| {
+                        let (hash, level, cell) = s.row_parts(i);
+                        BucketingRowSnap {
+                            hash: ToeplitzSnap::of(hash),
+                            level,
+                            cell: cell.iter().copied().collect(),
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        TenantSketch::Estimation(s) => {
+            doc.estimation = Some(
+                (0..s.num_rows())
+                    .map(|i| {
+                        let (hashes, cells) = s.row_parts(i);
+                        EstimationRowSnap {
+                            hashes: hashes.iter().map(SWiseSnap::of).collect(),
+                            cells: cells.to_vec(),
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        TenantSketch::Ams(s) => {
+            let (rows, columns) = (s.num_rows(), s.num_columns());
+            doc.ams = Some(AmsSnap {
+                rows,
+                columns,
+                cells: (0..rows)
+                    .flat_map(|i| (0..columns).map(move |j| (i, j)))
+                    .map(|(i, j)| {
+                        let (hash, accumulator) = s.cell_parts(i, j);
+                        AmsCellSnap {
+                            hash: SWiseSnap::of(hash),
+                            accumulator,
+                        }
+                    })
+                    .collect(),
+                items_processed: s.items_processed(),
+            });
+        }
+        TenantSketch::StructuredMinimum(s) => {
+            doc.structured_minimum = Some(StructuredSnap {
+                rows: (0..s.num_rows())
+                    .map(|i| {
+                        let (hash, minima) = s.row_parts(i);
+                        MinimumRowSnap {
+                            hash: ToeplitzSnap::of(hash),
+                            smallest: minima.iter().map(BitVecSnap::of).collect(),
+                        }
+                    })
+                    .collect(),
+                items_processed: s.items_processed(),
+            });
+        }
+    }
+    serde_json::to_string(&doc).expect("serialization is infallible")
+}
+
+/// Decodes a document back into `(name, spec, ledger, sketch)`.
+pub fn decode(
+    json: &str,
+) -> Result<(String, SessionSpec, SessionLedger, TenantSketch), ServiceError> {
+    let doc: SessionDoc =
+        serde_json::from_str(json).map_err(|e| ServiceError::Snapshot(e.to_string()))?;
+    if doc.format != SNAPSHOT_FORMAT {
+        return Err(ServiceError::Snapshot(format!(
+            "unsupported format tag `{}`",
+            doc.format
+        )));
+    }
+    let kind = SketchKind::parse(&doc.spec.kind).ok_or_else(|| {
+        ServiceError::Snapshot(format!("unknown sketch kind `{}`", doc.spec.kind))
+    })?;
+    let spec = SessionSpec {
+        kind,
+        universe_bits: doc.spec.universe_bits,
+        epsilon: doc.spec.epsilon,
+        delta: doc.spec.delta,
+        thresh: doc.spec.thresh,
+        rows: doc.spec.rows,
+        columns: doc.spec.columns,
+        seed: doc.spec.seed,
+    };
+    if !(1..=64).contains(&spec.universe_bits) || spec.thresh == 0 || spec.rows == 0 {
+        return Err(ServiceError::Snapshot("malformed specification".into()));
+    }
+    let sketch = match kind {
+        SketchKind::Minimum => {
+            let rows = doc
+                .minimum
+                .as_ref()
+                .ok_or_else(|| ServiceError::Snapshot("missing minimum state".into()))?;
+            check_rows(rows.len(), spec.rows)?;
+            let mut parts = Vec::with_capacity(rows.len());
+            for row in rows {
+                let hash = row.hash.build()?;
+                check_hash_dims(&hash, spec.universe_bits, 3 * spec.universe_bits)?;
+                let mut smallest = BTreeSet::new();
+                for v in &row.smallest {
+                    if v.len != 3 * spec.universe_bits {
+                        return Err(ServiceError::Snapshot("reservoir value width".into()));
+                    }
+                    smallest.insert(v.build()?);
+                }
+                if smallest.len() != row.smallest.len() || smallest.len() > spec.thresh {
+                    return Err(ServiceError::Snapshot("malformed reservoir".into()));
+                }
+                parts.push((hash, smallest));
+            }
+            TenantSketch::Minimum(MinimumF0::from_parts(
+                spec.universe_bits,
+                spec.thresh,
+                parts,
+            ))
+        }
+        SketchKind::Bucketing => {
+            let rows = doc
+                .bucketing
+                .as_ref()
+                .ok_or_else(|| ServiceError::Snapshot("missing bucketing state".into()))?;
+            check_rows(rows.len(), spec.rows)?;
+            let mut parts = Vec::with_capacity(rows.len());
+            for row in rows {
+                let hash = row.hash.build()?;
+                check_hash_dims(&hash, spec.universe_bits, spec.universe_bits)?;
+                if row.level > spec.universe_bits {
+                    return Err(ServiceError::Snapshot("level beyond the hash range".into()));
+                }
+                let cell: BTreeSet<u64> = row.cell.iter().copied().collect();
+                if cell.len() != row.cell.len()
+                    || (spec.universe_bits < 64
+                        && cell.iter().any(|&x| x >= (1u64 << spec.universe_bits)))
+                {
+                    return Err(ServiceError::Snapshot("malformed cell".into()));
+                }
+                parts.push((hash, row.level, cell));
+            }
+            TenantSketch::Bucketing(BucketingF0::from_parts(
+                spec.universe_bits,
+                spec.thresh,
+                parts,
+            ))
+        }
+        SketchKind::Estimation => {
+            let rows = doc
+                .estimation
+                .as_ref()
+                .ok_or_else(|| ServiceError::Snapshot("missing estimation state".into()))?;
+            check_rows(rows.len(), spec.rows)?;
+            let mut parts = Vec::with_capacity(rows.len());
+            for row in rows {
+                if row.hashes.len() != spec.thresh || row.cells.len() != spec.thresh {
+                    return Err(ServiceError::Snapshot("row width is not Thresh".into()));
+                }
+                let mut hashes = Vec::with_capacity(row.hashes.len());
+                for h in &row.hashes {
+                    let hash = h.build()?;
+                    if hash.width() as usize != spec.universe_bits {
+                        return Err(ServiceError::Snapshot("hash width mismatch".into()));
+                    }
+                    hashes.push(hash);
+                }
+                if row.cells.iter().any(|&m| m as usize > spec.universe_bits) {
+                    return Err(ServiceError::Snapshot("cell beyond the hash width".into()));
+                }
+                parts.push((hashes, row.cells.clone()));
+            }
+            TenantSketch::Estimation(EstimationF0::from_parts(
+                spec.universe_bits,
+                spec.thresh,
+                parts,
+            ))
+        }
+        SketchKind::Ams => {
+            let snap = doc
+                .ams
+                .as_ref()
+                .ok_or_else(|| ServiceError::Snapshot("missing ams state".into()))?;
+            if snap.rows != spec.rows
+                || snap.columns != spec.columns
+                || snap.columns == 0
+                || snap.cells.len() != snap.rows * snap.columns
+            {
+                return Err(ServiceError::Snapshot("malformed ams shape".into()));
+            }
+            let mut grid = Vec::with_capacity(snap.rows);
+            let mut it = snap.cells.iter();
+            for _ in 0..snap.rows {
+                let mut row = Vec::with_capacity(snap.columns);
+                for _ in 0..snap.columns {
+                    let cell = it.next().expect("length checked above");
+                    let hash = cell.hash.build()?;
+                    if hash.width() as usize != spec.universe_bits {
+                        return Err(ServiceError::Snapshot("hash width mismatch".into()));
+                    }
+                    row.push((hash, cell.accumulator));
+                }
+                grid.push(row);
+            }
+            TenantSketch::Ams(AmsF2::from_parts(
+                spec.universe_bits,
+                grid,
+                snap.items_processed,
+            ))
+        }
+        SketchKind::StructuredMinimum => {
+            let snap = doc
+                .structured_minimum
+                .as_ref()
+                .ok_or_else(|| ServiceError::Snapshot("missing structured state".into()))?;
+            check_rows(snap.rows.len(), spec.rows)?;
+            let mut parts = Vec::with_capacity(snap.rows.len());
+            for row in &snap.rows {
+                let hash = row.hash.build()?;
+                check_hash_dims(&hash, spec.universe_bits, 3 * spec.universe_bits)?;
+                let mut minima = Vec::with_capacity(row.smallest.len());
+                for v in &row.smallest {
+                    if v.len != 3 * spec.universe_bits {
+                        return Err(ServiceError::Snapshot("minima value width".into()));
+                    }
+                    minima.push(v.build()?);
+                }
+                if minima.len() > spec.thresh || !minima.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(ServiceError::Snapshot("malformed minima list".into()));
+                }
+                parts.push((hash, minima));
+            }
+            TenantSketch::StructuredMinimum(StructuredMinimumF0::from_parts(
+                spec.universe_bits,
+                spec.thresh,
+                parts,
+                snap.items_processed,
+            ))
+        }
+    };
+    Ok((doc.name, spec, doc.ledger, sketch))
+}
+
+fn check_rows(got: usize, expected: usize) -> Result<(), ServiceError> {
+    if got == expected {
+        Ok(())
+    } else {
+        Err(ServiceError::Snapshot(format!(
+            "row count {got} does not match the specification's {expected}"
+        )))
+    }
+}
+
+fn check_hash_dims(hash: &ToeplitzHash, n: usize, m: usize) -> Result<(), ServiceError> {
+    if hash.input_bits() == n && hash.output_bits() == m {
+        Ok(())
+    } else {
+        Err(ServiceError::Snapshot("hash dimensions mismatch".into()))
+    }
+}

@@ -19,12 +19,14 @@ use mcf0_hashing::{SWiseHash, SWisePoint, Xoshiro256StarStar};
 
 /// AMS estimator for the second frequency moment of a stream over
 /// `{0,1}^universe_bits`.
+#[derive(Clone)]
 pub struct AmsF2 {
     universe_bits: usize,
     rows: Vec<Vec<AmsCell>>,
     items_processed: u64,
 }
 
+#[derive(Clone)]
 struct AmsCell {
     sign_hash: SWiseHash,
     accumulator: i64,
@@ -68,6 +70,76 @@ impl AmsF2 {
     /// Number of items processed (stream length, with multiplicity).
     pub fn items_processed(&self) -> u64 {
         self.items_processed
+    }
+
+    /// Number of median rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of averaged columns per row.
+    pub fn num_columns(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Cell `(i, j)`'s sign-hash draw and running counter `Z` — the complete
+    /// per-cell state, exported for snapshots.
+    pub fn cell_parts(&self, i: usize, j: usize) -> (&SWiseHash, i64) {
+        let cell = &self.rows[i][j];
+        (&cell.sign_hash, cell.accumulator)
+    }
+
+    /// Rebuilds a sketch from exported per-cell state (snapshot restore);
+    /// bit-identical to the source sketch.
+    pub fn from_parts(
+        universe_bits: usize,
+        rows: Vec<Vec<(SWiseHash, i64)>>,
+        items_processed: u64,
+    ) -> Self {
+        assert!((1..=64).contains(&universe_bits));
+        assert!(!rows.is_empty() && rows.iter().all(|r| r.len() == rows[0].len()));
+        assert!(!rows[0].is_empty());
+        let rows = rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|(sign_hash, accumulator)| {
+                        assert_eq!(sign_hash.width() as usize, universe_bits, "hash width");
+                        AmsCell {
+                            sign_hash,
+                            accumulator,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        AmsF2 {
+            universe_bits,
+            rows,
+            items_processed,
+        }
+    }
+
+    /// Merges another sketch of the same draw into this one, in place. The
+    /// AMS sketch is linear in the frequency vector, so the merge *adds* the
+    /// counters: the merged state equals processing the concatenation of the
+    /// two streams (multiset-sum semantics — F2 depends on multiplicities,
+    /// so this is the F2 analogue of the F0 sketches' distinct-union merge).
+    /// Panics on a draw or shape mismatch.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.universe_bits, other.universe_bits, "universe width");
+        assert_eq!(self.rows.len(), other.rows.len(), "row count mismatch");
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            assert_eq!(mine.len(), theirs.len(), "column count mismatch");
+            for (cell, other_cell) in mine.iter_mut().zip(theirs) {
+                assert!(
+                    cell.sign_hash == other_cell.sign_hash,
+                    "merge requires identical hash draws"
+                );
+                cell.accumulator += other_cell.accumulator;
+            }
+        }
+        self.items_processed += other.items_processed;
     }
 
     /// Processes one item with multiplicity `count`. The item is prepared

@@ -11,9 +11,10 @@
 use crate::batch::{dedup_preserving_order, for_each_row_chunk};
 use crate::config::{median, F0Config};
 use crate::sketch::F0Sketch;
-use mcf0_hashing::{ToeplitzHash, Xoshiro256StarStar};
+use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar};
 use std::collections::BTreeSet;
 
+#[derive(Clone)]
 struct BucketRow {
     hash: ToeplitzHash,
     level: usize,
@@ -40,6 +41,7 @@ impl BucketRow {
 }
 
 /// Bucketing-based (ε, δ) F0 sketch.
+#[derive(Clone)]
 pub struct BucketingF0 {
     universe_bits: usize,
     thresh: usize,
@@ -69,6 +71,92 @@ impl BucketingF0 {
     /// Sampling level of row `i` (used by tests and the distributed variant).
     pub fn level(&self, row: usize) -> usize {
         self.rows[row].level
+    }
+
+    /// Bucket size `Thresh`.
+    pub fn thresh(&self) -> usize {
+        self.thresh
+    }
+
+    /// Number of repetition rows `t`.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row `i`'s hash draw, sampling level and cell contents — the complete
+    /// per-row state, exported for snapshots.
+    pub fn row_parts(&self, i: usize) -> (&ToeplitzHash, usize, &BTreeSet<u64>) {
+        let row = &self.rows[i];
+        (&row.hash, row.level, &row.cell)
+    }
+
+    /// Rebuilds a sketch from exported per-row state (snapshot restore);
+    /// bit-identical to the source sketch, parallel-rows knob reset.
+    pub fn from_parts(
+        universe_bits: usize,
+        thresh: usize,
+        rows: Vec<(ToeplitzHash, usize, BTreeSet<u64>)>,
+    ) -> Self {
+        assert!((1..=64).contains(&universe_bits));
+        assert!(thresh >= 1);
+        let rows = rows
+            .into_iter()
+            .map(|(hash, level, cell)| {
+                assert_eq!(hash.input_bits(), universe_bits, "hash input width");
+                assert_eq!(hash.output_bits(), universe_bits, "hash output width");
+                assert!(level <= universe_bits, "level beyond the hash range");
+                assert!(
+                    universe_bits == 64 || cell.iter().all(|&x| x < (1u64 << universe_bits)),
+                    "cell item outside the declared universe"
+                );
+                BucketRow { hash, level, cell }
+            })
+            .collect();
+        BucketingF0 {
+            universe_bits,
+            thresh,
+            parallel_rows: 1,
+            rows,
+        }
+    }
+
+    /// Merges another sketch of the same draw into this one, in place:
+    /// distinct-union semantics. Per row, the merged level starts at the
+    /// larger of the two levels, both cells are re-filtered through it, and
+    /// the usual overflow loop then raises it further if needed — exactly
+    /// the state reached by processing both streams into one sketch, because
+    /// a row's final state is `(m*, h_{m*}^{-1}(0^{m*}) ∩ items)` with `m*`
+    /// the smallest level at which that intersection fits, and each side's
+    /// final level lower-bounds the union's. Panics on a draw mismatch.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.universe_bits, other.universe_bits, "universe width");
+        assert_eq!(self.thresh, other.thresh, "Thresh mismatch");
+        assert_eq!(self.rows.len(), other.rows.len(), "row count mismatch");
+        let thresh = self.thresh;
+        let universe_bits = self.universe_bits;
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            assert!(
+                mine.hash == theirs.hash,
+                "merge requires identical hash draws"
+            );
+            if theirs.level > mine.level {
+                mine.level = theirs.level;
+                let hash = &mine.hash;
+                let level = mine.level;
+                mine.cell.retain(|&y| hash.prefix_is_zero_u64(y, level));
+            }
+            for &x in &theirs.cell {
+                if mine.hash.prefix_is_zero_u64(x, mine.level) {
+                    mine.cell.insert(x);
+                }
+            }
+            while mine.cell.len() > thresh && mine.level < universe_bits {
+                mine.level += 1;
+                let hash = &mine.hash;
+                let level = mine.level;
+                mine.cell.retain(|&y| hash.prefix_is_zero_u64(y, level));
+            }
+        }
     }
 }
 

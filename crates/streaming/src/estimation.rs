@@ -15,6 +15,7 @@ use crate::config::{median, F0Config};
 use crate::sketch::F0Sketch;
 use mcf0_hashing::{SWiseHash, SWisePoint, Xoshiro256StarStar};
 
+#[derive(Clone)]
 struct EstimationRow {
     hashes: Vec<SWiseHash>,
     max_trailing: Vec<u32>,
@@ -38,6 +39,7 @@ impl EstimationRow {
 /// Estimation-based F0 sketch (needs an externally supplied `r`; see
 /// [`EstimationF0::estimate_with_r`] and the Flajolet–Martin rough
 /// estimator).
+#[derive(Clone)]
 pub struct EstimationF0 {
     universe_bits: usize,
     thresh: usize,
@@ -106,6 +108,70 @@ impl EstimationF0 {
     /// Reservoir width `Thresh`.
     pub fn thresh(&self) -> usize {
         self.thresh
+    }
+
+    /// Row `i`'s hash draws and trailing-zero cells — the complete per-row
+    /// state, exported for snapshots.
+    pub fn row_parts(&self, i: usize) -> (&[SWiseHash], &[u32]) {
+        (&self.rows[i].hashes, &self.rows[i].max_trailing)
+    }
+
+    /// Rebuilds a sketch from exported per-row state (snapshot restore);
+    /// bit-identical to the source sketch, parallel-rows knob reset.
+    pub fn from_parts(
+        universe_bits: usize,
+        thresh: usize,
+        rows: Vec<(Vec<SWiseHash>, Vec<u32>)>,
+    ) -> Self {
+        assert!((1..=64).contains(&universe_bits));
+        assert!(thresh >= 1);
+        let rows = rows
+            .into_iter()
+            .map(|(hashes, max_trailing)| {
+                assert_eq!(hashes.len(), thresh, "hash count must equal Thresh");
+                assert_eq!(max_trailing.len(), thresh, "cell count must equal Thresh");
+                assert!(
+                    hashes.iter().all(|h| h.width() as usize == universe_bits),
+                    "hash width mismatch"
+                );
+                assert!(
+                    max_trailing.iter().all(|&m| m as usize <= universe_bits),
+                    "trailing-zero count beyond the hash width"
+                );
+                EstimationRow {
+                    hashes,
+                    max_trailing,
+                }
+            })
+            .collect();
+        EstimationF0 {
+            universe_bits,
+            thresh,
+            parallel_rows: 1,
+            rows,
+        }
+    }
+
+    /// Merges another sketch of the same draw into this one, in place:
+    /// distinct-union semantics. Each cell holds the maximum trailing-zero
+    /// count its hash reached over the stream, so the merged cell is the
+    /// pairwise maximum — exactly the state after processing both streams
+    /// into one sketch. Panics on a draw or shape mismatch.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.universe_bits, other.universe_bits, "universe width");
+        assert_eq!(self.thresh, other.thresh, "Thresh mismatch");
+        assert_eq!(self.rows.len(), other.rows.len(), "row count mismatch");
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            assert!(
+                mine.hashes == theirs.hashes,
+                "merge requires identical hash draws"
+            );
+            for (slot, &m) in mine.max_trailing.iter_mut().zip(&theirs.max_trailing) {
+                if m > *slot {
+                    *slot = m;
+                }
+            }
+        }
     }
 }
 

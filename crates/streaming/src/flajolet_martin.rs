@@ -12,6 +12,7 @@ use crate::sketch::F0Sketch;
 use mcf0_hashing::{SWiseHash, Xoshiro256StarStar};
 
 /// Flajolet–Martin sketch: one pairwise-independent hash, one counter.
+#[derive(Clone)]
 pub struct FlajoletMartinF0 {
     universe_bits: usize,
     hash: SWiseHash,
@@ -39,6 +40,46 @@ impl FlajoletMartinF0 {
             Some(self.max_trailing)
         } else {
             None
+        }
+    }
+
+    /// The hash draw (exported for snapshots).
+    pub fn hash(&self) -> &SWiseHash {
+        &self.hash
+    }
+
+    /// Rebuilds a sketch from its exported state (snapshot restore):
+    /// `statistic` is [`FlajoletMartinF0::max_trailing_zeros`] — `None`
+    /// encodes the empty-stream state.
+    pub fn from_parts(universe_bits: usize, hash: SWiseHash, statistic: Option<u32>) -> Self {
+        assert!((1..=64).contains(&universe_bits));
+        assert_eq!(hash.width() as usize, universe_bits, "hash width");
+        assert!(
+            statistic.is_none_or(|r| r as usize <= universe_bits),
+            "statistic beyond the hash width"
+        );
+        FlajoletMartinF0 {
+            universe_bits,
+            hash,
+            max_trailing: statistic.unwrap_or(0),
+            saw_item: statistic.is_some(),
+        }
+    }
+
+    /// Merges another sketch of the same draw into this one, in place:
+    /// distinct-union semantics (the statistic is a maximum over distinct
+    /// items). Panics on a draw mismatch.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.universe_bits, other.universe_bits, "universe width");
+        assert!(
+            self.hash == other.hash,
+            "merge requires identical hash draws"
+        );
+        if other.saw_item {
+            self.saw_item = true;
+            if other.max_trailing > self.max_trailing {
+                self.max_trailing = other.max_trailing;
+            }
         }
     }
 }

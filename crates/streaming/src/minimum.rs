@@ -12,9 +12,10 @@ use crate::batch::{dedup_preserving_order, for_each_row_chunk};
 use crate::config::{median, F0Config};
 use crate::sketch::F0Sketch;
 use mcf0_gf2::BitVec;
-use mcf0_hashing::{ToeplitzHash, Xoshiro256StarStar};
+use mcf0_hashing::{LinearHash, ToeplitzHash, Xoshiro256StarStar};
 use std::collections::BTreeSet;
 
+#[derive(Clone)]
 struct MinimumRow {
     hash: ToeplitzHash,
     smallest: BTreeSet<BitVec>,
@@ -39,6 +40,7 @@ impl MinimumRow {
 }
 
 /// Minimum-value-based (ε, δ) F0 sketch.
+#[derive(Clone)]
 pub struct MinimumF0 {
     universe_bits: usize,
     thresh: usize,
@@ -62,6 +64,80 @@ impl MinimumF0 {
             thresh: config.thresh,
             parallel_rows: config.parallel_rows,
             rows,
+        }
+    }
+
+    /// Reservoir size `Thresh`.
+    pub fn thresh(&self) -> usize {
+        self.thresh
+    }
+
+    /// Number of repetition rows `t`.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row `i`'s hash draw and current reservoir of smallest hash values —
+    /// the complete per-row state, exported for snapshots.
+    pub fn row_parts(&self, i: usize) -> (&ToeplitzHash, &BTreeSet<BitVec>) {
+        (&self.rows[i].hash, &self.rows[i].smallest)
+    }
+
+    /// Rebuilds a sketch from exported per-row state (snapshot restore). The
+    /// result is bit-identical to the sketch the parts were exported from;
+    /// the parallel-rows knob resets to sequential.
+    pub fn from_parts(
+        universe_bits: usize,
+        thresh: usize,
+        rows: Vec<(ToeplitzHash, BTreeSet<BitVec>)>,
+    ) -> Self {
+        assert!((1..=64).contains(&universe_bits));
+        assert!(thresh >= 1);
+        let rows = rows
+            .into_iter()
+            .map(|(hash, smallest)| {
+                assert_eq!(hash.input_bits(), universe_bits, "hash input width");
+                assert_eq!(hash.output_bits(), 3 * universe_bits, "hash output width");
+                assert!(smallest.len() <= thresh, "reservoir larger than Thresh");
+                assert!(
+                    smallest.iter().all(|v| v.len() == 3 * universe_bits),
+                    "reservoir value width"
+                );
+                MinimumRow { hash, smallest }
+            })
+            .collect();
+        MinimumF0 {
+            universe_bits,
+            thresh,
+            parallel_rows: 1,
+            rows,
+        }
+    }
+
+    /// Merges another sketch of the same draw into this one, in place:
+    /// distinct-union semantics, i.e. the merged state is bit-identical to
+    /// the state after processing both sketches' streams into one sketch.
+    /// The two sketches must share their hash draws (same creation seed and
+    /// configuration); per-row the reservoirs are unioned and re-truncated
+    /// to the `Thresh` smallest values, which loses nothing because the
+    /// `Thresh` smallest of a union are among the `Thresh` smallest of each
+    /// side. Panics on a draw or shape mismatch.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.universe_bits, other.universe_bits, "universe width");
+        assert_eq!(self.thresh, other.thresh, "Thresh mismatch");
+        assert_eq!(self.rows.len(), other.rows.len(), "row count mismatch");
+        let thresh = self.thresh;
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            assert!(
+                mine.hash == theirs.hash,
+                "merge requires identical hash draws"
+            );
+            for value in &theirs.smallest {
+                mine.smallest.insert(value.clone());
+            }
+            while mine.smallest.len() > thresh {
+                mine.smallest.pop_last();
+            }
         }
     }
 

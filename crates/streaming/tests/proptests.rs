@@ -269,6 +269,116 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Merge semantics: merge(sketch(A), sketch(B)) == sketch(A ∪ B) for every
+// mergeable sketch (distinct-union; multiset-sum for the linear AMS sketch),
+// including empty streams and duplicate-heavy overlap. The two sketches must
+// share their hash draws (same seed), which is exactly the service's
+// merge-compatibility precondition.
+// ---------------------------------------------------------------------------
+
+/// Builds sketch(A), sketch(B) and sketch(A ++ B) from one seed, merges the
+/// first pair both ways, and asserts full-state agreement with the third.
+fn assert_merge_matches_union(
+    a_items: &[u64],
+    b_items: &[u64],
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let config = F0Config::explicit(0.5, 0.3, 16, 3);
+    let union: Vec<u64> = a_items.iter().chain(b_items).copied().collect();
+
+    // MinimumF0: estimate + space (space covers the merged reservoirs).
+    let mut a = MinimumF0::new(BITS, &config, &mut rng_from(seed));
+    let mut b = MinimumF0::new(BITS, &config, &mut rng_from(seed));
+    let mut u = MinimumF0::new(BITS, &config, &mut rng_from(seed));
+    a.process_stream(a_items);
+    b.process_stream(b_items);
+    u.process_stream(&union);
+    let mut ba = b.clone();
+    ba.merge_from(&a);
+    a.merge_from(&b);
+    prop_assert_eq!(a.estimate(), u.estimate());
+    prop_assert_eq!(a.space_bits(), u.space_bits());
+    // Merge is symmetric: B ← A reaches the identical state.
+    prop_assert_eq!(ba.estimate(), u.estimate());
+    prop_assert_eq!(ba.space_bits(), u.space_bits());
+
+    // BucketingF0: estimate + space + levels.
+    let mut a = BucketingF0::new(BITS, &config, &mut rng_from(seed));
+    let mut b = BucketingF0::new(BITS, &config, &mut rng_from(seed));
+    let mut u = BucketingF0::new(BITS, &config, &mut rng_from(seed));
+    a.process_stream(a_items);
+    b.process_stream(b_items);
+    u.process_stream(&union);
+    a.merge_from(&b);
+    prop_assert_eq!(a.estimate(), u.estimate());
+    prop_assert_eq!(a.space_bits(), u.space_bits());
+    for i in 0..a.num_rows() {
+        prop_assert_eq!(a.level(i), u.level(i));
+    }
+
+    // EstimationF0: every cell.
+    let mut a = EstimationF0::new(BITS, &config, &mut rng_from(seed));
+    let mut b = EstimationF0::new(BITS, &config, &mut rng_from(seed));
+    let mut u = EstimationF0::new(BITS, &config, &mut rng_from(seed));
+    a.process_stream(a_items);
+    b.process_stream(b_items);
+    u.process_stream(&union);
+    a.merge_from(&b);
+    for i in 0..a.num_rows() {
+        for j in 0..a.thresh() {
+            prop_assert_eq!(a.cell(i, j), u.cell(i, j));
+        }
+    }
+
+    // FlajoletMartinF0 (covers the empty-stream `saw_item` flag).
+    let mut a = FlajoletMartinF0::new(BITS, &mut rng_from(seed));
+    let mut b = FlajoletMartinF0::new(BITS, &mut rng_from(seed));
+    let mut u = FlajoletMartinF0::new(BITS, &mut rng_from(seed));
+    a.process_stream(a_items);
+    b.process_stream(b_items);
+    u.process_stream(&union);
+    a.merge_from(&b);
+    prop_assert_eq!(a.max_trailing_zeros(), u.max_trailing_zeros());
+    prop_assert_eq!(a.estimate(), u.estimate());
+
+    // AmsF2: linear sketch, so merge is concatenation (multiset sum).
+    let mut a = AmsF2::new(BITS, 3, 8, &mut rng_from(seed));
+    let mut b = AmsF2::new(BITS, 3, 8, &mut rng_from(seed));
+    let mut u = AmsF2::new(BITS, 3, 8, &mut rng_from(seed));
+    a.process_stream(a_items);
+    b.process_stream(b_items);
+    u.process_stream(&union);
+    a.merge_from(&b);
+    prop_assert_eq!(a.estimate(), u.estimate());
+    prop_assert_eq!(a.items_processed(), u.items_processed());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn merged_sketches_match_the_union_stream(a_items in stream(BITS, 150), b_items in stream(BITS, 150), seed in any::<u64>()) {
+        assert_merge_matches_union(&a_items, &b_items, seed)?;
+    }
+
+    #[test]
+    fn merged_sketches_match_the_union_on_heavy_overlap(items in stream(8, 200), cut in 0.0f64..=1.0, seed in any::<u64>()) {
+        // Both halves draw from a 256-item universe, so A ∩ B is large and
+        // duplicates dominate; the halves also share a boundary region.
+        let mid = ((items.len() as f64) * cut) as usize;
+        assert_merge_matches_union(&items[..mid], &items[mid / 2..], seed)?;
+    }
+
+    #[test]
+    fn merging_an_empty_sketch_is_the_identity(items in stream(BITS, 150), seed in any::<u64>()) {
+        assert_merge_matches_union(&items, &[], seed)?;
+        assert_merge_matches_union(&[], &items, seed)?;
+        assert_merge_matches_union(&[], &[], seed)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The unified ComputeF0 driver
 // ---------------------------------------------------------------------------
 

@@ -121,6 +121,7 @@ pub fn cell_members_from_terms<'a>(
 
 /// Minimum-strategy F0 sketch over structured set streams (Theorem 5 /
 /// Theorem 6 / Theorem 7 depending on the item type).
+#[derive(Clone)]
 pub struct StructuredMinimumF0 {
     universe_bits: usize,
     thresh: usize,
@@ -172,6 +173,69 @@ impl StructuredMinimumF0 {
         self.parallel_rows = threads.max(1);
     }
 
+    /// Reservoir size `Thresh`.
+    pub fn thresh(&self) -> usize {
+        self.thresh
+    }
+
+    /// Number of repetition rows `t`.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row `i`'s hash draw and running minima — the complete per-row state,
+    /// exported for snapshots.
+    pub fn row_parts(&self, i: usize) -> (&ToeplitzHash, &[BitVec]) {
+        (&self.rows[i].0, &self.rows[i].1)
+    }
+
+    /// Rebuilds a sketch from exported per-row state (snapshot restore);
+    /// bit-identical to the source sketch, parallel-rows knob reset.
+    pub fn from_parts(
+        universe_bits: usize,
+        thresh: usize,
+        rows: Vec<(ToeplitzHash, Vec<BitVec>)>,
+        items_processed: u64,
+    ) -> Self {
+        assert!(universe_bits >= 1);
+        assert!(thresh >= 1);
+        for (hash, minima) in &rows {
+            assert_eq!(hash.input_bits(), universe_bits, "hash input width");
+            assert_eq!(hash.output_bits(), 3 * universe_bits, "hash output width");
+            assert!(minima.len() <= thresh, "minima list larger than Thresh");
+            assert!(
+                minima.windows(2).all(|w| w[0] < w[1]),
+                "minima must be strictly ascending"
+            );
+        }
+        StructuredMinimumF0 {
+            universe_bits,
+            thresh,
+            parallel_rows: 1,
+            rows,
+            items_processed,
+        }
+    }
+
+    /// Merges another sketch of the same draw into this one, in place:
+    /// distinct-union semantics over the item sets, exactly the per-row
+    /// minima discipline of [`StructuredMinimumF0::process_item`] (union,
+    /// sort, dedup, truncate to `Thresh`). Panics on a draw mismatch.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.universe_bits, other.universe_bits, "universe width");
+        assert_eq!(self.thresh, other.thresh, "Thresh mismatch");
+        assert_eq!(self.rows.len(), other.rows.len(), "row count mismatch");
+        let thresh = self.thresh;
+        for ((hash, minima), (other_hash, other_minima)) in self.rows.iter_mut().zip(&other.rows) {
+            assert!(hash == other_hash, "merge requires identical hash draws");
+            minima.extend(other_minima.iter().cloned());
+            minima.sort();
+            minima.dedup();
+            minima.truncate(thresh);
+        }
+        self.items_processed += other.items_processed;
+    }
+
     /// Processes one structured item: per row, merge the item's `Thresh`
     /// smallest hashed values into the running minima.
     pub fn process_item<S: StructuredSet + Sync + ?Sized>(&mut self, item: &S) {
@@ -215,6 +279,7 @@ impl StructuredMinimumF0 {
 
 /// Bucketing-strategy F0 sketch over structured set streams (the alternative
 /// mentioned after Theorem 5, provided for ablation benchmarks).
+#[derive(Clone)]
 pub struct StructuredBucketingF0 {
     universe_bits: usize,
     thresh: usize,
@@ -250,6 +315,41 @@ impl StructuredBucketingF0 {
     /// threads (`≤ 1` = sequential; deterministic either way).
     pub fn set_parallel_rows(&mut self, threads: usize) {
         self.parallel_rows = threads.max(1);
+    }
+
+    /// Merges another sketch of the same draw into this one, in place:
+    /// distinct-union semantics, by the same argument as the streaming
+    /// [`mcf0_streaming::BucketingF0::merge_from`] — a row's final state is
+    /// the cell of the union at the smallest level where it fits, and each
+    /// side's level lower-bounds the union's. Panics on a draw mismatch.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.universe_bits, other.universe_bits, "universe width");
+        assert_eq!(self.thresh, other.thresh, "Thresh mismatch");
+        assert_eq!(self.rows.len(), other.rows.len(), "row count mismatch");
+        let thresh = self.thresh;
+        let n = self.universe_bits;
+        for ((hash, level, bucket), (other_hash, other_level, other_bucket)) in
+            self.rows.iter_mut().zip(&other.rows)
+        {
+            assert!(hash == other_hash, "merge requires identical hash draws");
+            if *other_level > *level {
+                *level = *other_level;
+                let lvl = *level;
+                let h = &*hash;
+                bucket.retain(|x| h.prefix_is_zero(x, lvl));
+            }
+            for x in other_bucket {
+                if hash.prefix_is_zero(x, *level) {
+                    bucket.insert(x.clone());
+                }
+            }
+            while bucket.len() > thresh && *level < n {
+                *level += 1;
+                let lvl = *level;
+                let h = &*hash;
+                bucket.retain(|x| h.prefix_is_zero(x, lvl));
+            }
+        }
     }
 
     /// Processes one structured item: per row, pull the item's members lying

@@ -292,3 +292,55 @@ proptest! {
         prop_assert_eq!(sketch.items_processed(), items.len() as u64);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Merge semantics: merging two same-draw structured sketches equals the
+// sketch of the concatenated item streams (distinct-union over the items'
+// element sets), including the empty-stream and shared-item cases.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn structured_merge_matches_the_union_stream(seed in any::<u64>(), item_seed in any::<u64>(), split in 0usize..=6, overlap in 0usize..=3) {
+        use mcf0_formula::generators::random_dnf;
+        use mcf0_structured::StructuredBucketingF0;
+
+        let n = 10usize;
+        let mut items_rng = rng_from(item_seed);
+        let items: Vec<DnfSet> = (0..6)
+            .map(|_| DnfSet::new(random_dnf(&mut items_rng, n, 3, (2, 5))))
+            .collect();
+        // A and B share `overlap` items around the split (duplicate-heavy
+        // merge input); either side may be empty.
+        let split = split.min(items.len());
+        let a_items = &items[..split];
+        let b_items = &items[split.saturating_sub(overlap)..];
+        let both: Vec<&DnfSet> = a_items.iter().chain(b_items).collect();
+
+        let config = CountingConfig::explicit(0.8, 0.3, 24, 3);
+        let mut a = StructuredMinimumF0::new(n, &config, &mut rng_from(seed));
+        let mut b = StructuredMinimumF0::new(n, &config, &mut rng_from(seed));
+        let mut u = StructuredMinimumF0::new(n, &config, &mut rng_from(seed));
+        for item in a_items { a.process_item(item); }
+        for item in b_items { b.process_item(item); }
+        for item in &both { u.process_item(*item); }
+        a.merge_from(&b);
+        prop_assert_eq!(a.estimate(), u.estimate());
+        prop_assert_eq!(a.space_bits(), u.space_bits());
+        prop_assert_eq!(a.items_processed(), u.items_processed());
+        for i in 0..a.num_rows() {
+            prop_assert_eq!(a.row_parts(i).1, u.row_parts(i).1);
+        }
+
+        let mut a = StructuredBucketingF0::new(n, &config, &mut rng_from(seed));
+        let mut b = StructuredBucketingF0::new(n, &config, &mut rng_from(seed));
+        let mut u = StructuredBucketingF0::new(n, &config, &mut rng_from(seed));
+        for item in a_items { a.process_item(item); }
+        for item in b_items { b.process_item(item); }
+        for item in &both { u.process_item(*item); }
+        a.merge_from(&b);
+        prop_assert_eq!(a.estimate(), u.estimate());
+    }
+}

@@ -9,34 +9,35 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A configuration running `cases` random cases per test.
+    /// A configuration running exactly `cases` random cases per test. As in
+    /// real proptest, a pinned count wins over the `PROPTEST_CASES`
+    /// environment variable — only [`ProptestConfig::default`] reads the env
+    /// var, so blocks without an explicit count are the CI coverage knob and
+    /// pinned blocks are reproducible constants (the differential suites
+    /// rely on this; `vendor/proptest/tests/case_counts.rs` pins it).
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
 
-    /// The case count after applying the `PROPTEST_CASES` environment
-    /// override (the override wins so CI can dial coverage up or down
-    /// without touching source). Clamped to at least 1 so a stray
-    /// `PROPTEST_CASES=0` cannot make every property test vacuously pass.
-    ///
-    /// **Deviation from real proptest:** there the env var is only read by
-    /// `ProptestConfig::default()`, so blocks pinned with `with_cases` ignore
-    /// it. Here it overrides pinned blocks too — every suite in this
-    /// workspace pins its count, so the real-proptest rule would make the
-    /// knob a no-op. Revisit when the shims are swapped for crates.io
-    /// proptest (see ROADMAP.md).
+    /// The case count the runner macro executes, clamped to at least 1 so a
+    /// stray `PROPTEST_CASES=0` cannot make every property test vacuously
+    /// pass.
     pub fn effective_cases(&self) -> u32 {
-        std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(self.cases)
-            .max(1)
+        self.cases.max(1)
     }
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable — mirroring real proptest, where the env var is applied by
+    /// `Config::default()` and therefore never overrides an explicit
+    /// [`ProptestConfig::with_cases`].
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 

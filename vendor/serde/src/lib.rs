@@ -1,20 +1,25 @@
 //! Minimal, dependency-free stand-in for the `serde` crate.
 //!
 //! The build environment has no access to crates.io, so this vendored shim
-//! provides just what the `mcf0-bench` harness uses: a [`Serialize`] trait
-//! that renders a value as JSON into a string buffer, a `#[derive(Serialize)]`
-//! macro for plain structs with named fields (re-exported from the vendored
+//! provides just what the workspace uses: a [`Serialize`] trait that renders
+//! a value as JSON into a string buffer, a [`Deserialize`] trait that
+//! rebuilds a value from a parsed JSON [`Value`] tree (the save/restore path
+//! of the sketch service), `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for plain structs with named fields (re-exported from the vendored
 //! `serde_derive`), and impls for the primitive / container types appearing
-//! in experiment rows.
+//! in experiment rows and session snapshots.
 //!
-//! This is intentionally **not** the real serde data model (no `Serializer`
-//! abstraction, no `Deserialize`); swapping in the real crates later only
-//! requires the manifests to point back at crates.io.
+//! This is intentionally **not** the real serde data model (no
+//! `Serializer`/`Deserializer` abstraction — deserialization goes through
+//! the concrete [`Value`] tree that `serde_json::from_str` produces);
+//! swapping in the real crates later only requires the manifests to point
+//! back at crates.io and the save/restore call sites to use the real
+//! `serde_json::{to_string, from_str}` pair, which they already mirror.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// Types that can render themselves as a JSON value.
 pub trait Serialize {
@@ -115,5 +120,253 @@ impl<T: Serialize> Serialize for Vec<T> {
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize_json(&self, out: &mut String) {
         (**self).serialize_json(out);
+    }
+}
+
+/// A parsed JSON document — the tree `serde_json::from_str` feeds to
+/// [`Deserialize`] impls.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token so integer round trips are lossless
+    /// beyond 2^53 and floats keep their shortest-roundtrip rendering;
+    /// convert on demand with [`Value::as_u64`] / [`Value::as_f64`] / the
+    /// integer [`Deserialize`] impls.
+    Number(String),
+    /// A string (escapes already resolved).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order (duplicate keys keep the last value on
+    /// lookup, matching the common JSON-parser convention).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object (`None` on other variants or a missing
+    /// key; the *last* entry wins on duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Inserts or replaces a key on an object (panics on other variants) —
+    /// used by the bench harness to update one section of a report file
+    /// while preserving the rest.
+    pub fn set(&mut self, key: &str, value: Value) {
+        let Value::Object(entries) = self else {
+            panic!("Value::set on a non-object");
+        };
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => entries.push((key.to_string(), value)),
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is an integral token in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, if this is an integral token in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64` (integral tokens convert too).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    /// Renders the tree back to JSON. Numbers re-emit their raw token, so a
+    /// parse → serialize round trip is the identity on compact documents.
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.serialize_json(out),
+            Value::Number(raw) => out.push_str(raw),
+            Value::String(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.serialize_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.serialize_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Why a [`Deserialize`] impl rejected a [`Value`].
+#[derive(Clone, Debug)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a free-form message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+
+    /// A required object member was absent (or the value was not an object).
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        DeError(format!("{type_name}: missing field `{field}`"))
+    }
+
+    /// The value had the wrong JSON type.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        DeError(format!("expected {what}, got {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can rebuild themselves from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Converts the value, or explains why it has the wrong shape.
+    fn deserialize_json(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("a boolean", v))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("a string", v))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        // `null` round-trips the serializer's rendering of non-finite floats.
+        if matches!(v, Value::Null) {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| DeError::expected("a number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_json(v).map(|x| x as f32)
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {
+        $(
+            impl Deserialize for $t {
+                fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+                    match v {
+                        Value::Number(raw) => raw.parse().map_err(|_| {
+                            DeError::new(format!(
+                                "number `{raw}` out of range for {}",
+                                stringify!($t)
+                            ))
+                        }),
+                        _ => Err(DeError::expected("an integer", v)),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array", v))?;
+        items.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
     }
 }

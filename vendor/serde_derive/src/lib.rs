@@ -1,10 +1,11 @@
-//! Minimal `#[derive(Serialize)]` without syn/quote (crates.io is
-//! unreachable in this build environment).
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! syn/quote (crates.io is unreachable in this build environment).
 //!
 //! Supports exactly the shape the workspace uses: a non-generic struct with
-//! named fields, every field type itself implementing `serde::Serialize`.
-//! Anything else panics at compile time with a clear message so the
-//! limitation is discovered immediately rather than producing wrong JSON.
+//! named fields, every field type itself implementing the corresponding
+//! vendored-`serde` trait. Anything else panics at compile time with a clear
+//! message so the limitation is discovered immediately rather than producing
+//! wrong JSON.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -12,41 +13,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// plain named-field struct.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let tokens: Vec<TokenTree> = input.into_iter().collect();
-
-    let mut struct_name: Option<String> = None;
-    let mut fields_group = None;
-    let mut iter = tokens.iter().peekable();
-    while let Some(tt) = iter.next() {
-        if let TokenTree::Ident(ident) = tt {
-            let word = ident.to_string();
-            if word == "enum" || word == "union" {
-                panic!("vendored #[derive(Serialize)] only supports structs");
-            }
-            if word == "struct" {
-                match iter.next() {
-                    Some(TokenTree::Ident(name)) => struct_name = Some(name.to_string()),
-                    _ => panic!("vendored #[derive(Serialize)]: expected struct name"),
-                }
-                match iter.next() {
-                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                        fields_group = Some(g.clone());
-                    }
-                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-                        panic!("vendored #[derive(Serialize)] does not support generics");
-                    }
-                    _ => panic!(
-                        "vendored #[derive(Serialize)] only supports structs with named fields"
-                    ),
-                }
-                break;
-            }
-        }
-    }
-
-    let name = struct_name.expect("vendored #[derive(Serialize)]: no struct found");
-    let group = fields_group.expect("vendored #[derive(Serialize)]: no field block found");
-    let fields = named_fields(group.stream());
+    let (name, fields) = struct_parts(input);
 
     let mut body = String::from("out.push('{');\n");
     for (i, field) in fields.iter().enumerate() {
@@ -68,6 +35,72 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     )
     .parse()
     .expect("vendored #[derive(Serialize)]: generated impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (reconstruction from a parsed
+/// `serde::Value` tree) for a plain named-field struct. Missing members and
+/// shape mismatches surface as `serde::DeError`s naming the struct and
+/// field; unknown members are ignored, as in real serde's default.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = struct_parts(input);
+
+    let mut body = String::new();
+    for field in &fields {
+        body.push_str(&format!(
+            "{field}: serde::Deserialize::deserialize_json(\n\
+                 v.get({field:?}).ok_or_else(|| serde::DeError::missing_field({name:?}, {field:?}))?,\n\
+             )?,\n"
+        ));
+    }
+
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize_json(v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+                 ::core::result::Result::Ok({name} {{\n{body}}})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("vendored #[derive(Deserialize)]: generated impl failed to parse")
+}
+
+/// Parses the derive input down to the struct name and its named fields,
+/// panicking with a clear message on every unsupported shape.
+fn struct_parts(input: TokenStream) -> (String, Vec<String>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut struct_name: Option<String> = None;
+    let mut fields_group = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(ident) = tt {
+            let word = ident.to_string();
+            if word == "enum" || word == "union" {
+                panic!("vendored serde derives only support structs");
+            }
+            if word == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => struct_name = Some(name.to_string()),
+                    _ => panic!("vendored serde derive: expected struct name"),
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        fields_group = Some(g.clone());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("vendored serde derives do not support generics");
+                    }
+                    _ => panic!("vendored serde derives only support structs with named fields"),
+                }
+                break;
+            }
+        }
+    }
+
+    let name = struct_name.expect("vendored serde derive: no struct found");
+    let group = fields_group.expect("vendored serde derive: no field block found");
+    (name, named_fields(group.stream()))
 }
 
 /// Extracts field names from the token stream inside the struct braces:
@@ -100,11 +133,11 @@ fn named_fields(stream: TokenStream) -> Vec<String> {
         // Field name, then `:`.
         let name = match &tokens[i] {
             TokenTree::Ident(ident) => ident.to_string(),
-            other => panic!("vendored #[derive(Serialize)]: unexpected token {other} in struct"),
+            other => panic!("vendored serde derive: unexpected token {other} in struct"),
         };
         match tokens.get(i + 1) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            _ => panic!("vendored #[derive(Serialize)] only supports named fields"),
+            _ => panic!("vendored serde derives only support named fields"),
         }
         fields.push(name);
         // Skip the type: advance to the next `,` at angle-bracket depth 0.

@@ -1,28 +1,266 @@
 //! Minimal stand-in for `serde_json`: renders any vendored-`serde`
-//! `Serialize` value to a JSON string. Serialization in this shim is
-//! infallible, but `to_string` keeps the real crate's `Result` signature so
-//! call sites are source-compatible with crates.io `serde_json`.
+//! `Serialize` value to a JSON string, and parses JSON text back into the
+//! vendored [`serde::Value`] tree / any [`serde::Deserialize`] type (the
+//! sketch-service save/restore path). `to_string` keeps the real crate's
+//! `Result` signature so call sites are source-compatible with crates.io
+//! `serde_json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use serde::Value;
+
 use std::fmt;
 
-/// Error type mirroring `serde_json::Error` (never produced by this shim).
+/// Error type mirroring `serde_json::Error` (serialization never produces
+/// one; parsing and deserialization report position/shape mismatches).
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn at(message: &str, pos: usize) -> Self {
+        Error(format!("{message} at byte {pos}"))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON serialization error")
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
 
 /// Serializes `value` as a compact JSON string.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     value.serialize_json(&mut out);
     Ok(out)
+}
+
+/// Parses a JSON document into the [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::at("trailing characters", pos));
+    }
+    Ok(value)
+}
+
+/// Parses a JSON document straight into a [`serde::Deserialize`] type — the
+/// restore half of the `to_string`/`from_str` pair.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    Ok(T::deserialize_json(&parse(text)?)?)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&what) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::at("unexpected character", *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::at("expected `,` or `]`", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::at("expected `,` or `}`", *pos)),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => {
+            let start = *pos;
+            if bytes.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while let Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') = bytes.get(*pos) {
+                *pos += 1;
+            }
+            let raw = std::str::from_utf8(&bytes[start..*pos])
+                .expect("number tokens are ASCII")
+                .to_string();
+            // Validate the token now so `Value::Number` always holds a
+            // parseable number (integral accessors re-parse more narrowly).
+            raw.parse::<f64>()
+                .map_err(|_| Error::at("malformed number", start))?;
+            Ok(Value::Number(raw))
+        }
+        _ => Err(Error::at("expected a JSON value", *pos)),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error::at("malformed literal", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::at("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error::at("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::at("malformed \\u escape", *pos))?;
+                        // Surrogate pairs are not needed by the snapshot
+                        // format; reject them rather than mis-decode.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| Error::at("unsupported \\u escape", *pos))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::at("unknown escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (multi-byte sequences pass
+                // through unchanged).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::at("invalid UTF-8", *pos))?;
+                let c = rest.chars().next().expect("non-empty by the match arm");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_are_the_identity_on_compact_documents() {
+        let doc = r#"{"a":[1,2.5,-3,18446744073709551615],"b":"x\"y","c":null,"d":true}"#;
+        let value = parse(doc).expect("parses");
+        assert_eq!(to_string(&value).unwrap(), doc);
+        assert_eq!(
+            value.get("a").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            value.get("a").unwrap().as_array().unwrap()[3].as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(value.get("b").unwrap().as_str(), Some("x\"y"));
+        assert_eq!(value.get("c"), Some(&Value::Null));
+        assert_eq!(value.get("d").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        for x in [0.1f64, 1.0 / 3.0, 19632.324160866257, f64::MIN_POSITIVE] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).expect("parses");
+            assert_eq!(back.to_bits(), x.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "12x", "\"\\q\"", "1 2", ""] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn set_replaces_and_appends_object_keys() {
+        let mut v = parse(r#"{"a":1,"b":2}"#).unwrap();
+        v.set("a", Value::Number("7".into()));
+        v.set("c", Value::Bool(false));
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":7,"b":2,"c":false}"#);
+    }
 }
