@@ -14,8 +14,10 @@
 //!
 //! The default workloads reuse `sketch_bench`'s seeds, so every service
 //! estimate is pinned to the *direct sketch engine's* long-standing value:
-//! sharding, batching, merging and save/restore are pure routing, and this
-//! gate enforces it in CI at both 1 and 4 shards. `--heavy` runs a
+//! sharding, batching, merging, save/restore — and now write-ahead-logged
+//! crash recovery (`service_durable_minimum_w32_s2`, whose `items/s` column
+//! tracks WAL-inclusive ingest throughput) — are pure routing/persistence,
+//! and this gate enforces it in CI at both 1 and 4 shards. `--heavy` runs a
 //! paper-scale (w = 48, Thresh = 150, 2·10^5 items) self-differential pass —
 //! the sharded service against the unsharded reference interpreter,
 //! snapshot documents compared byte for byte. `--write` merges a `service`
@@ -23,7 +25,8 @@
 
 use mcf0::hashing::Xoshiro256StarStar;
 use mcf0::service::{
-    CommandReply, ReferenceService, ServiceCommand, SessionSpec, SketchKind, SketchService,
+    CommandReply, DurableConfig, DurableSketchService, ReferenceService, ServiceCommand,
+    SessionSpec, SketchKind, SketchService,
 };
 use mcf0::streaming::workloads::{planted_f0_stream, skewed_stream};
 use mcf0_bench::merge_bench_json;
@@ -58,6 +61,7 @@ const PINNED: &[(&str, f64, u64)] = &[
     ("service_structured_dnf_w16_s4", 53866.590500399325, 14955),
     ("service_merge_minimum_w32_s4", 19632.324160866257, 131607),
     ("service_restore_minimum_w32_s4", 19632.324160866257, 131607),
+    ("service_durable_minimum_w32_s2", 19632.324160866257, 131607),
 ];
 
 fn minimum_spec() -> SessionSpec {
@@ -242,6 +246,52 @@ fn restore_minimum(shards: usize) -> (f64, u64, Option<f64>) {
     )
 }
 
+/// The minimum stream through a crash-safe durable store: every ingest
+/// batch is framed, checksummed and group-commit-fsynced to the
+/// write-ahead log before it reaches the shards, then the store is closed
+/// and recovered from disk — the pinned estimate comes from the *recovered*
+/// service. `items_per_sec` here is WAL-inclusive ingest throughput, the
+/// number CI's history tracks for the durability tax.
+fn durable_minimum(shards: usize) -> (f64, u64, Option<f64>) {
+    let stream = minimum_stream();
+    let dir = std::env::temp_dir().join(format!("mcf0-service-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = DurableConfig {
+        group_commit: 32,
+        compact_after_bytes: None,
+    };
+    let (mut durable, _) = DurableSketchService::open(&dir, shards, config).unwrap();
+    durable
+        .apply(&ServiceCommand::Create {
+            name: "t".into(),
+            spec: minimum_spec(),
+        })
+        .unwrap();
+    let start = Instant::now();
+    for batch in stream.chunks(500) {
+        durable
+            .apply(&ServiceCommand::Ingest {
+                name: "t".into(),
+                items: batch.to_vec(),
+            })
+            .unwrap();
+    }
+    durable.sync().unwrap();
+    let ingest_secs = start.elapsed().as_secs_f64();
+    drop(durable);
+
+    let (recovered, report) = DurableSketchService::open(&dir, shards, config).unwrap();
+    assert!(report.truncated.is_none(), "clean log scanned torn");
+    let out = (
+        recovered.estimate("t").unwrap(),
+        recovered.space_bits("t").unwrap() as u64,
+        Some(stream.len() as f64 / ingest_secs),
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 fn run_instances() -> Vec<InstanceResult> {
     let mut out = Vec::new();
     let mut record = |name: &str, body: &dyn Fn() -> (f64, u64, Option<f64>)| {
@@ -264,6 +314,7 @@ fn run_instances() -> Vec<InstanceResult> {
     record("service_structured_dnf_w16_s4", &|| structured_dnf(4));
     record("service_merge_minimum_w32_s4", &|| merge_minimum(4));
     record("service_restore_minimum_w32_s4", &|| restore_minimum(4));
+    record("service_durable_minimum_w32_s2", &|| durable_minimum(2));
     out
 }
 

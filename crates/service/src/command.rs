@@ -6,8 +6,9 @@
 //! [`crate::reference::ReferenceService`] — with outputs compared
 //! bit-for-bit (the differential test harness).
 
-use crate::session::SessionSpec;
+use crate::session::{member, SessionSpec};
 use mcf0_formula::DnfFormula;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// One service operation.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,6 +73,20 @@ pub enum ServiceCommand {
 }
 
 impl ServiceCommand {
+    /// Whether the command can change service state — exactly the commands
+    /// the write-ahead log records (queries replay to the same answers from
+    /// the same state, so logging them would only bloat the log).
+    pub fn mutates(&self) -> bool {
+        matches!(
+            self,
+            ServiceCommand::Create { .. }
+                | ServiceCommand::Ingest { .. }
+                | ServiceCommand::IngestStructured { .. }
+                | ServiceCommand::Merge { .. }
+                | ServiceCommand::Drop { .. }
+        )
+    }
+
     /// The session name(s) the command addresses (destination first).
     pub fn sessions(&self) -> Vec<&str> {
         match self {
@@ -85,6 +100,116 @@ impl ServiceCommand {
             | ServiceCommand::Drop { name } => vec![name],
             ServiceCommand::Merge { dst, src } => vec![dst, src],
         }
+    }
+}
+
+// The write-ahead log's record serde: one tagged JSON object per command
+// (`{"op":"ingest","name":…,"items":[…]}`). The vendored derive handles
+// structs only, so the enum is spelled out by hand. Structured items ride
+// as [`DnfFormula::to_text`] strings — the text round trip is exact (terms
+// are kept normalized by `Term::new`), which the durability suite pins via
+// whole-trace encode/decode round trips.
+impl Serialize for ServiceCommand {
+    fn serialize_json(&self, out: &mut String) {
+        let header = |out: &mut String, op: &str, field: &str, value: &str| {
+            out.push_str("{\"op\":");
+            serde::write_json_string(op, out);
+            out.push(',');
+            serde::write_json_string(field, out);
+            out.push(':');
+            serde::write_json_string(value, out);
+        };
+        match self {
+            ServiceCommand::Create { name, spec } => {
+                header(out, "create", "name", name);
+                out.push_str(",\"spec\":");
+                spec.serialize_json(out);
+            }
+            ServiceCommand::Ingest { name, items } => {
+                header(out, "ingest", "name", name);
+                out.push_str(",\"items\":");
+                items.serialize_json(out);
+            }
+            ServiceCommand::IngestStructured { name, sets } => {
+                header(out, "ingest_structured", "name", name);
+                out.push_str(",\"sets\":[");
+                for (i, set) in sets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(&set.to_text(), out);
+                }
+                out.push(']');
+            }
+            ServiceCommand::Merge { dst, src } => {
+                header(out, "merge", "dst", dst);
+                out.push_str(",\"src\":");
+                serde::write_json_string(src, out);
+            }
+            ServiceCommand::Estimate { name } => header(out, "estimate", "name", name),
+            ServiceCommand::EstimateWithR { name, r } => {
+                header(out, "estimate_with_r", "name", name);
+                out.push_str(",\"r\":");
+                r.serialize_json(out);
+            }
+            ServiceCommand::SpaceBits { name } => header(out, "space_bits", "name", name),
+            ServiceCommand::Save { name } => header(out, "save", "name", name),
+            ServiceCommand::Drop { name } => header(out, "drop", "name", name),
+        }
+        out.push('}');
+    }
+}
+
+impl Deserialize for ServiceCommand {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        const TY: &str = "ServiceCommand";
+        let op = String::deserialize_json(member(v, TY, "op")?)?;
+        let name = |field: &str| String::deserialize_json(member(v, TY, field)?);
+        Ok(match op.as_str() {
+            "create" => ServiceCommand::Create {
+                name: name("name")?,
+                spec: SessionSpec::deserialize_json(member(v, TY, "spec")?)?,
+            },
+            "ingest" => ServiceCommand::Ingest {
+                name: name("name")?,
+                items: Vec::<u64>::deserialize_json(member(v, TY, "items")?)?,
+            },
+            "ingest_structured" => {
+                let texts = Vec::<String>::deserialize_json(member(v, TY, "sets")?)?;
+                let sets = texts
+                    .iter()
+                    .map(|t| {
+                        DnfFormula::parse_text(t)
+                            .map_err(|e| DeError::new(format!("malformed DNF item: {e}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                ServiceCommand::IngestStructured {
+                    name: name("name")?,
+                    sets,
+                }
+            }
+            "merge" => ServiceCommand::Merge {
+                dst: name("dst")?,
+                src: name("src")?,
+            },
+            "estimate" => ServiceCommand::Estimate {
+                name: name("name")?,
+            },
+            "estimate_with_r" => ServiceCommand::EstimateWithR {
+                name: name("name")?,
+                r: u32::deserialize_json(member(v, TY, "r")?)?,
+            },
+            "space_bits" => ServiceCommand::SpaceBits {
+                name: name("name")?,
+            },
+            "save" => ServiceCommand::Save {
+                name: name("name")?,
+            },
+            "drop" => ServiceCommand::Drop {
+                name: name("name")?,
+            },
+            other => return Err(DeError::new(format!("unknown command op `{other}`"))),
+        })
     }
 }
 

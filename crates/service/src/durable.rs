@@ -1,0 +1,352 @@
+//! Crash-safe durability: [`SketchService`] behind a write-ahead command
+//! log and a checkpoint store.
+//!
+//! The design reuses the two halves the service already had: canonical
+//! `mcf0-sketch-service/v1` snapshot documents (the checkpoint payload) and
+//! the replayable [`ServiceCommand`] trace surface (the log payload).
+//! A store directory holds
+//!
+//! ```text
+//! store/
+//! ├── checkpoint.json       # manifest: generation + one snapshot per session
+//! └── wal-<generation>.log  # command log since that checkpoint
+//! ```
+//!
+//! **Write path.** Every mutating command is framed and appended to the log
+//! *before* it reaches the in-memory service (write-ahead); fsyncs are
+//! batched by the [`DurableConfig::group_commit`] window. Queries are never
+//! logged — they replay to the same answers from the same state.
+//!
+//! **Recovery** (`open`) = latest checkpoint + log replay: restore every
+//! session document from the manifest, then re-apply the logged commands in
+//! order through the exact `apply` surface the differential harness pins.
+//! Replay is convergent even across commands that *failed* originally —
+//! rejection is deterministic, so the same command is rejected again and
+//! state is unchanged. A torn or corrupt log tail is truncated at the first
+//! bad frame and reported as a typed [`ServiceError::WalRecord`] in the
+//! [`RecoveryReport`]; recovery never panics on malformed input.
+//!
+//! **Checkpoint / compaction.** [`DurableSketchService::checkpoint`] saves
+//! every session (read-only: `&self` service reads), writes the manifest
+//! atomically (temp file + fsync + rename + directory fsync) with a bumped
+//! generation pointing at a fresh, already-synced empty log, then deletes
+//! the old log. A crash *before* the rename recovers from the old
+//! checkpoint + full old log; a crash *after* it recovers from the new
+//! checkpoint + empty new log — both bit-identical to the pre-crash state.
+//! Stale logs from other generations are swept on open.
+
+use crate::command::{CommandReply, ServiceCommand};
+use crate::error::ServiceError;
+use crate::service::SketchService;
+use crate::session::{SessionLedger, SessionSpec};
+use crate::wal::{self, WalWriter};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Name of the checkpoint manifest inside the store directory.
+const MANIFEST_FILE: &str = "checkpoint.json";
+
+/// Magic/version tag of the manifest format.
+pub const MANIFEST_FORMAT: &str = "mcf0-wal-checkpoint/v1";
+
+fn wal_file_name(generation: u64) -> String {
+    format!("wal-{generation:020}.log")
+}
+
+/// The checkpoint manifest: which log generation follows it, plus one
+/// canonical snapshot document per session (sorted by session name).
+#[derive(Serialize, Deserialize)]
+struct ManifestDoc {
+    format: String,
+    generation: u64,
+    sessions: Vec<String>,
+}
+
+/// Durability knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DurableConfig {
+    /// Group-commit window: fsync the log once per this many appended
+    /// commands (1 = every command is durable before it is applied). A
+    /// machine crash loses at most the unsynced suffix of the current
+    /// window; a process crash loses nothing appended.
+    pub group_commit: usize,
+    /// Compact automatically: checkpoint (and start a fresh log) as soon as
+    /// the log grows past this many bytes. `None` leaves compaction to
+    /// explicit [`DurableSketchService::checkpoint`] calls.
+    pub compact_after_bytes: Option<u64>,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            group_commit: 1,
+            compact_after_bytes: None,
+        }
+    }
+}
+
+/// What [`DurableSketchService::open`] found and did.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Sessions restored from the checkpoint manifest.
+    pub checkpoint_sessions: usize,
+    /// Commands replayed from the log (counting ones that were rejected —
+    /// rejection is deterministic, so replaying them is convergent).
+    pub replayed: usize,
+    /// The typed error describing the torn/corrupt log tail that was
+    /// truncated, if any ([`ServiceError::WalRecord`]).
+    pub truncated: Option<ServiceError>,
+}
+
+/// A [`SketchService`] with crash-safe durability (write-ahead log +
+/// checkpoint recovery). The in-memory service is untouched — this wrapper
+/// only adds logging around [`SketchService::apply`] and persistence I/O.
+pub struct DurableSketchService {
+    inner: SketchService,
+    dir: PathBuf,
+    wal: WalWriter,
+    generation: u64,
+    config: DurableConfig,
+}
+
+impl DurableSketchService {
+    /// Opens (or initializes) the store at `dir` and recovers: latest
+    /// checkpoint + log replay, torn tail truncated. The recovered state is
+    /// bit-identical to the durable prefix of the pre-crash command
+    /// history — the invariant the kill-point differential suite pins.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        shards: usize,
+        config: DurableConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ServiceError::Storage(format!("create {}: {e}", dir.display())))?;
+
+        // 1. Latest checkpoint (absent on first open).
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let mut inner = SketchService::new(shards);
+        let mut generation = 0u64;
+        let mut checkpoint_sessions = 0usize;
+        if manifest_path.exists() {
+            let text = std::fs::read_to_string(&manifest_path).map_err(|e| {
+                ServiceError::Storage(format!("read {}: {e}", manifest_path.display()))
+            })?;
+            let doc: ManifestDoc = serde_json::from_str(&text)
+                .map_err(|e| ServiceError::Snapshot(format!("checkpoint manifest: {e}")))?;
+            if doc.format != MANIFEST_FORMAT {
+                return Err(ServiceError::Snapshot(format!(
+                    "unsupported checkpoint format tag `{}`",
+                    doc.format
+                )));
+            }
+            for session in &doc.sessions {
+                // Full snapshot validation (shape, draw-vs-seed, duplicate
+                // session names) happens here; any defect is a typed error.
+                inner.restore(session)?;
+            }
+            generation = doc.generation;
+            checkpoint_sessions = doc.sessions.len();
+        }
+
+        // 2. Scan this generation's log and replay its valid prefix.
+        let wal_path = dir.join(wal_file_name(generation));
+        let scan = if wal_path.exists() {
+            wal::scan(&wal_path)?
+        } else {
+            wal::WalScan::default()
+        };
+        let mut valid_len = scan.valid_len;
+        let mut truncated = scan.torn;
+        let mut replayed = 0usize;
+        for record in &scan.records {
+            let decoded = std::str::from_utf8(&record.payload)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    serde_json::from_str::<ServiceCommand>(text).map_err(|e| e.to_string())
+                });
+            match decoded {
+                Ok(command) => {
+                    // Failed commands fail identically on replay (see the
+                    // module docs); their reply is not interesting here.
+                    let _ = inner.apply(&command);
+                    replayed += 1;
+                }
+                Err(reason) => {
+                    // Checksummed but undecodable: treat like any other
+                    // corrupt frame — truncate here, keep the prefix.
+                    valid_len = record.offset;
+                    truncated = Some(ServiceError::WalRecord {
+                        offset: record.offset,
+                        reason: format!("undecodable command record: {reason}"),
+                    });
+                    break;
+                }
+            }
+        }
+
+        // 3. Truncate the bad tail (if any) and keep appending after the
+        //    valid prefix.
+        let wal = WalWriter::open_at(&wal_path, valid_len, config.group_commit)?;
+
+        // 4. Sweep stale logs from other generations (the old log a crash
+        //    interrupted checkpoint-deletion of, or the pre-published log of
+        //    a checkpoint that never renamed its manifest).
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            let keep = wal_file_name(generation);
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("wal-") && name.ends_with(".log") && name != keep {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+
+        Ok((
+            DurableSketchService {
+                inner,
+                dir,
+                wal,
+                generation,
+                config,
+            },
+            RecoveryReport {
+                checkpoint_sessions,
+                replayed,
+                truncated,
+            },
+        ))
+    }
+
+    /// Applies one command with write-ahead durability: mutating commands
+    /// are logged (and group-commit-synced) before they touch the service;
+    /// queries pass straight through. Triggers compaction when the log
+    /// outgrows [`DurableConfig::compact_after_bytes`].
+    pub fn apply(&mut self, command: &ServiceCommand) -> Result<CommandReply, ServiceError> {
+        let logged = command.mutates();
+        if logged {
+            let payload = serde_json::to_string(command).expect("serialization is infallible");
+            self.wal.append(payload.as_bytes())?;
+        }
+        let reply = self.inner.apply(command);
+        if logged {
+            if let Some(limit) = self.config.compact_after_bytes {
+                // After the apply, so the checkpoint includes this command
+                // before its log record is compacted away.
+                if self.wal.len() >= limit {
+                    self.checkpoint()?;
+                }
+            }
+        }
+        reply
+    }
+
+    /// Writes a checkpoint and compacts the log: every session's canonical
+    /// snapshot goes into a new manifest (atomic temp-file + rename +
+    /// directory fsync) whose bumped generation points at a fresh empty
+    /// log; the old log is deleted afterwards. Crash-safe at every step —
+    /// see the module docs for the two crash windows.
+    pub fn checkpoint(&mut self) -> Result<(), ServiceError> {
+        // Anything still in the group-commit window must be durable before
+        // the old log becomes the fallback of a half-finished checkpoint.
+        self.wal.sync()?;
+
+        let next = self.generation + 1;
+        let sessions: Vec<String> = self
+            .inner
+            .list_sessions()
+            .iter()
+            .map(|name| self.inner.save(name).expect("listed sessions exist"))
+            .collect();
+        let manifest = serde_json::to_string(&ManifestDoc {
+            format: MANIFEST_FORMAT.to_string(),
+            generation: next,
+            sessions,
+        })
+        .expect("serialization is infallible");
+
+        // New log first: the manifest must never point at a file that could
+        // be lost by a crash.
+        let new_wal = WalWriter::create(
+            &self.dir.join(wal_file_name(next)),
+            self.config.group_commit,
+        )?;
+
+        // Publish the manifest atomically.
+        let tmp = self.dir.join("checkpoint.json.tmp");
+        let final_path = self.dir.join(MANIFEST_FILE);
+        let io = |op: &str, e: std::io::Error| ServiceError::Storage(format!("{op}: {e}"));
+        std::fs::write(&tmp, manifest.as_bytes()).map_err(|e| io("write checkpoint", e))?;
+        std::fs::File::open(&tmp)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| io("sync checkpoint", e))?;
+        std::fs::rename(&tmp, &final_path).map_err(|e| io("publish checkpoint", e))?;
+        // Make the rename itself durable. Directory fsync is a Linux-ism;
+        // where it fails the rename is still atomic, just not yet stable.
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+
+        let old_path = self.dir.join(wal_file_name(self.generation));
+        self.wal = new_wal;
+        self.generation = next;
+        let _ = std::fs::remove_file(old_path);
+        Ok(())
+    }
+
+    /// Forces the group-commit window to stable storage now.
+    pub fn sync(&mut self) -> Result<(), ServiceError> {
+        self.wal.sync()
+    }
+
+    /// The wrapped in-memory service (all read surfaces).
+    pub fn service(&self) -> &SketchService {
+        &self.inner
+    }
+
+    /// Current checkpoint generation (0 before the first checkpoint).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Current log length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Path of the active log file.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(wal_file_name(self.generation))
+    }
+
+    /// The session's current estimate (read-only; not logged).
+    pub fn estimate(&self, name: &str) -> Result<f64, ServiceError> {
+        self.inner.estimate(name)
+    }
+
+    /// Serializes a session to its canonical snapshot document.
+    pub fn save(&self, name: &str) -> Result<String, ServiceError> {
+        self.inner.save(name)
+    }
+
+    /// The merged sketch's size in bits.
+    pub fn space_bits(&self, name: &str) -> Result<usize, ServiceError> {
+        self.inner.space_bits(name)
+    }
+
+    /// A session's command-accounting ledger.
+    pub fn ledger(&self, name: &str) -> Result<&SessionLedger, ServiceError> {
+        self.inner.ledger(name)
+    }
+
+    /// A session's specification.
+    pub fn spec(&self, name: &str) -> Result<&SessionSpec, ServiceError> {
+        self.inner.spec(name)
+    }
+
+    /// Registered session names, sorted.
+    pub fn list_sessions(&self) -> Vec<String> {
+        self.inner.list_sessions()
+    }
+}

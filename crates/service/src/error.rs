@@ -28,9 +28,27 @@ pub enum ServiceError {
         /// Merge source.
         src: String,
     },
+    /// A merge named the same session as both destination and source.
+    /// Self-merge is a silent corruption, not a no-op: AMS F2 merge is
+    /// multiset-*sum*, so the session would double-count every item, and
+    /// the F0 kinds would bump the merge ledger without effect.
+    MergeSelf(String),
     /// A snapshot document could not be decoded (malformed JSON, missing
     /// members, or an unknown sketch kind).
     Snapshot(String),
+    /// The durable store could not read or write its files (the message
+    /// carries the operation and the OS error).
+    Storage(String),
+    /// A write-ahead-log frame at `offset` was torn or corrupt (short
+    /// header, length overrun, checksum mismatch, or an undecodable
+    /// command payload). Recovery truncates the log here and reports this
+    /// value instead of panicking.
+    WalRecord {
+        /// Byte offset of the bad frame in the log file.
+        offset: u64,
+        /// What was wrong with the frame.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -50,7 +68,18 @@ impl fmt::Display for ServiceError {
                      specification, so their sketches cannot be merged"
                 )
             }
+            ServiceError::MergeSelf(name) => {
+                write!(
+                    f,
+                    "session `{name}` cannot be merged into itself (AMS merge \
+                     is multiset-sum and would double-count the stream)"
+                )
+            }
             ServiceError::Snapshot(why) => write!(f, "snapshot rejected: {why}"),
+            ServiceError::Storage(why) => write!(f, "durable store: {why}"),
+            ServiceError::WalRecord { offset, reason } => {
+                write!(f, "write-ahead log frame at byte {offset}: {reason}")
+            }
         }
     }
 }

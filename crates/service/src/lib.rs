@@ -46,16 +46,19 @@
 #![warn(missing_docs)]
 
 pub mod command;
+pub mod durable;
 pub mod error;
 pub mod reference;
 pub mod service;
 pub mod session;
 pub mod sketch;
 pub mod snapshot;
+pub mod wal;
 
 mod shard;
 
 pub use command::{CommandReply, ServiceCommand};
+pub use durable::{DurableConfig, DurableSketchService, RecoveryReport};
 pub use error::ServiceError;
 pub use reference::ReferenceService;
 pub use service::{SessionSnapshot, SketchService};

@@ -80,6 +80,13 @@ impl ReferenceService {
                 // error replies compare equal in the differential suite.
                 let dst_entry = self.entry(dst)?;
                 let src_entry = self.entry(src)?;
+                // Self-merge would double-count AMS sessions (multiset-sum
+                // merge) and bump the merge ledger without effect for the
+                // F0 kinds; rejected after existence, before the (trivially
+                // passing) spec check — mirroring the sharded service.
+                if dst == src {
+                    return Err(ServiceError::MergeSelf(dst.clone()));
+                }
                 if dst_entry.spec != src_entry.spec {
                     return Err(ServiceError::MergeIncompatible {
                         dst: dst.clone(),

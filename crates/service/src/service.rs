@@ -201,6 +201,15 @@ impl SketchService {
     pub fn merge_sessions(&mut self, dst: &str, src: &str) -> Result<(), ServiceError> {
         let dst_spec = self.entry(dst)?.spec;
         let src_spec = self.entry(src)?.spec;
+        // Same-spec twins are mergeable, but a session is not its own twin:
+        // AMS merge is multiset-sum (self-merge silently double-counts the
+        // stream), and for the F0 kinds it bumps the merge ledger without
+        // effect. Checked after existence, before spec equality (which a
+        // self-merge would trivially pass), in the same order as the
+        // reference interpreter so error replies compare equal.
+        if dst == src {
+            return Err(ServiceError::MergeSelf(dst.to_string()));
+        }
         if dst_spec != src_spec {
             return Err(ServiceError::MergeIncompatible {
                 dst: dst.to_string(),
@@ -226,27 +235,31 @@ impl SketchService {
     }
 
     /// The session's current estimate (F0; F2 for AMS sessions).
-    pub fn estimate(&mut self, name: &str) -> Result<f64, ServiceError> {
+    ///
+    /// Read-only operations take `&self`: they only `Extract` and fold the
+    /// shard partials, never mutate them, so the durable wrapper can
+    /// checkpoint (save every session) without exclusive access.
+    pub fn estimate(&self, name: &str) -> Result<f64, ServiceError> {
         self.entry(name)?;
         Ok(self.merged_sketch(name).estimate())
     }
 
     /// The Estimation strategy's (ε, δ) estimate given a rough `r` (`None`
     /// for other session kinds or a degenerate `r`).
-    pub fn estimate_with_r(&mut self, name: &str, r: u32) -> Result<Option<f64>, ServiceError> {
+    pub fn estimate_with_r(&self, name: &str, r: u32) -> Result<Option<f64>, ServiceError> {
         self.entry(name)?;
         Ok(self.merged_sketch(name).estimate_with_r(r))
     }
 
     /// The merged sketch's size in bits.
-    pub fn space_bits(&mut self, name: &str) -> Result<usize, ServiceError> {
+    pub fn space_bits(&self, name: &str) -> Result<usize, ServiceError> {
         self.entry(name)?;
         Ok(self.merged_sketch(name).space_bits())
     }
 
     /// A fully materialized snapshot of the session (merged sketch + spec +
     /// ledger).
-    pub fn snapshot(&mut self, name: &str) -> Result<SessionSnapshot, ServiceError> {
+    pub fn snapshot(&self, name: &str) -> Result<SessionSnapshot, ServiceError> {
         let entry = self.entry(name)?;
         let (spec, ledger) = (entry.spec, entry.ledger);
         Ok(SessionSnapshot {
@@ -258,7 +271,7 @@ impl SketchService {
     }
 
     /// Serializes the session to its canonical JSON snapshot document.
-    pub fn save(&mut self, name: &str) -> Result<String, ServiceError> {
+    pub fn save(&self, name: &str) -> Result<String, ServiceError> {
         Ok(self.snapshot(name)?.to_json())
     }
 

@@ -1,6 +1,6 @@
 //! Session specifications and command-accounting ledgers.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Which sketch a session runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,6 +99,59 @@ impl SessionSpec {
     /// The counting-crate configuration (structured sessions).
     pub fn counting_config(&self) -> mcf0_counting::CountingConfig {
         mcf0_counting::CountingConfig::explicit(self.epsilon, self.delta, self.thresh, self.rows)
+    }
+}
+
+/// Fetches a required member of a JSON object, naming the type on failure.
+pub(crate) fn member<'v>(v: &'v Value, ty: &'static str, name: &str) -> Result<&'v Value, DeError> {
+    v.get(name).ok_or_else(|| DeError::missing_field(ty, name))
+}
+
+// The vendored `#[derive(Serialize/Deserialize)]` supports plain structs
+// only, and `kind` is an enum — so the spec's serde (the write-ahead log's
+// `Create` records) is spelled out by hand, with the kind encoded as its
+// stable snapshot name. Field order is fixed, and `f64` round trips are
+// bit-exact under the shim's shortest-roundtrip rendering, so a decoded
+// spec compares equal to the encoded one — the property the recovery
+// path's draw validation relies on.
+impl Serialize for SessionSpec {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"kind\":");
+        serde::write_json_string(self.kind.name(), out);
+        out.push_str(",\"universe_bits\":");
+        self.universe_bits.serialize_json(out);
+        out.push_str(",\"epsilon\":");
+        self.epsilon.serialize_json(out);
+        out.push_str(",\"delta\":");
+        self.delta.serialize_json(out);
+        out.push_str(",\"thresh\":");
+        self.thresh.serialize_json(out);
+        out.push_str(",\"rows\":");
+        self.rows.serialize_json(out);
+        out.push_str(",\"columns\":");
+        self.columns.serialize_json(out);
+        out.push_str(",\"seed\":");
+        self.seed.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl Deserialize for SessionSpec {
+    fn deserialize_json(v: &Value) -> Result<Self, DeError> {
+        const TY: &str = "SessionSpec";
+        let kind_name = String::deserialize_json(member(v, TY, "kind")?)?;
+        let kind = SketchKind::parse(&kind_name)
+            .ok_or_else(|| DeError::new(format!("unknown sketch kind `{kind_name}`")))?;
+        Ok(SessionSpec {
+            kind,
+            universe_bits: usize::deserialize_json(member(v, TY, "universe_bits")?)?,
+            epsilon: f64::deserialize_json(member(v, TY, "epsilon")?)?,
+            delta: f64::deserialize_json(member(v, TY, "delta")?)?,
+            thresh: usize::deserialize_json(member(v, TY, "thresh")?)?,
+            rows: usize::deserialize_json(member(v, TY, "rows")?)?,
+            columns: usize::deserialize_json(member(v, TY, "columns")?)?,
+            seed: u64::deserialize_json(member(v, TY, "seed")?)?,
+        })
     }
 }
 

@@ -41,7 +41,7 @@ proptest! {
         let trace = random_trace(seed, BITS, 40);
         let (mut reference, expected) = run_reference(&trace);
         for shards in [1usize, 2, 4] {
-            let (mut service, replies) = run_service(&trace, shards);
+            let (service, replies) = run_service(&trace, shards);
             prop_assert_eq!(&expected, &replies, "shards = {}", shards);
             // Ledgers of every surviving session are shard-count-invariant…
             for name in reference.list_sessions() {
@@ -136,6 +136,61 @@ fn corrupt_snapshots_are_rejected_not_trusted() {
             "accepted corrupt snapshot: {corrupt:.60}"
         );
     }
+}
+
+#[test]
+fn self_merge_is_rejected_in_both_interpreters() {
+    // `merge(name, name)` used to be silently accepted; for the AMS F2
+    // sketch (multiset-sum merge) that doubles every counter — the estimate
+    // quadruples — and for every kind it bumps the merge ledger without
+    // semantic effect. Both interpreters must reject it identically, and
+    // the rejection must leave state untouched.
+    let spec = SessionSpec {
+        kind: SketchKind::Ams,
+        universe_bits: 16,
+        epsilon: 0.5,
+        delta: 0.2,
+        thresh: 0,
+        rows: 3,
+        columns: 32,
+        seed: 99,
+    };
+    let mut service = SketchService::new(2);
+    let mut reference = ReferenceService::new();
+    let trace = [
+        ServiceCommand::Create {
+            name: "solo".into(),
+            spec,
+        },
+        ServiceCommand::Ingest {
+            name: "solo".into(),
+            items: (0..200).map(|i| i % 37).collect(),
+        },
+    ];
+    for cmd in &trace {
+        service.apply(cmd).unwrap();
+        reference.apply(cmd).unwrap();
+    }
+    let before = service.save("solo").unwrap();
+    let cmd = ServiceCommand::Merge {
+        dst: "solo".into(),
+        src: "solo".into(),
+    };
+    let expected = Err(ServiceError::MergeSelf("solo".into()));
+    assert_eq!(service.apply(&cmd), expected);
+    assert_eq!(reference.apply(&cmd), expected);
+    // No double-counting, no ledger bump: the snapshot is unchanged.
+    assert_eq!(service.save("solo").unwrap(), before);
+    assert_eq!(service.ledger("solo").unwrap().merges, 0);
+    // Unknown sessions still win over the self-merge check (existence is
+    // checked first, in dst → src order, in both interpreters).
+    let ghost = ServiceCommand::Merge {
+        dst: "ghost".into(),
+        src: "ghost".into(),
+    };
+    let missing = Err(ServiceError::UnknownSession("ghost".into()));
+    assert_eq!(service.apply(&ghost), missing);
+    assert_eq!(reference.apply(&ghost), missing);
 }
 
 /// Paper-scale variant of the differential property: one wide-universe

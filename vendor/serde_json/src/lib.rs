@@ -44,11 +44,18 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Maximum container nesting depth [`parse`] accepts. Parsing is recursive,
+/// so without this cap a deeply nested `[[[[…` document — a corrupt or
+/// adversarial snapshot / log record — would abort the whole process via
+/// stack overflow instead of returning the recoverable `Err` the callers'
+/// error paths are built around.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 /// Parses a JSON document into the [`Value`] tree.
 pub fn parse(text: &str) -> Result<Value, Error> {
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(Error::at("trailing characters", pos));
@@ -77,7 +84,10 @@ fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), Error> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    if depth > MAX_NESTING_DEPTH {
+        return Err(Error::at("nesting too deep", *pos));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
@@ -93,7 +103,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                 return Ok(Value::Array(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -118,7 +128,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 entries.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -206,13 +216,23 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character (multi-byte sequences pass
-                // through unchanged).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| Error::at("invalid UTF-8", *pos))?;
-                let c = rest.chars().next().expect("non-empty by the match arm");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole unescaped span up to the next `"` or
+                // `\` in one step. Multi-byte UTF-8 sequences pass through
+                // unchanged, and no continuation byte can equal either
+                // delimiter, so the span never splits a character; each
+                // input byte is validated exactly once (per-character
+                // re-validation of the tail made large-string parsing
+                // quadratic).
+                let start = *pos;
+                while let Some(b) = bytes.get(*pos) {
+                    if matches!(b, b'"' | b'\\') {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let span = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| Error::at("invalid UTF-8", start))?;
+                out.push_str(span);
             }
         }
     }
@@ -254,6 +274,34 @@ mod tests {
         for bad in ["{", "[1,", "{\"a\" 1}", "12x", "\"\\q\"", "1 2", ""] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // Unclosed towers (what a torn log record looks like)…
+        for open in ["[", "{\"a\":"] {
+            let doc = open.repeat(100_000);
+            assert!(parse(&doc).is_err(), "{open:?} tower should not parse");
+        }
+        // …and a perfectly balanced document past the cap.
+        let doc = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(parse(&doc).is_err(), "over-deep balanced doc should error");
+        // Depth at the cap still parses.
+        let doc = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&doc).is_ok(), "depth 100 is within the cap");
+    }
+
+    #[test]
+    fn large_non_ascii_documents_parse_in_linear_time() {
+        // 660k characters, mostly multi-byte: quadratic tail re-validation
+        // would spend ~10^11 byte operations here and time the suite out;
+        // the linear scanner parses it instantly.
+        let text: String = "héllo wörld ünïcode € \\ \" ".repeat(30_000);
+        let mut doc = String::new();
+        serde::write_json_string(&text, &mut doc);
+        let value = parse(&doc).expect("parses");
+        assert_eq!(value.as_str(), Some(text.as_str()));
+        assert_eq!(to_string(&value).unwrap(), doc);
     }
 
     #[test]
