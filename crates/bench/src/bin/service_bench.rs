@@ -259,6 +259,7 @@ fn durable_minimum(shards: usize) -> (f64, u64, Option<f64>) {
     let config = DurableConfig {
         group_commit: 32,
         compact_after_bytes: None,
+        ..DurableConfig::default()
     };
     let (mut durable, _) = DurableSketchService::open(&dir, shards, config).unwrap();
     durable
@@ -469,11 +470,36 @@ fn main() {
                 drift = true;
             }
         }
+        // Storage-trait indirection guard: the durable row's WAL-inclusive
+        // ingest throughput must stay within an order of magnitude of the
+        // direct in-memory path. Locally the ratio sits near 0.5; the 0.1
+        // floor is generous for CI noise but trips if the storage
+        // abstraction or retry plumbing ever adds per-operation cost to
+        // the fault-free hot path.
+        let throughput = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .and_then(|r| r.items_per_sec)
+                .unwrap_or_else(|| panic!("workload {name} missing a throughput column"))
+        };
+        let direct = throughput("service_minimum_w32_s1");
+        let durable = throughput("service_durable_minimum_w32_s2");
+        if durable < direct * 0.1 {
+            eprintln!(
+                "durability tax regression: durable ingest at {durable:.0} items/s is below \
+                 10% of the direct path's {direct:.0} items/s"
+            );
+            drift = true;
+        }
         if drift {
             eprintln!("service layer altered pinned sketch outputs; routing must stay pure");
             std::process::exit(1);
         }
         println!("service outputs match the direct-engine pinned baseline");
+        println!(
+            "durability tax within bounds: {durable:.0} items/s durable vs {direct:.0} items/s direct"
+        );
     } else if let Some(why) = heavy_failure {
         eprintln!("{why}");
         std::process::exit(1);

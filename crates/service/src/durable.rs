@@ -34,14 +34,45 @@
 //! checkpoint + full old log; a crash *after* it recovers from the new
 //! checkpoint + empty new log — both bit-identical to the pre-crash state.
 //! Stale logs from other generations are swept on open.
+//!
+//! **Fault model.** All IO goes through the [`Storage`] trait
+//! ([`FsStorage`] in production, [`crate::FaultyStorage`] under the fault
+//! harness) and every operation is retried under the
+//! [`DurableConfig::retry`] policy — transient glitches are absorbed
+//! invisibly. When retries exhaust, the store moves through an explicit
+//! state machine (see [`Health`]):
+//!
+//! * A mutating command whose log append gives up returns the typed storage
+//!   error and flips the store into **degraded read-only mode**: queries
+//!   keep serving from memory, every mutation is rejected with
+//!   [`ServiceError::Degraded`], and nothing is silently dropped.
+//! * A checkpoint that fails *before* its manifest rename leaves the old
+//!   generation fully intact — the store stays healthy and keeps logging.
+//! * A checkpoint whose rename landed but whose directory fsync gave up is
+//!   *published but maybe not durable*: a machine crash could rewind the
+//!   rename, so the store keeps the superseded log and degrades rather
+//!   than risk logging commands only the possibly-lost generation knows.
+//! * A shard-worker panic triggers an automatic **rebuild**: the log window
+//!   is synced and the whole service is reloaded from checkpoint + log
+//!   through the normal recovery surface. Write-ahead means the panicking
+//!   mutating command is already on disk, so the rebuilt state *includes*
+//!   it and the command reports success. If the rebuild itself fails (the
+//!   disk died too), the store degrades with a stale memory image and
+//!   [`DurableSketchService::heal`] must reload before serving.
+//!
+//! [`DurableSketchService::heal`] is the way back: once the operator fixed
+//! the storage, it re-reads state if necessary, re-publishes a fresh
+//! checkpoint generation onto the repaired storage and resumes logging.
 
 use crate::command::{CommandReply, ServiceCommand};
 use crate::error::ServiceError;
 use crate::service::SketchService;
 use crate::session::{SessionLedger, SessionSpec};
+use crate::storage::{with_retries, FsStorage, RetryPolicy, Storage};
 use crate::wal::{self, WalWriter};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Name of the checkpoint manifest inside the store directory.
 const MANIFEST_FILE: &str = "checkpoint.json";
@@ -74,6 +105,10 @@ pub struct DurableConfig {
     /// the log grows past this many bytes. `None` leaves compaction to
     /// explicit [`DurableSketchService::checkpoint`] calls.
     pub compact_after_bytes: Option<u64>,
+    /// Bounded deterministic-backoff retry policy wrapped around every
+    /// storage operation. Exhausting it on the write path degrades the
+    /// store (see the module docs).
+    pub retry: RetryPolicy,
 }
 
 impl Default for DurableConfig {
@@ -81,8 +116,38 @@ impl Default for DurableConfig {
         DurableConfig {
             group_commit: 1,
             compact_after_bytes: None,
+            retry: RetryPolicy::default(),
         }
     }
+}
+
+/// The degradation state machine of the durable store.
+///
+/// ```text
+///            append / checkpoint-durability give-up
+/// Healthy ──────────────────────────────────────────▶ Degraded
+///    ▲                                                   │
+///    └────────────────── heal() ◀────────────────────────┘
+/// ```
+///
+/// Degraded mode is **read-only**: queries keep serving from the in-memory
+/// service, mutations return [`ServiceError::Degraded`]. When the memory
+/// image itself is unreliable (`inner_stale` — a shard panicked *and* the
+/// rebuild from storage failed), queries are rejected too, and
+/// [`DurableSketchService::heal`] reloads from storage before resuming.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Full service: mutations logged and applied, queries served.
+    Healthy,
+    /// Storage gave up; mutations rejected until [`DurableSketchService::heal`].
+    Degraded {
+        /// The failure that forced the transition.
+        reason: String,
+        /// The in-memory service no longer matches the durable state (a
+        /// shard panic could not be repaired by rebuild); reads are
+        /// rejected as well, and heal() must reload from storage.
+        inner_stale: bool,
+    },
 }
 
 /// What [`DurableSketchService::open`] found and did.
@@ -99,40 +164,84 @@ pub struct RecoveryReport {
 }
 
 /// A [`SketchService`] with crash-safe durability (write-ahead log +
-/// checkpoint recovery). The in-memory service is untouched — this wrapper
-/// only adds logging around [`SketchService::apply`] and persistence I/O.
+/// checkpoint recovery) and an explicit fault model (retries, degraded
+/// read-only mode, shard-worker rebuild — see the module docs). The
+/// in-memory service is untouched — this wrapper adds logging around
+/// [`SketchService::apply`], persistence IO, and supervision reactions.
 pub struct DurableSketchService {
     inner: SketchService,
+    storage: Arc<dyn Storage>,
     dir: PathBuf,
     wal: WalWriter,
     generation: u64,
     config: DurableConfig,
+    health: Health,
+    shards: usize,
 }
 
 impl DurableSketchService {
-    /// Opens (or initializes) the store at `dir` and recovers: latest
-    /// checkpoint + log replay, torn tail truncated. The recovered state is
-    /// bit-identical to the durable prefix of the pre-crash command
-    /// history — the invariant the kill-point differential suite pins.
+    /// Opens (or initializes) the store at `dir` on the real filesystem and
+    /// recovers: latest checkpoint + log replay, torn tail truncated. The
+    /// recovered state is bit-identical to the durable prefix of the
+    /// pre-crash command history — the invariant the kill-point
+    /// differential suite pins.
     pub fn open(
         dir: impl AsRef<Path>,
         shards: usize,
         config: DurableConfig,
     ) -> Result<(Self, RecoveryReport), ServiceError> {
+        Self::open_with(Arc::new(FsStorage), dir, shards, config)
+    }
+
+    /// [`DurableSketchService::open`] over an explicit [`Storage`] backend —
+    /// the entry point the fault-schedule harness uses to run the service
+    /// over [`crate::FaultyStorage`].
+    pub fn open_with(
+        storage: Arc<dyn Storage>,
+        dir: impl AsRef<Path>,
+        shards: usize,
+        config: DurableConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| ServiceError::Storage(format!("create {}: {e}", dir.display())))?;
+        let (inner, generation, wal, report) = Self::load(&storage, &dir, shards, &config)?;
+        Ok((
+            DurableSketchService {
+                inner,
+                storage,
+                dir,
+                wal,
+                generation,
+                config,
+                health: Health::Healthy,
+                shards,
+            },
+            report,
+        ))
+    }
+
+    /// The recovery core shared by [`DurableSketchService::open_with`], the
+    /// rebuild-after-panic path and the stale-image half of
+    /// [`DurableSketchService::heal`]: restore the manifest's sessions,
+    /// replay the log's valid prefix, truncate its bad tail, sweep stale
+    /// generations.
+    fn load(
+        storage: &Arc<dyn Storage>,
+        dir: &Path,
+        shards: usize,
+        config: &DurableConfig,
+    ) -> Result<(SketchService, u64, WalWriter, RecoveryReport), ServiceError> {
+        let retry = &config.retry;
+        with_retries(retry, || storage.create_dir_all(dir))?;
 
         // 1. Latest checkpoint (absent on first open).
         let manifest_path = dir.join(MANIFEST_FILE);
         let mut inner = SketchService::new(shards);
         let mut generation = 0u64;
         let mut checkpoint_sessions = 0usize;
-        if manifest_path.exists() {
-            let text = std::fs::read_to_string(&manifest_path).map_err(|e| {
-                ServiceError::Storage(format!("read {}: {e}", manifest_path.display()))
-            })?;
-            let doc: ManifestDoc = serde_json::from_str(&text)
+        if let Some(bytes) = with_retries(retry, || storage.read(&manifest_path))? {
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|e| ServiceError::Snapshot(format!("checkpoint manifest: {e}")))?;
+            let doc: ManifestDoc = serde_json::from_str(text)
                 .map_err(|e| ServiceError::Snapshot(format!("checkpoint manifest: {e}")))?;
             if doc.format != MANIFEST_FORMAT {
                 return Err(ServiceError::Snapshot(format!(
@@ -150,12 +259,8 @@ impl DurableSketchService {
         }
 
         // 2. Scan this generation's log and replay its valid prefix.
-        let wal_path = dir.join(wal_file_name(generation));
-        let scan = if wal_path.exists() {
-            wal::scan(&wal_path)?
-        } else {
-            wal::WalScan::default()
-        };
+        let scan_path = dir.join(wal_file_name(generation));
+        let scan = with_retries(retry, || wal::scan(storage.as_ref(), &scan_path))?;
         let mut valid_len = scan.valid_len;
         let mut truncated = scan.torn;
         let mut replayed = 0usize;
@@ -167,9 +272,15 @@ impl DurableSketchService {
                 });
             match decoded {
                 Ok(command) => {
-                    // Failed commands fail identically on replay (see the
-                    // module docs); their reply is not interesting here.
-                    let _ = inner.apply(&command);
+                    // A worker dying *during replay* makes the reload itself
+                    // unreliable, so recovery fails as a value (the
+                    // deterministically-poisonous-command edge the design
+                    // notes document). Every other failed command fails
+                    // identically on replay (see the module docs); its reply
+                    // is not interesting here.
+                    if let Err(e @ ServiceError::ShardPanicked { .. }) = inner.apply(&command) {
+                        return Err(e);
+                    }
                     replayed += 1;
                 }
                 Err(reason) => {
@@ -187,30 +298,30 @@ impl DurableSketchService {
 
         // 3. Truncate the bad tail (if any) and keep appending after the
         //    valid prefix.
-        let wal = WalWriter::open_at(&wal_path, valid_len, config.group_commit)?;
+        let wal = WalWriter::open_at(
+            storage.as_ref(),
+            &scan_path,
+            valid_len,
+            config.group_commit,
+            retry,
+        )?;
 
         // 4. Sweep stale logs from other generations (the old log a crash
         //    interrupted checkpoint-deletion of, or the pre-published log of
         //    a checkpoint that never renamed its manifest).
-        if let Ok(entries) = std::fs::read_dir(&dir) {
+        if let Ok(names) = storage.list(dir) {
             let keep = wal_file_name(generation);
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let name = name.to_string_lossy();
+            for name in names {
                 if name.starts_with("wal-") && name.ends_with(".log") && name != keep {
-                    let _ = std::fs::remove_file(entry.path());
+                    let _ = storage.delete(&dir.join(name));
                 }
             }
         }
 
         Ok((
-            DurableSketchService {
-                inner,
-                dir,
-                wal,
-                generation,
-                config,
-            },
+            inner,
+            generation,
+            wal,
             RecoveryReport {
                 checkpoint_sessions,
                 replayed,
@@ -223,81 +334,265 @@ impl DurableSketchService {
     /// are logged (and group-commit-synced) before they touch the service;
     /// queries pass straight through. Triggers compaction when the log
     /// outgrows [`DurableConfig::compact_after_bytes`].
+    ///
+    /// Fault reactions (see the module docs): log-append give-up degrades
+    /// the store; a shard-worker panic rebuilds from checkpoint + log and —
+    /// because the command was already logged — still reports success.
     pub fn apply(&mut self, command: &ServiceCommand) -> Result<CommandReply, ServiceError> {
+        if let Health::Degraded {
+            reason,
+            inner_stale,
+        } = &self.health
+        {
+            let reason = reason.clone();
+            if command.mutates() || *inner_stale {
+                return Err(ServiceError::Degraded { reason });
+            }
+            // Degraded is read-only, not read-dead: queries keep serving
+            // from the (still consistent) memory image.
+            return match self.inner.apply(command) {
+                Err(ServiceError::ShardPanicked { .. }) => {
+                    // A worker died while storage is down, so the usual
+                    // rebuild path is unavailable; the memory image is now
+                    // unreliable too and heal() must reload it.
+                    self.health = Health::Degraded {
+                        reason: reason.clone(),
+                        inner_stale: true,
+                    };
+                    Err(ServiceError::Degraded { reason })
+                }
+                other => other,
+            };
+        }
+
         let logged = command.mutates();
         if logged {
-            let payload = serde_json::to_string(command).expect("serialization is infallible");
-            self.wal.append(payload.as_bytes())?;
+            let mut payload = String::new();
+            command.serialize_json(&mut payload);
+            if let Err(e) = self.wal.append(payload.as_bytes(), &self.config.retry) {
+                // Retries are exhausted inside the writer; a command that
+                // cannot be made durable must not be applied. Nothing
+                // reached the in-memory service, so reads stay consistent —
+                // degrade to read-only and report the give-up.
+                self.health = Health::Degraded {
+                    reason: e.to_string(),
+                    inner_stale: false,
+                };
+                return Err(e);
+            }
         }
-        let reply = self.inner.apply(command);
-        if logged {
+        let reply = match self.inner.apply(command) {
+            Err(ServiceError::ShardPanicked { .. }) => self.rebuild_after_panic(command),
+            other => other,
+        };
+        if logged && reply.is_ok() {
             if let Some(limit) = self.config.compact_after_bytes {
                 // After the apply, so the checkpoint includes this command
-                // before its log record is compacted away.
+                // before its log record is compacted away. Compaction
+                // failure never fails the (already durable and applied)
+                // command: a pre-publication failure leaves the old
+                // generation serving and is retried at the next trigger; a
+                // post-publication durability failure degrades the store
+                // via `publish_checkpoint` itself.
                 if self.wal.len() >= limit {
-                    self.checkpoint()?;
+                    let _ = self.publish_checkpoint(true);
                 }
             }
         }
         reply
     }
 
+    /// The supervision reaction to a dead shard worker: reload the whole
+    /// service from checkpoint + log through the normal recovery surface.
+    ///
+    /// Write-ahead logging makes this sound for the *triggering* command
+    /// too: a mutating command is on disk before it reaches the shards, so
+    /// the replayed state includes it and the command reports success; a
+    /// query is simply re-run against the rebuilt service. If the rebuild
+    /// fails (storage died as well, or the log holds a command that
+    /// deterministically panics on replay), the store degrades with a stale
+    /// memory image.
+    fn rebuild_after_panic(
+        &mut self,
+        command: &ServiceCommand,
+    ) -> Result<CommandReply, ServiceError> {
+        let rebuilt = self
+            .wal
+            .sync(&self.config.retry)
+            .and_then(|()| Self::load(&self.storage, &self.dir, self.shards, &self.config));
+        match rebuilt {
+            Ok((inner, generation, wal, _report)) => {
+                self.inner = inner;
+                self.generation = generation;
+                self.wal = wal;
+                if command.mutates() {
+                    // Logged before dispatch, replayed by the reload: the
+                    // command *is* in the rebuilt state.
+                    Ok(CommandReply::Done)
+                } else {
+                    self.inner.apply(command)
+                }
+            }
+            Err(e) => {
+                let reason = format!("shard worker panicked and the rebuild failed: {e}");
+                self.health = Health::Degraded {
+                    reason: reason.clone(),
+                    inner_stale: true,
+                };
+                Err(ServiceError::Degraded { reason })
+            }
+        }
+    }
+
     /// Writes a checkpoint and compacts the log: every session's canonical
     /// snapshot goes into a new manifest (atomic temp-file + rename +
     /// directory fsync) whose bumped generation points at a fresh empty
     /// log; the old log is deleted afterwards. Crash-safe at every step —
-    /// see the module docs for the two crash windows.
+    /// see the module docs for the two crash windows and the fault
+    /// taxonomy (pre-publication failures keep the store healthy on the
+    /// old generation; a published-but-not-durable checkpoint degrades it).
     pub fn checkpoint(&mut self) -> Result<(), ServiceError> {
-        // Anything still in the group-commit window must be durable before
-        // the old log becomes the fallback of a half-finished checkpoint.
-        self.wal.sync()?;
+        if let Health::Degraded { reason, .. } = &self.health {
+            return Err(ServiceError::Degraded {
+                reason: reason.clone(),
+            });
+        }
+        self.publish_checkpoint(true)
+    }
+
+    /// The checkpoint-publication engine. `sync_old` drains the current
+    /// log's group-commit window first (the normal path; [`Self::heal`]
+    /// skips it — the old log may live on dead storage and the in-memory
+    /// state is authoritative there).
+    fn publish_checkpoint(&mut self, sync_old: bool) -> Result<(), ServiceError> {
+        let retry = self.config.retry;
+        if sync_old {
+            // Anything still in the group-commit window must be durable
+            // before the old log becomes the fallback of a half-finished
+            // checkpoint. Give-up here is harmless: old generation intact.
+            self.wal.sync(&retry)?;
+        }
 
         let next = self.generation + 1;
-        let sessions: Vec<String> = self
-            .inner
-            .list_sessions()
-            .iter()
-            .map(|name| self.inner.save(name).expect("listed sessions exist"))
-            .collect();
-        let manifest = serde_json::to_string(&ManifestDoc {
+        let mut sessions = Vec::new();
+        for name in self.inner.list_sessions() {
+            sessions.push(self.inner.save(&name)?);
+        }
+        let doc = ManifestDoc {
             format: MANIFEST_FORMAT.to_string(),
             generation: next,
             sessions,
-        })
-        .expect("serialization is infallible");
+        };
+        let mut manifest = String::new();
+        doc.serialize_json(&mut manifest);
 
         // New log first: the manifest must never point at a file that could
         // be lost by a crash.
-        let new_wal = WalWriter::create(
-            &self.dir.join(wal_file_name(next)),
+        let new_wal_path = self.dir.join(wal_file_name(next));
+        let new_wal = match WalWriter::create(
+            self.storage.as_ref(),
+            &new_wal_path,
             self.config.group_commit,
-        )?;
+            &retry,
+        ) {
+            Ok(w) => w,
+            Err(e) => {
+                let _ = self.storage.delete(&new_wal_path);
+                return Err(e);
+            }
+        };
 
-        // Publish the manifest atomically.
+        // Publish the manifest atomically. A failure anywhere up to and
+        // including the rename leaves the old generation fully intact (the
+        // tmp file and the fresh log are swept best-effort), so the store
+        // stays healthy and keeps logging where it was.
         let tmp = self.dir.join("checkpoint.json.tmp");
         let final_path = self.dir.join(MANIFEST_FILE);
-        let io = |op: &str, e: std::io::Error| ServiceError::Storage(format!("{op}: {e}"));
-        std::fs::write(&tmp, manifest.as_bytes()).map_err(|e| io("write checkpoint", e))?;
-        std::fs::File::open(&tmp)
-            .and_then(|f| f.sync_all())
-            .map_err(|e| io("sync checkpoint", e))?;
-        std::fs::rename(&tmp, &final_path).map_err(|e| io("publish checkpoint", e))?;
-        // Make the rename itself durable. Directory fsync is a Linux-ism;
-        // where it fails the rename is still atomic, just not yet stable.
-        if let Ok(d) = std::fs::File::open(&self.dir) {
-            let _ = d.sync_all();
+        let published = write_whole_file(self.storage.as_ref(), &tmp, manifest.as_bytes(), &retry)
+            .and_then(|()| with_retries(&retry, || self.storage.rename(&tmp, &final_path)));
+        if let Err(e) = published {
+            let _ = self.storage.delete(&tmp);
+            let _ = self.storage.delete(&new_wal_path);
+            return Err(e);
         }
 
+        // The rename is visible; only its directory entry's durability
+        // remains. The superseded writer is dropped, not `close`d: its
+        // window was drained above when it mattered, and its file is about
+        // to be deleted.
         let old_path = self.dir.join(wal_file_name(self.generation));
-        self.wal = new_wal;
         self.generation = next;
-        let _ = std::fs::remove_file(old_path);
+        self.wal = new_wal;
+        if let Err(e) = with_retries(&retry, || self.storage.sync_dir(&self.dir)) {
+            // Published but maybe not durable: a machine crash could rewind
+            // the rename to the old manifest. Logging on would put commands
+            // where that rewound state would never look, so the old log is
+            // KEPT as the fallback and the store degrades instead.
+            let reason = format!("checkpoint {next} published but not durable: {e}");
+            self.health = Health::Degraded {
+                reason: reason.clone(),
+                inner_stale: false,
+            };
+            return Err(ServiceError::Degraded { reason });
+        }
+        // Fully durable: the old log is superseded (best-effort delete;
+        // open() sweeps leftovers).
+        let _ = self.storage.delete(&old_path);
         Ok(())
+    }
+
+    /// Attempts to leave degraded mode after the storage was repaired (or
+    /// replaced — with [`crate::FaultyStorage`] that is
+    /// [`crate::FaultyStorage::clear`]): reloads the in-memory image from
+    /// storage if it went stale, then re-publishes a fresh checkpoint
+    /// generation and resumes logging. Returns `Ok(true)` when a heal
+    /// happened, `Ok(false)` when the store was healthy all along; on
+    /// `Err`, the store stays degraded and heal can be retried.
+    pub fn heal(&mut self) -> Result<bool, ServiceError> {
+        let stale = match &self.health {
+            Health::Healthy => return Ok(false),
+            Health::Degraded { inner_stale, .. } => *inner_stale,
+        };
+        if stale {
+            // The memory image is unreliable (unrepaired shard panic):
+            // reload the durable state through the normal recovery surface
+            // before re-publishing it.
+            let (inner, generation, wal, _report) =
+                Self::load(&self.storage, &self.dir, self.shards, &self.config)?;
+            self.inner = inner;
+            self.generation = generation;
+            self.wal = wal;
+        }
+        // Re-publish everything under a fresh generation onto the repaired
+        // storage. The old log is not trusted (its writer may be broken, or
+        // its durability unknown) — the in-memory state is authoritative,
+        // hence `sync_old: false`.
+        self.publish_checkpoint(false)?;
+        self.health = Health::Healthy;
+        Ok(true)
     }
 
     /// Forces the group-commit window to stable storage now.
     pub fn sync(&mut self) -> Result<(), ServiceError> {
-        self.wal.sync()
+        self.wal.sync(&self.config.retry)
+    }
+
+    /// Explicitly retires the service: drains the group-commit window with
+    /// a final sync and reports failure as a value — the fallible
+    /// counterpart of just dropping it (which syncs best-effort).
+    pub fn close(self) -> Result<(), ServiceError> {
+        let DurableSketchService { wal, config, .. } = self;
+        wal.close(&config.retry)
+    }
+
+    /// Current health of the degradation state machine.
+    pub fn health(&self) -> &Health {
+        &self.health
+    }
+
+    /// Whether the store is in degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.health, Health::Degraded { .. })
     }
 
     /// The wrapped in-memory service (all read surfaces).
@@ -349,4 +644,31 @@ impl DurableSketchService {
     pub fn list_sessions(&self) -> Vec<String> {
         self.inner.list_sessions()
     }
+}
+
+/// Writes `bytes` as the full contents of `path` (create + append + fsync),
+/// clearing partial bytes with a truncate-to-zero before every append retry
+/// so a short write can never leave garbage in front of a later attempt —
+/// the same self-resetting discipline as the log writer's.
+fn write_whole_file(
+    storage: &dyn Storage,
+    path: &Path,
+    bytes: &[u8],
+    retry: &RetryPolicy,
+) -> Result<(), ServiceError> {
+    let mut file = with_retries(retry, || storage.create(path))?;
+    let mut attempt = 0u32;
+    loop {
+        match file.append(bytes) {
+            Ok(()) => break,
+            Err(e) => {
+                if file.truncate(0).is_err() || attempt >= retry.max_retries {
+                    return Err(e);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(retry.delay_ms(attempt)));
+                attempt += 1;
+            }
+        }
+    }
+    with_retries(retry, || file.sync())
 }

@@ -2,9 +2,13 @@
 
 use std::fmt;
 
-/// Why a service command was rejected. Every variant is a caller mistake the
+/// Why a service command was rejected. Most variants are caller mistakes the
 /// control plane detects *before* dispatching work to the shard threads, so
-/// a failed command never leaves partial state behind.
+/// a failed command never leaves partial state behind; the fault-model
+/// variants ([`ServiceError::Storage`], [`ServiceError::WalRecord`],
+/// [`ServiceError::ShardPanicked`], [`ServiceError::Degraded`]) report
+/// environment failures as values — the service never lets them escape as
+/// panics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
     /// No session registered under this name.
@@ -49,6 +53,26 @@ pub enum ServiceError {
         /// What was wrong with the frame.
         reason: String,
     },
+    /// A shard worker thread panicked (or was found dead). The panic is
+    /// caught inside the worker and surfaced here as a value — it never
+    /// re-panics in the caller. The in-memory service is inconsistent after
+    /// this; [`crate::DurableSketchService`] reacts by rebuilding from
+    /// checkpoint + log, a bare [`crate::SketchService`] should be dropped.
+    ShardPanicked {
+        /// Index of the dead worker.
+        shard: usize,
+        /// The panic payload (or a note that the worker was already gone).
+        message: String,
+    },
+    /// The durable store gave up on its storage after exhausting the retry
+    /// policy and is now in degraded read-only mode: queries keep serving
+    /// from memory, mutations are rejected with this error, and
+    /// [`crate::DurableSketchService::heal`] re-checkpoints onto repaired
+    /// storage to resume.
+    Degraded {
+        /// The storage failure that forced the transition.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -79,6 +103,15 @@ impl fmt::Display for ServiceError {
             ServiceError::Storage(why) => write!(f, "durable store: {why}"),
             ServiceError::WalRecord { offset, reason } => {
                 write!(f, "write-ahead log frame at byte {offset}: {reason}")
+            }
+            ServiceError::ShardPanicked { shard, message } => {
+                write!(f, "shard worker {shard} panicked: {message}")
+            }
+            ServiceError::Degraded { reason } => {
+                write!(
+                    f,
+                    "service is degraded to read-only ({reason}); heal() to resume"
+                )
             }
         }
     }

@@ -24,6 +24,20 @@
 //! and serialized snapshots bit-identical across shard counts and batch
 //! splits.
 //!
+//! ## The fault contract
+//!
+//! Failures are **values, never panics**: a shard-worker panic is caught by
+//! its supervisor and surfaces as [`ServiceError::ShardPanicked`]; storage
+//! IO goes through the [`storage::Storage`] trait, is retried under a
+//! deterministic [`storage::RetryPolicy`], and an exhausted budget flips
+//! the durable store into degraded read-only mode
+//! ([`ServiceError::Degraded`]) from which [`DurableSketchService::heal`]
+//! recovers. The fault-schedule suite injects a scripted fault at *every*
+//! IO operation of a reference trace via [`storage::FaultyStorage`] and
+//! pins that the service either continues bit-identically or degrades
+//! cleanly and heals — clippy's `disallowed-methods` keeps `unwrap`/`expect`
+//! out of the non-test code so that contract cannot silently regress.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -44,6 +58,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The fault contract bans panicking shortcuts from production code paths:
+// `unwrap`/`expect` are denied via clippy's `disallowed-methods` (see
+// clippy.toml; CI runs clippy with `-D warnings`). Unit tests may use them.
+#![cfg_attr(not(test), warn(clippy::disallowed_methods))]
 
 pub mod command;
 pub mod durable;
@@ -53,14 +71,19 @@ pub mod service;
 pub mod session;
 pub mod sketch;
 pub mod snapshot;
+pub mod storage;
 pub mod wal;
 
 mod shard;
 
 pub use command::{CommandReply, ServiceCommand};
-pub use durable::{DurableConfig, DurableSketchService, RecoveryReport};
+pub use durable::{DurableConfig, DurableSketchService, Health, RecoveryReport};
 pub use error::ServiceError;
 pub use reference::ReferenceService;
 pub use service::{SessionSnapshot, SketchService};
 pub use session::{SessionLedger, SessionSpec, SketchKind};
 pub use sketch::TenantSketch;
+pub use storage::{
+    with_retries, FaultKind, FaultPlan, FaultyStorage, FsStorage, RetryPolicy, Storage,
+    StorageFile, StorageOp,
+};

@@ -94,7 +94,7 @@ impl ReferenceService {
                     });
                 }
                 let src_sketch = src_entry.sketch.clone();
-                let dst_entry = self.entry_mut(dst).expect("checked above");
+                let dst_entry = self.entry_mut(dst)?;
                 dst_entry.sketch.merge_from(&src_sketch);
                 dst_entry.ledger.merges += 1;
                 Ok(CommandReply::Done)

@@ -8,6 +8,7 @@ use crate::sketch::TenantSketch;
 use crate::snapshot;
 use mcf0_formula::DnfFormula;
 use std::collections::BTreeMap;
+use std::sync::mpsc;
 
 /// A fully materialized view of one session (the merged cross-shard state).
 #[derive(Clone)]
@@ -45,6 +46,15 @@ struct SessionEntry {
 /// command trace, for every shard count and batch split — the invariant the
 /// differential test suite pins against
 /// [`crate::reference::ReferenceService`].
+///
+/// **Failure contract.** A panic inside a shard worker never re-raises in a
+/// caller: it surfaces as [`ServiceError::ShardPanicked`] from the
+/// operation that touched the dead shard, and from every later operation
+/// (the worker has retired and its partial state is gone). An in-memory
+/// service cannot repair that by itself — its state may be mid-command
+/// inconsistent — so callers should discard it;
+/// [`crate::DurableSketchService`] rebuilds automatically from checkpoint +
+/// write-ahead log instead.
 pub struct SketchService {
     shards: Vec<ShardHandle>,
     sessions: BTreeMap<String, SessionEntry>,
@@ -81,6 +91,18 @@ impl SketchService {
         self.entry(name).map(|e| &e.ledger)
     }
 
+    /// Chaos hook for the supervision suite: makes worker `shard` panic on
+    /// its next request and retire. Returns the typed error the panic
+    /// surfaced as (callers assert on it), or `Ok(())` for an out-of-range
+    /// index. Deterministic and safe — but the service is state-poisoned
+    /// afterwards, exactly like a real worker bug.
+    pub fn inject_worker_panic(&self, shard: usize) -> Result<(), ServiceError> {
+        match self.shards.get(shard) {
+            Some(handle) => handle.request(ShardRequest::Panic).map(|_| ()),
+            None => Ok(()),
+        }
+    }
+
     /// Registers a session. Every shard draws an identical sketch from the
     /// spec's seed; the draws never touch shared state.
     pub fn create_session(&mut self, name: &str, spec: SessionSpec) -> Result<(), ServiceError> {
@@ -90,7 +112,7 @@ impl SketchService {
         self.broadcast(|| ShardRequest::Create {
             name: name.to_string(),
             spec,
-        });
+        })?;
         self.sessions.insert(
             name.to_string(),
             SessionEntry {
@@ -106,7 +128,7 @@ impl SketchService {
         self.entry(name)?;
         self.broadcast(|| ShardRequest::Drop {
             name: name.to_string(),
-        });
+        })?;
         self.sessions.remove(name);
         Ok(())
     }
@@ -132,22 +154,23 @@ impl SketchService {
         }
         // Fan out first, then drain replies in shard order (the distributed
         // protocols' deterministic merge discipline).
-        let pending: Vec<_> = self
-            .shards
-            .iter()
-            .zip(routed)
-            .filter(|(_, sub)| !sub.is_empty())
-            .map(|(shard, sub)| {
-                shard.dispatch(ShardRequest::Ingest {
-                    name: name.to_string(),
-                    items: sub,
-                })
-            })
-            .collect();
-        for reply in pending {
-            let _ = reply.recv().expect("shard worker replies");
-        }
-        let ledger = &mut self.sessions.get_mut(name).expect("checked above").ledger;
+        let pending = self.fan_out(
+            routed
+                .into_iter()
+                .enumerate()
+                .filter(|(_, sub)| !sub.is_empty())
+                .map(|(shard, sub)| {
+                    (
+                        shard,
+                        ShardRequest::Ingest {
+                            name: name.to_string(),
+                            items: sub,
+                        },
+                    )
+                }),
+        )?;
+        self.drain(pending)?;
+        let ledger = &mut self.entry_mut(name)?.ledger;
         ledger.batches += 1;
         ledger.items += items.len() as u64;
         Ok(())
@@ -173,22 +196,23 @@ impl SketchService {
         for (i, set) in sets.iter().enumerate() {
             routed[(offset as usize + i) % shards].push(set.clone());
         }
-        let pending: Vec<_> = self
-            .shards
-            .iter()
-            .zip(routed)
-            .filter(|(_, sub)| !sub.is_empty())
-            .map(|(shard, sub)| {
-                shard.dispatch(ShardRequest::IngestStructured {
-                    name: name.to_string(),
-                    sets: sub,
-                })
-            })
-            .collect();
-        for reply in pending {
-            let _ = reply.recv().expect("shard worker replies");
-        }
-        let ledger = &mut self.sessions.get_mut(name).expect("checked above").ledger;
+        let pending = self.fan_out(
+            routed
+                .into_iter()
+                .enumerate()
+                .filter(|(_, sub)| !sub.is_empty())
+                .map(|(shard, sub)| {
+                    (
+                        shard,
+                        ShardRequest::IngestStructured {
+                            name: name.to_string(),
+                            sets: sub,
+                        },
+                    )
+                }),
+        )?;
+        self.drain(pending)?;
+        let ledger = &mut self.entry_mut(name)?.ledger;
         ledger.batches += 1;
         ledger.structured_items += sets.len() as u64;
         Ok(())
@@ -216,21 +240,15 @@ impl SketchService {
                 src: src.to_string(),
             });
         }
-        let merged_src = self.merged_sketch(src);
+        let merged_src = self.merged_sketch(src)?;
         // All cross-shard state lands on shard 0; the per-sketch merges are
         // associative and commute with the shard partition, so estimates and
         // snapshots after this are exactly the direct-run values.
-        let ShardReply::Done = self.shards[0].request(ShardRequest::Apply {
+        self.shards[0].request(ShardRequest::Apply {
             name: dst.to_string(),
             sketch: Box::new(merged_src),
-        }) else {
-            unreachable!("Apply replies Done");
-        };
-        self.sessions
-            .get_mut(dst)
-            .expect("checked above")
-            .ledger
-            .merges += 1;
+        })?;
+        self.entry_mut(dst)?.ledger.merges += 1;
         Ok(())
     }
 
@@ -241,20 +259,20 @@ impl SketchService {
     /// checkpoint (save every session) without exclusive access.
     pub fn estimate(&self, name: &str) -> Result<f64, ServiceError> {
         self.entry(name)?;
-        Ok(self.merged_sketch(name).estimate())
+        Ok(self.merged_sketch(name)?.estimate())
     }
 
     /// The Estimation strategy's (ε, δ) estimate given a rough `r` (`None`
     /// for other session kinds or a degenerate `r`).
     pub fn estimate_with_r(&self, name: &str, r: u32) -> Result<Option<f64>, ServiceError> {
         self.entry(name)?;
-        Ok(self.merged_sketch(name).estimate_with_r(r))
+        Ok(self.merged_sketch(name)?.estimate_with_r(r))
     }
 
     /// The merged sketch's size in bits.
     pub fn space_bits(&self, name: &str) -> Result<usize, ServiceError> {
         self.entry(name)?;
-        Ok(self.merged_sketch(name).space_bits())
+        Ok(self.merged_sketch(name)?.space_bits())
     }
 
     /// A fully materialized snapshot of the session (merged sketch + spec +
@@ -266,7 +284,7 @@ impl SketchService {
             name: name.to_string(),
             spec,
             ledger,
-            sketch: self.merged_sketch(name),
+            sketch: self.merged_sketch(name)?,
         })
     }
 
@@ -298,13 +316,11 @@ impl SketchService {
         self.broadcast(|| ShardRequest::Create {
             name: name.clone(),
             spec,
-        });
-        let ShardReply::Done = self.shards[0].request(ShardRequest::Apply {
+        })?;
+        self.shards[0].request(ShardRequest::Apply {
             name: name.clone(),
             sketch: Box::new(sketch),
-        }) else {
-            unreachable!("Apply replies Done");
-        };
+        })?;
         self.sessions
             .insert(name.clone(), SessionEntry { spec, ledger });
         Ok(name)
@@ -344,42 +360,79 @@ impl SketchService {
             .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))
     }
 
+    fn entry_mut(&mut self, name: &str) -> Result<&mut SessionEntry, ServiceError> {
+        self.sessions
+            .get_mut(name)
+            .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))
+    }
+
+    /// Dispatches one request per `(shard, request)` pair, returning the
+    /// pending receivers (tagged with their shard) for an in-order drain.
+    fn fan_out(
+        &self,
+        requests: impl Iterator<Item = (usize, ShardRequest)>,
+    ) -> Result<Vec<(usize, mpsc::Receiver<ShardReply>)>, ServiceError> {
+        let mut pending = Vec::new();
+        for (shard, request) in requests {
+            pending.push((shard, self.shards[shard].dispatch(request)?));
+        }
+        Ok(pending)
+    }
+
+    /// Drains fan-out replies in shard order. Every receiver is drained
+    /// even after a failure (so no worker blocks on a dropped channel), and
+    /// the first typed error wins.
+    fn drain(&self, pending: Vec<(usize, mpsc::Receiver<ShardReply>)>) -> Result<(), ServiceError> {
+        let mut first_err = None;
+        for (shard, rx) in pending {
+            if let Err(e) = self.shards[shard].wait(rx) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Extracts every shard's partial and folds them **in shard order** into
     /// the session's full sketch.
-    fn merged_sketch(&self, name: &str) -> TenantSketch {
-        let pending: Vec<_> = self
-            .shards
-            .iter()
-            .map(|shard| {
-                shard.dispatch(ShardRequest::Extract {
+    fn merged_sketch(&self, name: &str) -> Result<TenantSketch, ServiceError> {
+        let pending = self.fan_out((0..self.shards.len()).map(|shard| {
+            (
+                shard,
+                ShardRequest::Extract {
                     name: name.to_string(),
-                })
-            })
-            .collect();
-        let mut partials =
-            pending
-                .into_iter()
-                .map(|rx| match rx.recv().expect("shard worker replies") {
-                    ShardReply::Sketch(sketch) => *sketch,
-                    ShardReply::Done => unreachable!("Extract replies with a sketch"),
-                });
-        let mut merged = partials.next().expect("at least one shard");
-        for partial in partials {
-            merged.merge_from(&partial);
+                },
+            )
+        }))?;
+        let mut merged: Option<TenantSketch> = None;
+        for (shard, rx) in pending {
+            match self.shards[shard].wait(rx)? {
+                ShardReply::Sketch(sketch) => match merged.as_mut() {
+                    Some(acc) => acc.merge_from(&sketch),
+                    None => merged = Some(*sketch),
+                },
+                // Extract always answers with a sketch; a protocol drift
+                // here is a worker bug, reported as the typed error.
+                ShardReply::Done | ShardReply::Panicked(_) => {
+                    return Err(ServiceError::ShardPanicked {
+                        shard,
+                        message: "protocol violation: Extract answered without a sketch".into(),
+                    })
+                }
+            }
         }
-        merged
+        merged.ok_or_else(|| ServiceError::ShardPanicked {
+            shard: 0,
+            message: "no shard produced a partial".into(),
+        })
     }
 
     /// Sends one request to every shard and waits for all of them.
-    fn broadcast(&self, request: impl Fn() -> ShardRequest) {
-        let pending: Vec<_> = self
-            .shards
-            .iter()
-            .map(|shard| shard.dispatch(request()))
-            .collect();
-        for reply in pending {
-            let _ = reply.recv().expect("shard worker replies");
-        }
+    fn broadcast(&self, request: impl Fn() -> ShardRequest) -> Result<(), ServiceError> {
+        let pending = self.fan_out((0..self.shards.len()).map(|shard| (shard, request())))?;
+        self.drain(pending)
     }
 }
 

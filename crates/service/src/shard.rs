@@ -1,4 +1,4 @@
-//! The shard worker threads.
+//! The shard worker threads and their supervision.
 //!
 //! Each shard is a long-lived std thread owning its slice of every session's
 //! state (one complete [`TenantSketch`] per session, drawn from the session
@@ -8,16 +8,31 @@
 //! same deterministic-merge discipline as the distributed protocols'
 //! `par.rs` fan-out, which is why sharding is pure routing and never a
 //! semantic change.
+//!
+//! **Supervision.** A worker wraps every request in `catch_unwind`: a panic
+//! inside the sketch engine (or one injected by the chaos hook) is caught,
+//! reported back to the coordinator as a [`ShardReply::Panicked`] value,
+//! and the worker retires — its partial state may be half-updated and must
+//! not serve again. The control plane turns dead-worker sends, dropped
+//! replies and `Panicked` replies into the typed
+//! [`ServiceError::ShardPanicked`]; no panic ever re-raises in a caller,
+//! and no `expect` sits on the channel paths. Rebuilding a consistent
+//! service after a panic is the durable layer's job (checkpoint + log
+//! replay); a bare in-memory service surfaces the typed error from every
+//! operation that touches the dead shard.
 
+use crate::error::ServiceError;
 use crate::session::SessionSpec;
 use crate::sketch::TenantSketch;
 use mcf0_formula::DnfFormula;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
 /// One request to a shard worker. The control plane validates session
-/// existence and item kinds before dispatch, so workers may unwrap.
+/// existence and item kinds before dispatch; a violated invariant inside
+/// the worker panics and is surfaced by the supervisor as a typed error.
 pub(crate) enum ShardRequest {
     /// Register a session: the worker draws its partial from the spec.
     Create {
@@ -58,6 +73,9 @@ pub(crate) enum ShardRequest {
         /// Session name.
         name: String,
     },
+    /// Chaos hook: panic inside the worker loop (the supervision tests'
+    /// stand-in for a sketch-engine bug).
+    Panic,
     /// Exit the worker loop (service drop).
     Shutdown,
 }
@@ -68,6 +86,9 @@ pub(crate) enum ShardReply {
     Done,
     /// The extracted partial.
     Sketch(Box<TenantSketch>),
+    /// The request panicked inside the worker; the payload message rides
+    /// back as a value and the worker has retired.
+    Panicked(String),
 }
 
 type Envelope = (ShardRequest, mpsc::Sender<ShardReply>);
@@ -76,45 +97,83 @@ type Envelope = (ShardRequest, mpsc::Sender<ShardReply>);
 pub(crate) struct ShardHandle {
     sender: mpsc::Sender<Envelope>,
     thread: Option<JoinHandle<()>>,
+    index: usize,
 }
 
 impl ShardHandle {
     /// Spawns the worker.
     pub(crate) fn spawn(shard_index: usize) -> Self {
         let (sender, receiver) = mpsc::channel::<Envelope>();
+        // Thread spawn is an environment failure before any state exists;
+        // leave the handle dead (`None`) so every request reports the typed
+        // error instead of panicking here.
         let thread = std::thread::Builder::new()
             .name(format!("mcf0-shard-{shard_index}"))
             .spawn(move || run_worker(receiver))
-            .expect("spawn shard worker");
+            .ok();
         ShardHandle {
             sender,
-            thread: Some(thread),
+            thread,
+            index: shard_index,
         }
     }
 
-    /// Sends a request without waiting; the caller collects the reply from
-    /// the returned receiver (batch fan-out sends to every shard first, then
-    /// drains in shard order).
-    pub(crate) fn dispatch(&self, request: ShardRequest) -> mpsc::Receiver<ShardReply> {
+    /// The typed error for a worker that is gone (panicked earlier, or
+    /// never spawned).
+    fn dead(&self) -> ServiceError {
+        ServiceError::ShardPanicked {
+            shard: self.index,
+            message: "worker terminated by an earlier panic".into(),
+        }
+    }
+
+    /// Sends a request without waiting; the caller collects the reply via
+    /// [`ShardHandle::wait`] (batch fan-out sends to every shard first,
+    /// then drains in shard order). A dead worker is a typed error.
+    pub(crate) fn dispatch(
+        &self,
+        request: ShardRequest,
+    ) -> Result<mpsc::Receiver<ShardReply>, ServiceError> {
+        if self.thread.is_none() {
+            return Err(self.dead());
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         self.sender
             .send((request, reply_tx))
-            .expect("shard worker alive");
-        reply_rx
+            .map_err(|_| self.dead())?;
+        Ok(reply_rx)
+    }
+
+    /// Waits for a dispatched request's reply, converting worker death and
+    /// in-worker panics into [`ServiceError::ShardPanicked`].
+    pub(crate) fn wait(
+        &self,
+        reply: mpsc::Receiver<ShardReply>,
+    ) -> Result<ShardReply, ServiceError> {
+        match reply.recv() {
+            Ok(ShardReply::Panicked(message)) => Err(ServiceError::ShardPanicked {
+                shard: self.index,
+                message,
+            }),
+            Ok(reply) => Ok(reply),
+            // The worker dropped the reply sender without answering: it died
+            // (or retired on an earlier panic) while our request was queued.
+            Err(mpsc::RecvError) => Err(self.dead()),
+        }
     }
 
     /// Sends a request and waits for the worker to apply it.
-    pub(crate) fn request(&self, request: ShardRequest) -> ShardReply {
-        self.dispatch(request)
-            .recv()
-            .expect("shard worker replies once per request")
+    pub(crate) fn request(&self, request: ShardRequest) -> Result<ShardReply, ServiceError> {
+        let rx = self.dispatch(request)?;
+        self.wait(rx)
     }
 }
 
 impl Drop for ShardHandle {
     fn drop(&mut self) {
         // A worker that already panicked has dropped its receiver; ignore
-        // the send failure and surface the panic through join instead.
+        // the send failure, and ignore the join outcome too — the panic was
+        // already surfaced as a typed reply, never re-raised here.
         let (reply_tx, _reply_rx) = mpsc::channel();
         let _ = self.sender.send((ShardRequest::Shutdown, reply_tx));
         if let Some(thread) = self.thread.take() {
@@ -123,49 +182,85 @@ impl Drop for ShardHandle {
     }
 }
 
+/// Renders a caught panic payload as text (the common `&str` / `String`
+/// payloads verbatim, anything else by type-erasure note).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies one request to the worker's session map. Invariant violations
+/// (the control plane vouched for session existence and item kind) panic —
+/// and the supervisor in [`run_worker`] catches and reports them.
+fn handle(sessions: &mut HashMap<String, TenantSketch>, request: ShardRequest) -> ShardReply {
+    match request {
+        ShardRequest::Create { name, spec } => {
+            sessions.insert(name, TenantSketch::new(&spec));
+            ShardReply::Done
+        }
+        ShardRequest::Ingest { name, items } => {
+            let Some(sketch) = sessions.get_mut(&name) else {
+                panic!("shard invariant: session `{name}` missing");
+            };
+            if let Err(e) = sketch.ingest(&name, &items) {
+                panic!("shard invariant: item kind mismatch ({e})");
+            }
+            ShardReply::Done
+        }
+        ShardRequest::IngestStructured { name, sets } => {
+            let Some(sketch) = sessions.get_mut(&name) else {
+                panic!("shard invariant: session `{name}` missing");
+            };
+            if let Err(e) = sketch.ingest_structured(&name, &sets) {
+                panic!("shard invariant: item kind mismatch ({e})");
+            }
+            ShardReply::Done
+        }
+        ShardRequest::Extract { name } => {
+            let Some(sketch) = sessions.get(&name) else {
+                panic!("shard invariant: session `{name}` missing");
+            };
+            ShardReply::Sketch(Box::new(sketch.clone()))
+        }
+        ShardRequest::Apply { name, sketch } => {
+            let Some(partial) = sessions.get_mut(&name) else {
+                panic!("shard invariant: session `{name}` missing");
+            };
+            partial.merge_from(&sketch);
+            ShardReply::Done
+        }
+        ShardRequest::Drop { name } => {
+            sessions.remove(&name);
+            ShardReply::Done
+        }
+        ShardRequest::Panic => panic!("injected worker panic"),
+        ShardRequest::Shutdown => ShardReply::Done, // filtered by the loop
+    }
+}
+
 fn run_worker(receiver: mpsc::Receiver<Envelope>) {
     let mut sessions: HashMap<String, TenantSketch> = HashMap::new();
     for (request, reply) in receiver {
-        match request {
-            ShardRequest::Create { name, spec } => {
-                sessions.insert(name, TenantSketch::new(&spec));
-                let _ = reply.send(ShardReply::Done);
+        if matches!(request, ShardRequest::Shutdown) {
+            break;
+        }
+        match catch_unwind(AssertUnwindSafe(|| handle(&mut sessions, request))) {
+            Ok(answer) => {
+                let _ = reply.send(answer);
             }
-            ShardRequest::Ingest { name, items } => {
-                sessions
-                    .get_mut(&name)
-                    .expect("control plane checked the session")
-                    .ingest(&name, &items)
-                    .expect("control plane checked the item kind");
-                let _ = reply.send(ShardReply::Done);
+            Err(payload) => {
+                // Report the panic as a value and retire: the session map
+                // may be half-updated mid-panic, so this worker must never
+                // serve another request. (Queued envelopes observe the
+                // dropped receiver and surface as typed errors.)
+                let _ = reply.send(ShardReply::Panicked(panic_message(payload.as_ref())));
+                break;
             }
-            ShardRequest::IngestStructured { name, sets } => {
-                sessions
-                    .get_mut(&name)
-                    .expect("control plane checked the session")
-                    .ingest_structured(&name, &sets)
-                    .expect("control plane checked the item kind");
-                let _ = reply.send(ShardReply::Done);
-            }
-            ShardRequest::Extract { name } => {
-                let sketch = sessions
-                    .get(&name)
-                    .expect("control plane checked the session")
-                    .clone();
-                let _ = reply.send(ShardReply::Sketch(Box::new(sketch)));
-            }
-            ShardRequest::Apply { name, sketch } => {
-                sessions
-                    .get_mut(&name)
-                    .expect("control plane checked the session")
-                    .merge_from(&sketch);
-                let _ = reply.send(ShardReply::Done);
-            }
-            ShardRequest::Drop { name } => {
-                sessions.remove(&name);
-                let _ = reply.send(ShardReply::Done);
-            }
-            ShardRequest::Shutdown => break,
         }
     }
 }

@@ -284,7 +284,12 @@ pub fn encode(
             });
         }
     }
-    serde_json::to_string(&doc).expect("serialization is infallible")
+    // The vendored serde's `serialize_json` writes straight into a String
+    // and cannot fail — encode stays infallible without an `expect` on the
+    // `serde_json::to_string` Result wrapper.
+    let mut out = String::new();
+    doc.serialize_json(&mut out);
+    out
 }
 
 /// Decodes a document back into `(name, spec, ledger, sketch)`.
@@ -415,11 +420,11 @@ pub fn decode(
                 return Err(ServiceError::Snapshot("malformed ams shape".into()));
             }
             let mut grid = Vec::with_capacity(snap.rows);
-            let mut it = snap.cells.iter();
-            for _ in 0..snap.rows {
+            // `cells.len() == rows * columns` was checked above, so chunking
+            // by `columns` yields exactly `rows` full rows.
+            for chunk in snap.cells.chunks(snap.columns) {
                 let mut row = Vec::with_capacity(snap.columns);
-                for _ in 0..snap.columns {
-                    let cell = it.next().expect("length checked above");
+                for cell in chunk {
                     let hash = cell.hash.build()?;
                     if hash.width() as usize != spec.universe_bits {
                         return Err(ServiceError::Snapshot("hash width mismatch".into()));

@@ -1,0 +1,579 @@
+//! The durable-storage abstraction and its fault model.
+//!
+//! Everything the durable service does to disk goes through the small
+//! [`Storage`] trait (create / append / sync / read / rename / delete plus
+//! the directory operations checkpoint publication needs). Production uses
+//! [`FsStorage`], a thin veneer over `std::fs`; the robustness suite wraps
+//! it in [`FaultyStorage`], which injects **scripted, deterministic** faults
+//! — an error on the k-th operation, a short write, a failed fsync, a failed
+//! rename, ENOSPC — so every IO failure mode of a reference trace can be
+//! enumerated and replayed exactly (the IO-error analogue of the kill-point
+//! crash suite).
+//!
+//! The second half of the fault model is [`RetryPolicy`]: a bounded,
+//! deterministic-backoff retry loop ([`with_retries`]) that the durable
+//! service wraps around every storage operation. Transient faults are
+//! absorbed invisibly; persistent faults exhaust the budget and surface as
+//! the typed give-up that flips the service into degraded read-only mode
+//! (see `durable.rs`).
+
+use crate::error::ServiceError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// An open append-only handle on one storage file.
+pub trait StorageFile: Send {
+    /// Appends `bytes` at the current end of the file.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), ServiceError>;
+    /// Cuts the file back to `len` bytes and re-positions at the (new) end —
+    /// the reset a failed or short append needs before it can be retried.
+    fn truncate(&mut self, len: u64) -> Result<(), ServiceError>;
+    /// Forces file contents to stable storage (fsync).
+    fn sync(&mut self) -> Result<(), ServiceError>;
+}
+
+/// The durable-storage surface: every file and directory operation the
+/// write-ahead log and the checkpoint store perform. Implementations must be
+/// usable from one thread at a time (the durable wrapper serializes all
+/// storage access on the caller thread).
+pub trait Storage: Send + Sync {
+    /// Creates (or truncates to empty) a file and returns an append handle.
+    fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, ServiceError>;
+    /// Opens an existing file (creating it when absent) for appending
+    /// without truncating anything; the handle is positioned at the end.
+    fn open_append(&self, path: &Path) -> Result<Box<dyn StorageFile>, ServiceError>;
+    /// Reads a whole file; `Ok(None)` when it does not exist.
+    fn read(&self, path: &Path) -> Result<Option<Vec<u8>>, ServiceError>;
+    /// Atomically renames `from` onto `to` (the checkpoint publication
+    /// step).
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), ServiceError>;
+    /// Deletes a file (an error when it does not exist).
+    fn delete(&self, path: &Path) -> Result<(), ServiceError>;
+    /// Forces a directory's entry table to stable storage (makes a rename
+    /// durable on Linux; a no-op veneer elsewhere).
+    fn sync_dir(&self, dir: &Path) -> Result<(), ServiceError>;
+    /// File names (not paths) inside `dir`, in unspecified order.
+    fn list(&self, dir: &Path) -> Result<Vec<String>, ServiceError>;
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> Result<(), ServiceError>;
+}
+
+fn io_err(op: &str, path: &Path, e: &std::io::Error) -> ServiceError {
+    ServiceError::Storage(format!("{op} {}: {e}", path.display()))
+}
+
+/// The production backend: `std::fs`, one-to-one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FsStorage;
+
+struct FsFile {
+    file: File,
+    path: PathBuf,
+}
+
+impl StorageFile for FsFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), ServiceError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| io_err("append", &self.path, &e))
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), ServiceError> {
+        self.file
+            .set_len(len)
+            .and_then(|()| self.file.seek(SeekFrom::End(0)).map(|_| ()))
+            .map_err(|e| io_err("truncate", &self.path, &e))
+    }
+
+    fn sync(&mut self) -> Result<(), ServiceError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("fsync", &self.path, &e))
+    }
+}
+
+impl Storage for FsStorage {
+    fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, ServiceError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err("create", path, &e))?;
+        Ok(Box::new(FsFile {
+            file,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> Result<Box<dyn StorageFile>, ServiceError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err("open", path, &e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek", path, &e))?;
+        Ok(Box::new(FsFile {
+            file,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> Result<Option<Vec<u8>>, ServiceError> {
+        let mut file = match File::open(path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("open", path, &e)),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| io_err("read", path, &e))?;
+        Ok(Some(bytes))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), ServiceError> {
+        std::fs::rename(from, to).map_err(|e| io_err("rename", from, &e))
+    }
+
+    fn delete(&self, path: &Path) -> Result<(), ServiceError> {
+        std::fs::remove_file(path).map_err(|e| io_err("delete", path, &e))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), ServiceError> {
+        // Directory fsync is a Linux-ism; where open-for-read of a directory
+        // fails the rename is still atomic, just not yet stable.
+        match File::open(dir) {
+            Ok(d) => d.sync_all().map_err(|e| io_err("sync dir", dir, &e)),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<String>, ServiceError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| io_err("list", dir, &e))?;
+        Ok(entries
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), ServiceError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, &e))
+    }
+}
+
+/// What kind of fault [`FaultyStorage`] injects when the schedule fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A generic IO error: the operation fails without side effects.
+    Error,
+    /// An append writes only the first half of its bytes, then fails —
+    /// the torn-frame case the log scanner must truncate. Non-append
+    /// operations fail without side effects.
+    ShortWrite,
+    /// A sync (file or directory) reports failure without syncing; other
+    /// operations fail without side effects.
+    FsyncFail,
+    /// A rename fails, leaving both paths untouched; other operations fail
+    /// without side effects.
+    RenameFail,
+    /// "No space left on device": appends and creates fail without writing.
+    Enospc,
+}
+
+/// One scripted fault: fire on the `at_op`-th storage operation (0-based,
+/// counted across every [`Storage`] and [`StorageFile`] call since the
+/// wrapper was built), either once (`persistent: false` — a transient
+/// glitch the retry policy should absorb) or on every operation from there
+/// on (`persistent: true` — a dead disk; retries exhaust and the service
+/// must degrade).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// 0-based global operation index to fire at.
+    pub at_op: usize,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+    /// Fail every operation from `at_op` on, instead of just that one.
+    pub persistent: bool,
+}
+
+/// The operation labels [`FaultyStorage`] records, for enumerating a
+/// reference trace's IO schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageOp {
+    /// Operation name (`create`, `append`, `sync`, `truncate`, `read`,
+    /// `rename`, `delete`, `sync_dir`, `list`, `create_dir`).
+    pub name: &'static str,
+    /// The file the operation addressed.
+    pub path: PathBuf,
+}
+
+struct FaultState {
+    next_op: usize,
+    plan: Option<FaultPlan>,
+    injected: usize,
+    log: Vec<StorageOp>,
+}
+
+/// A deterministic fault-injection wrapper around another [`Storage`].
+///
+/// Every operation (including per-file appends/syncs) increments a global
+/// counter and is recorded; when a [`FaultPlan`] is armed and the counter
+/// reaches it, the scripted fault fires. Cloning shares the counter and the
+/// plan, so a test can keep one handle to re-arm or clear faults while the
+/// service owns the other.
+#[derive(Clone)]
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with no fault armed (pure operation recording).
+    pub fn new(inner: Arc<dyn Storage>) -> Self {
+        FaultyStorage {
+            inner,
+            state: Arc::new(Mutex::new(FaultState {
+                next_op: 0,
+                plan: None,
+                injected: 0,
+                log: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arms (or re-arms) the fault schedule. The operation counter keeps
+    /// running — `at_op` is always relative to wrapper construction.
+    pub fn arm(&self, plan: FaultPlan) {
+        self.lock().plan = Some(plan);
+    }
+
+    /// Disarms any fault — "the disk was replaced"; subsequent operations
+    /// succeed. The heal path of the differential harness calls this.
+    pub fn clear(&self) {
+        self.lock().plan = None;
+    }
+
+    /// Total operations seen so far.
+    pub fn op_count(&self) -> usize {
+        self.lock().next_op
+    }
+
+    /// How many faults actually fired.
+    pub fn injected(&self) -> usize {
+        self.lock().injected
+    }
+
+    /// The recorded operation schedule (name + path, in order).
+    pub fn op_log(&self) -> Vec<StorageOp> {
+        self.lock().log.clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Records the operation and decides whether a fault fires for it.
+    fn tick(&self, name: &'static str, path: &Path) -> Option<FaultKind> {
+        let mut state = self.lock();
+        let op = state.next_op;
+        state.next_op += 1;
+        state.log.push(StorageOp {
+            name,
+            path: path.to_path_buf(),
+        });
+        let fires = state
+            .plan
+            .map(|plan| {
+                if plan.persistent {
+                    op >= plan.at_op
+                } else {
+                    op == plan.at_op
+                }
+            })
+            .unwrap_or(false);
+        if fires {
+            state.injected += 1;
+            state.plan.map(|p| p.kind)
+        } else {
+            None
+        }
+    }
+
+    fn injected_err(kind: FaultKind, name: &str, path: &Path) -> ServiceError {
+        let what = match kind {
+            FaultKind::Error => "injected IO error",
+            FaultKind::ShortWrite => "injected short write",
+            FaultKind::FsyncFail => "injected fsync failure",
+            FaultKind::RenameFail => "injected rename failure",
+            FaultKind::Enospc => "injected ENOSPC (no space left on device)",
+        };
+        ServiceError::Storage(format!("{name} {}: {what}", path.display()))
+    }
+
+    fn file(&self, path: &Path, inner: Box<dyn StorageFile>) -> Box<dyn StorageFile> {
+        Box::new(FaultyFile {
+            storage: self.clone(),
+            path: path.to_path_buf(),
+            inner,
+        })
+    }
+}
+
+struct FaultyFile {
+    storage: FaultyStorage,
+    path: PathBuf,
+    inner: Box<dyn StorageFile>,
+}
+
+impl StorageFile for FaultyFile {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), ServiceError> {
+        match self.storage.tick("append", &self.path) {
+            None => self.inner.append(bytes),
+            Some(FaultKind::ShortWrite) => {
+                // Half the frame actually lands on disk — the torn tail the
+                // log scanner must detect and the retry reset must cut back.
+                let half = &bytes[..bytes.len() / 2];
+                self.inner.append(half)?;
+                Err(FaultyStorage::injected_err(
+                    FaultKind::ShortWrite,
+                    "append",
+                    &self.path,
+                ))
+            }
+            Some(kind) => Err(FaultyStorage::injected_err(kind, "append", &self.path)),
+        }
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), ServiceError> {
+        match self.storage.tick("truncate", &self.path) {
+            None => self.inner.truncate(len),
+            Some(kind) => Err(FaultyStorage::injected_err(kind, "truncate", &self.path)),
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), ServiceError> {
+        match self.storage.tick("sync", &self.path) {
+            // An injected fsync failure skips the real sync: the bytes are
+            // in the OS cache (still readable) but were never made durable.
+            None => self.inner.sync(),
+            Some(kind) => Err(FaultyStorage::injected_err(kind, "sync", &self.path)),
+        }
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn create(&self, path: &Path) -> Result<Box<dyn StorageFile>, ServiceError> {
+        match self.tick("create", path) {
+            None => Ok(self.file(path, self.inner.create(path)?)),
+            Some(kind) => Err(Self::injected_err(kind, "create", path)),
+        }
+    }
+
+    fn open_append(&self, path: &Path) -> Result<Box<dyn StorageFile>, ServiceError> {
+        match self.tick("open", path) {
+            None => Ok(self.file(path, self.inner.open_append(path)?)),
+            Some(kind) => Err(Self::injected_err(kind, "open", path)),
+        }
+    }
+
+    fn read(&self, path: &Path) -> Result<Option<Vec<u8>>, ServiceError> {
+        match self.tick("read", path) {
+            None => self.inner.read(path),
+            Some(kind) => Err(Self::injected_err(kind, "read", path)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), ServiceError> {
+        match self.tick("rename", from) {
+            // RenameFail (and every other kind) leaves both paths untouched.
+            None => self.inner.rename(from, to),
+            Some(kind) => Err(Self::injected_err(kind, "rename", from)),
+        }
+    }
+
+    fn delete(&self, path: &Path) -> Result<(), ServiceError> {
+        match self.tick("delete", path) {
+            None => self.inner.delete(path),
+            Some(kind) => Err(Self::injected_err(kind, "delete", path)),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), ServiceError> {
+        match self.tick("sync_dir", dir) {
+            None => self.inner.sync_dir(dir),
+            Some(kind) => Err(Self::injected_err(kind, "sync_dir", dir)),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> Result<Vec<String>, ServiceError> {
+        match self.tick("list", dir) {
+            None => self.inner.list(dir),
+            Some(kind) => Err(Self::injected_err(kind, "list", dir)),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> Result<(), ServiceError> {
+        match self.tick("create_dir", dir) {
+            None => self.inner.create_dir_all(dir),
+            Some(kind) => Err(Self::injected_err(kind, "create_dir", dir)),
+        }
+    }
+}
+
+/// Bounded-retry policy with deterministic exponential backoff.
+///
+/// Attempt `i` (0-based) that fails is followed by a sleep of
+/// `min(base_delay_ms << i, cap_delay_ms)` milliseconds before attempt
+/// `i + 1`, up to `max_retries` retries (so `max_retries + 1` attempts
+/// total). The schedule is a pure function of the policy — no jitter, no
+/// clock reads — which is what lets the fault harness replay byte-identical
+/// runs and the proptest pin the sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub cap_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_delay_ms: 1,
+            cap_delay_ms: 20,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (and never sleeps).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay_ms: 0,
+            cap_delay_ms: 0,
+        }
+    }
+
+    /// A retrying policy with zero backoff — what tests use so injected
+    /// persistent faults exhaust instantly.
+    pub fn immediate(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay_ms: 0,
+            cap_delay_ms: 0,
+        }
+    }
+
+    /// Total attempts the policy allows.
+    pub fn attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+
+    /// The backoff (ms) after failed attempt `attempt` (0-based).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let scaled = if attempt >= 64 {
+            u64::MAX
+        } else {
+            self.base_delay_ms.saturating_mul(1u64 << attempt)
+        };
+        scaled.min(self.cap_delay_ms)
+    }
+
+    /// The full deterministic backoff schedule (one entry per retry).
+    pub fn schedule(&self) -> Vec<u64> {
+        (0..self.max_retries).map(|i| self.delay_ms(i)).collect()
+    }
+}
+
+/// Runs `op` under `policy`: storage errors are retried (with the policy's
+/// deterministic backoff) until the budget is exhausted, then the *last*
+/// error is returned annotated with the attempt count. Non-storage errors
+/// (typed rejections, panics surfaced as values) are never retried.
+pub fn with_retries<T>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut() -> Result<T, ServiceError>,
+) -> Result<T, ServiceError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(ServiceError::Storage(_)) if attempt < policy.max_retries => {
+                std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                attempt += 1;
+            }
+            Err(ServiceError::Storage(why)) => {
+                return Err(ServiceError::Storage(format!(
+                    "{why} (gave up after {} attempts)",
+                    attempt + 1
+                )));
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 6,
+            base_delay_ms: 3,
+            cap_delay_ms: 20,
+        };
+        assert_eq!(policy.schedule(), vec![3, 6, 12, 20, 20, 20]);
+        assert_eq!(policy.schedule(), policy.schedule());
+        assert_eq!(RetryPolicy::none().schedule(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn with_retries_absorbs_transient_and_reports_persistent() {
+        let policy = RetryPolicy::immediate(2);
+        let mut fails_left = 2;
+        let out = with_retries(&policy, || {
+            if fails_left > 0 {
+                fails_left -= 1;
+                Err(ServiceError::Storage("flaky".into()))
+            } else {
+                Ok(41 + 1)
+            }
+        });
+        assert_eq!(out, Ok(42));
+
+        let out: Result<(), _> =
+            with_retries(&policy, || Err(ServiceError::Storage("dead disk".into())));
+        match out {
+            Err(ServiceError::Storage(why)) => {
+                assert!(
+                    why.contains("dead disk") && why.contains("3 attempts"),
+                    "{why}"
+                );
+            }
+            other => panic!("expected storage give-up, got {other:?}"),
+        }
+
+        // Typed rejections pass straight through, never retried.
+        let mut calls = 0;
+        let out: Result<(), _> = with_retries(&policy, || {
+            calls += 1;
+            Err(ServiceError::UnknownSession("t".into()))
+        });
+        assert!(matches!(out, Err(ServiceError::UnknownSession(_))));
+        assert_eq!(calls, 1);
+    }
+}

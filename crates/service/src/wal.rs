@@ -21,13 +21,21 @@
 //! immediately (a *process* crash loses nothing that was appended) and
 //! issues the expensive `fsync` once per `group_commit` appends — the
 //! group-commit window. [`WalWriter::sync`] closes the window early;
-//! checkpoints and drops do so implicitly. A machine crash can therefore
-//! lose at most the tail of the current window, and only ever a *suffix*
-//! of appended records — prefix durability is exactly what replay needs.
+//! checkpoints do so implicitly, and [`WalWriter::close`] is the explicit
+//! fallible shutdown. A machine crash can therefore lose at most the tail
+//! of the current window, and only ever a *suffix* of appended records —
+//! prefix durability is exactly what replay needs.
+//!
+//! All file IO goes through the [`Storage`] trait, so the fault-schedule
+//! suite can drive the writer over [`crate::storage::FaultyStorage`]. IO
+//! failures are **self-resetting**: a failed or short append truncates the
+//! file back to the last good frame boundary before reporting, so a retry
+//! appends onto a clean tail instead of corrupting the log mid-file. If
+//! even the reset fails, the writer marks itself broken and refuses further
+//! appends — the degraded store's heal path abandons the file entirely.
 
 use crate::error::ServiceError;
-use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use crate::storage::{with_retries, RetryPolicy, Storage, StorageFile};
 use std::path::Path;
 
 /// Bytes of frame header: payload length (u32 LE) + CRC-32 (u32 LE).
@@ -97,12 +105,14 @@ pub struct WalScan {
     pub torn: Option<ServiceError>,
 }
 
-/// Reads a log file from disk and scans it. `Err` only on I/O failure;
-/// corruption is reported inside the [`WalScan`], never as a panic.
-pub fn scan(path: &Path) -> Result<WalScan, ServiceError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| ServiceError::Storage(format!("read {}: {e}", path.display())))?;
-    Ok(scan_bytes(&bytes))
+/// Reads a log file through `storage` and scans it (a missing file scans as
+/// empty). `Err` only on I/O failure; corruption is reported inside the
+/// [`WalScan`], never as a panic.
+pub fn scan(storage: &dyn Storage, path: &Path) -> Result<WalScan, ServiceError> {
+    Ok(match storage.read(path)? {
+        Some(bytes) => scan_bytes(&bytes),
+        None => WalScan::default(),
+    })
 }
 
 /// Scans in-memory log bytes (the pure core of [`scan`], used directly by
@@ -124,8 +134,8 @@ pub fn scan_bytes(bytes: &[u8]) -> WalScan {
                 bytes.len() - pos
             )));
         };
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-        let expected_crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let expected_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
         let Some(payload) = bytes.get(pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len)
         else {
             break Some(torn_at(format!(
@@ -152,84 +162,142 @@ pub fn scan_bytes(bytes: &[u8]) -> WalScan {
     }
 }
 
-/// Appender over one log file, with group-commit fsync batching.
+/// Appender over one log file, with group-commit fsync batching and
+/// self-resetting IO-failure handling.
 pub struct WalWriter {
-    file: File,
+    file: Box<dyn StorageFile>,
     len: u64,
     pending: usize,
     group_commit: usize,
+    /// Set when a failed append could not be cleaned back to a frame
+    /// boundary: the on-disk tail is unreliable and further appends would
+    /// bury good-looking frames behind garbage, so the writer refuses them.
+    broken: bool,
 }
 
 impl WalWriter {
     /// Creates (or truncates) a fresh, empty, fsynced log file — the
     /// checkpoint path runs this *before* publishing the manifest that
-    /// points at it.
-    pub fn create(path: &Path, group_commit: usize) -> Result<Self, ServiceError> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)
-            .map_err(|e| ServiceError::Storage(format!("create {}: {e}", path.display())))?;
-        file.sync_all()
-            .map_err(|e| ServiceError::Storage(format!("sync {}: {e}", path.display())))?;
+    /// points at it. Each step is retried under `retry`.
+    pub fn create(
+        storage: &dyn Storage,
+        path: &Path,
+        group_commit: usize,
+        retry: &RetryPolicy,
+    ) -> Result<Self, ServiceError> {
+        let mut file = with_retries(retry, || storage.create(path))?;
+        with_retries(retry, || file.sync())?;
         Ok(WalWriter {
             file,
             len: 0,
             pending: 0,
             group_commit: group_commit.max(1),
+            broken: false,
         })
     }
 
     /// Opens an existing log for appending after a scan: truncates whatever
     /// follows `valid_len` (the torn/corrupt tail) and positions the writer
     /// at the end of the valid prefix.
-    pub fn open_at(path: &Path, valid_len: u64, group_commit: usize) -> Result<Self, ServiceError> {
-        let err = |op: &str, e: std::io::Error| {
-            ServiceError::Storage(format!("{op} {}: {e}", path.display()))
-        };
-        let mut file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .write(true)
-            .truncate(false) // the valid prefix survives; set_len cuts the tail
-            .open(path)
-            .map_err(|e| err("open", e))?;
-        file.set_len(valid_len).map_err(|e| err("truncate", e))?;
-        file.sync_all().map_err(|e| err("sync", e))?;
-        file.seek(SeekFrom::End(0)).map_err(|e| err("seek", e))?;
+    pub fn open_at(
+        storage: &dyn Storage,
+        path: &Path,
+        valid_len: u64,
+        group_commit: usize,
+        retry: &RetryPolicy,
+    ) -> Result<Self, ServiceError> {
+        let mut file = with_retries(retry, || storage.open_append(path))?;
+        // The valid prefix survives; truncate cuts the tail and re-seeks.
+        with_retries(retry, || file.truncate(valid_len))?;
+        with_retries(retry, || file.sync())?;
         Ok(WalWriter {
             file,
             len: valid_len,
             pending: 0,
             group_commit: group_commit.max(1),
+            broken: false,
         })
     }
 
-    /// Appends one framed record and fsyncs if the group-commit window
-    /// (`group_commit` appends) is full.
-    pub fn append(&mut self, payload: &[u8]) -> Result<(), ServiceError> {
-        let framed = frame(payload);
-        self.file
-            .write_all(&framed)
-            .map_err(|e| ServiceError::Storage(format!("append log record: {e}")))?;
-        self.len += framed.len() as u64;
-        self.pending += 1;
-        if self.pending >= self.group_commit {
-            self.sync()?;
+    fn check_broken(&self) -> Result<(), ServiceError> {
+        if self.broken {
+            return Err(ServiceError::Storage(
+                "log writer disabled by an earlier unrecoverable append failure".into(),
+            ));
         }
         Ok(())
     }
 
-    /// Forces the pending window to stable storage (no-op when empty).
-    pub fn sync(&mut self) -> Result<(), ServiceError> {
+    /// Appends one framed record and fsyncs if the group-commit window
+    /// (`group_commit` appends) is full. Write failures (including short
+    /// writes) truncate back to the previous frame boundary before each
+    /// retry and before reporting, so the log never carries a half-frame
+    /// in front of later appends; a failed group-commit sync removes the
+    /// frame again (the command will be reported failed, so its record
+    /// must not replay).
+    pub fn append(&mut self, payload: &[u8], retry: &RetryPolicy) -> Result<(), ServiceError> {
+        self.check_broken()?;
+        let framed = frame(payload);
+        let base = self.len;
+        let mut attempt = 0u32;
+        loop {
+            match self.file.append(&framed) {
+                Ok(()) => break,
+                Err(e) => {
+                    // Clear any partial bytes before retrying or reporting.
+                    if let Err(cut) = self.file.truncate(base) {
+                        self.broken = true;
+                        return Err(ServiceError::Storage(format!(
+                            "append failed ({e}) and the reset failed too ({cut}); \
+                             log writer disabled"
+                        )));
+                    }
+                    if attempt >= retry.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(retry.delay_ms(attempt)));
+                    attempt += 1;
+                }
+            }
+        }
+        self.len += framed.len() as u64;
+        self.pending += 1;
+        if self.pending >= self.group_commit {
+            if let Err(e) = self.sync(retry) {
+                // The caller will report this command failed, so its frame
+                // must not survive to replay. Earlier frames of the window
+                // stay: their commands were acknowledged under the
+                // group-commit contract (crash may lose an unsynced suffix).
+                self.len = base;
+                self.pending -= 1;
+                if self.file.truncate(base).is_err() {
+                    self.broken = true;
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces the pending window to stable storage (no-op when empty),
+    /// retrying under `retry`.
+    pub fn sync(&mut self, retry: &RetryPolicy) -> Result<(), ServiceError> {
+        self.check_broken()?;
         if self.pending > 0 {
-            self.file
-                .sync_data()
-                .map_err(|e| ServiceError::Storage(format!("fsync log: {e}")))?;
+            with_retries(retry, || self.file.sync())?;
             self.pending = 0;
         }
         Ok(())
+    }
+
+    /// Explicitly retires the writer: closes the group-commit window with a
+    /// final sync and reports failure as a value — the fallible counterpart
+    /// of `Drop` (which stays best-effort for the unwind/teardown paths and
+    /// can only swallow what `close` would have reported).
+    pub fn close(mut self, retry: &RetryPolicy) -> Result<(), ServiceError> {
+        // A successful sync leaves pending == 0, so the Drop that follows
+        // this move is a no-op.
+        self.sync(retry)
     }
 
     /// Current log length in bytes (the compaction trigger input).
@@ -245,9 +313,14 @@ impl WalWriter {
 
 impl Drop for WalWriter {
     fn drop(&mut self) {
-        // Best effort: close the group-commit window so a clean shutdown
-        // leaves nothing pending.
-        let _ = self.sync();
+        // Best effort only — teardown cannot report. Every deliberate
+        // retirement goes through [`WalWriter::close`] instead; this path
+        // exists for unwinds and for writers superseded by a newer
+        // generation (whose files are already durable or deleted).
+        if !self.broken && self.pending > 0 {
+            let _ = self.file.sync();
+            self.pending = 0;
+        }
     }
 }
 

@@ -10,6 +10,10 @@
 //! Batch boundaries are re-split separately: they may only move the ledger's
 //! batch count, never a query answer.
 
+// Tests assert on infallible setup with `unwrap`; the production-code ban
+// (clippy `disallowed-methods`, see clippy.toml) does not extend here.
+#![allow(clippy::disallowed_methods)]
+
 use mcf0_bench::service_support::{query_outputs, random_trace, resplit_batches};
 use mcf0_service::{
     CommandReply, ReferenceService, ServiceCommand, ServiceError, SessionSpec, SketchKind,

@@ -9,6 +9,10 @@
 //! checksum bits, undecodable records, corrupt manifests, hostile snapshot
 //! documents) must surface as a typed error, never a panic.
 
+// Tests assert on infallible setup with `unwrap`; the production-code ban
+// (clippy `disallowed-methods`, see clippy.toml) does not extend here.
+#![allow(clippy::disallowed_methods)]
+
 use mcf0_bench::service_support::random_trace;
 use mcf0_hashing::Xoshiro256StarStar;
 use mcf0_service::{
@@ -208,6 +212,7 @@ fn checkpoints_compact_and_preserve_state() {
     let config = DurableConfig {
         group_commit: 4,
         compact_after_bytes: Some(256),
+        ..DurableConfig::default()
     };
     let (mut durable, _) = DurableSketchService::open(store.path(), 1, config).unwrap();
     durable
@@ -467,6 +472,7 @@ fn group_commit_windows_do_not_change_recovered_state() {
         let config = DurableConfig {
             group_commit,
             compact_after_bytes: None,
+            ..DurableConfig::default()
         };
         let (mut durable, _) = DurableSketchService::open(store.path(), 2, config).unwrap();
         for cmd in &trace {
