@@ -17,20 +17,27 @@
 //! sharding, batching, merging, save/restore — and now write-ahead-logged
 //! crash recovery (`service_durable_minimum_w32_s2`, whose `items/s` column
 //! tracks WAL-inclusive ingest throughput) — are pure routing/persistence,
-//! and this gate enforces it in CI at both 1 and 4 shards. `--heavy` runs a
+//! and this gate enforces it in CI at both 1 and 4 shards. The
+//! `service_socket_minimum_w32_s2` row drives the same workload end to end
+//! through the TCP front-end (loopback socket, JSON wire codec, tenant
+//! admission); its `items/s` column tracks the network tax. `--heavy` runs a
 //! paper-scale (w = 48, Thresh = 150, 2·10^5 items) self-differential pass —
 //! the sharded service against the unsharded reference interpreter,
 //! snapshot documents compared byte for byte. `--write` merges a `service`
 //! section into BENCH_streaming.json, preserving `sketch_bench`'s sections.
 
 use mcf0::hashing::Xoshiro256StarStar;
+use mcf0::service::net::proto::encode_line;
 use mcf0::service::{
-    CommandReply, DurableConfig, DurableSketchService, ReferenceService, ServiceCommand,
-    SessionSpec, SketchKind, SketchService,
+    serve, CommandReply, DurableConfig, DurableSketchService, ReferenceService, Request, Response,
+    ServerConfig, ServiceCommand, SessionSpec, SketchKind, SketchService, TenantDirectory,
+    TenantQuota,
 };
 use mcf0::streaming::workloads::{planted_f0_stream, skewed_stream};
 use mcf0_bench::merge_bench_json;
 use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::time::Instant;
 
 /// One measured service workload.
@@ -62,6 +69,7 @@ const PINNED: &[(&str, f64, u64)] = &[
     ("service_merge_minimum_w32_s4", 19632.324160866257, 131607),
     ("service_restore_minimum_w32_s4", 19632.324160866257, 131607),
     ("service_durable_minimum_w32_s2", 19632.324160866257, 131607),
+    ("service_socket_minimum_w32_s2", 19632.324160866257, 131607),
 ];
 
 fn minimum_spec() -> SessionSpec {
@@ -293,6 +301,87 @@ fn durable_minimum(shards: usize) -> (f64, u64, Option<f64>) {
     out
 }
 
+/// One request line out, one response line back, over the bench socket.
+fn socket_round_trip(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    id: u64,
+    command: ServiceCommand,
+) -> CommandReply {
+    let request = Request {
+        id,
+        token: "tok-bench".into(),
+        command,
+    };
+    writer
+        .write_all(encode_line(&request).as_bytes())
+        .expect("bench socket write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("bench socket read");
+    let response = serde_json::from_str::<Response>(line.trim_end()).expect("bench response line");
+    assert_eq!(response.id, Some(id), "response out of order");
+    response
+        .body
+        .unwrap_or_else(|e| panic!("socket request failed: {e}"))
+}
+
+/// The minimum workload driven end to end through the TCP front-end: a
+/// loopback server, one authenticated tenant, every command a
+/// newline-delimited JSON request and every reply decoded from the wire.
+/// `items_per_sec` is the socket-inclusive ingest throughput (framing +
+/// JSON codec + TCP + tenant admission on top of the shard routing), the
+/// history column CI tracks for the network tax. The pinned estimate is
+/// unchanged — the wire adds routing, never semantics.
+fn socket_minimum(shards: usize) -> (f64, u64, Option<f64>) {
+    let stream = minimum_stream();
+    let mut directory = TenantDirectory::new();
+    directory
+        .register("bench", "tok-bench", TenantQuota::unlimited())
+        .expect("register bench tenant");
+    let handle = serve(
+        "127.0.0.1:0",
+        SketchService::new(shards),
+        directory,
+        ServerConfig::default(),
+    )
+    .expect("bind loopback bench server");
+    let socket = TcpStream::connect(handle.local_addr()).expect("connect bench client");
+    socket.set_nodelay(true).expect("bench socket nodelay");
+    let mut reader = BufReader::new(socket.try_clone().expect("clone bench socket"));
+    let mut writer = socket;
+    let mut id = 0u64;
+    let mut round_trip = |command| {
+        id += 1;
+        socket_round_trip(&mut writer, &mut reader, id, command)
+    };
+    round_trip(ServiceCommand::Create {
+        name: "t".into(),
+        spec: minimum_spec(),
+    });
+    let start = Instant::now();
+    for batch in stream.chunks(500) {
+        round_trip(ServiceCommand::Ingest {
+            name: "t".into(),
+            items: batch.to_vec(),
+        });
+    }
+    let ingest_secs = start.elapsed().as_secs_f64();
+    let estimate = match round_trip(ServiceCommand::Estimate { name: "t".into() }) {
+        CommandReply::Estimate(x) => x,
+        other => panic!("Estimate replied {other:?}"),
+    };
+    let space_bits = match round_trip(ServiceCommand::SpaceBits { name: "t".into() }) {
+        CommandReply::SpaceBits(n) => n as u64,
+        other => panic!("SpaceBits replied {other:?}"),
+    };
+    handle.shutdown();
+    (
+        estimate,
+        space_bits,
+        Some(stream.len() as f64 / ingest_secs),
+    )
+}
+
 fn run_instances() -> Vec<InstanceResult> {
     let mut out = Vec::new();
     let mut record = |name: &str, body: &dyn Fn() -> (f64, u64, Option<f64>)| {
@@ -316,6 +405,7 @@ fn run_instances() -> Vec<InstanceResult> {
     record("service_merge_minimum_w32_s4", &|| merge_minimum(4));
     record("service_restore_minimum_w32_s4", &|| restore_minimum(4));
     record("service_durable_minimum_w32_s2", &|| durable_minimum(2));
+    record("service_socket_minimum_w32_s2", &|| socket_minimum(2));
     out
 }
 

@@ -258,13 +258,18 @@ impl DurableSketchService {
             checkpoint_sessions = doc.sessions.len();
         }
 
-        // 2. Scan this generation's log and replay its valid prefix.
+        // 2. Stream this generation's log and replay its valid prefix.
+        //    The cursor reads in bounded chunks through
+        //    [`crate::storage::Storage::read_range`] and each record is
+        //    decoded, applied and dropped before the next is read — peak
+        //    recovery memory no longer scales with the log size.
         let scan_path = dir.join(wal_file_name(generation));
-        let scan = with_retries(retry, || wal::scan(storage.as_ref(), &scan_path))?;
-        let mut valid_len = scan.valid_len;
-        let mut truncated = scan.torn;
+        let mut cursor = wal::WalCursor::new(storage.as_ref(), &scan_path, *retry);
         let mut replayed = 0usize;
-        for record in &scan.records {
+        let (valid_len, truncated) = loop {
+            let Some(record) = cursor.next_record()? else {
+                break cursor.finish();
+            };
             let decoded = std::str::from_utf8(&record.payload)
                 .map_err(|e| e.to_string())
                 .and_then(|text| {
@@ -286,15 +291,16 @@ impl DurableSketchService {
                 Err(reason) => {
                     // Checksummed but undecodable: treat like any other
                     // corrupt frame — truncate here, keep the prefix.
-                    valid_len = record.offset;
-                    truncated = Some(ServiceError::WalRecord {
-                        offset: record.offset,
-                        reason: format!("undecodable command record: {reason}"),
-                    });
-                    break;
+                    break (
+                        record.offset,
+                        Some(ServiceError::WalRecord {
+                            offset: record.offset,
+                            reason: format!("undecodable command record: {reason}"),
+                        }),
+                    );
                 }
             }
-        }
+        };
 
         // 3. Truncate the bad tail (if any) and keep appending after the
         //    valid prefix.
@@ -370,6 +376,13 @@ impl DurableSketchService {
             let mut payload = String::new();
             command.serialize_json(&mut payload);
             if let Err(e) = self.wal.append(payload.as_bytes(), &self.config.retry) {
+                // An oversized command is the *caller's* defect, not the
+                // disk's: the writer rejected it before touching storage,
+                // nothing was logged or applied, and the store stays
+                // healthy for everyone else.
+                if let ServiceError::FrameTooLarge { .. } = e {
+                    return Err(e);
+                }
                 // Retries are exhausted inside the writer; a command that
                 // cannot be made durable must not be applied. Nothing
                 // reached the in-memory service, so reads stay consistent —

@@ -43,6 +43,17 @@ pub enum ServiceError {
     /// The durable store could not read or write its files (the message
     /// carries the operation and the OS error).
     Storage(String),
+    /// A frame (wire line or log record) announced or carried more bytes
+    /// than the layer's hard cap. Untrusted length prefixes and unbounded
+    /// lines must become this typed rejection *before* any allocation is
+    /// attempted — never an OOM or a degraded store.
+    FrameTooLarge {
+        /// The announced / observed frame size.
+        bytes: u64,
+        /// The layer's cap ([`crate::wal::MAX_WAL_FRAME_BYTES`] or
+        /// [`crate::net::proto::MAX_FRAME_BYTES`]).
+        limit: u64,
+    },
     /// A write-ahead-log frame at `offset` was torn or corrupt (short
     /// header, length overrun, checksum mismatch, or an undecodable
     /// command payload). Recovery truncates the log here and reports this
@@ -100,6 +111,9 @@ impl fmt::Display for ServiceError {
                 )
             }
             ServiceError::Snapshot(why) => write!(f, "snapshot rejected: {why}"),
+            ServiceError::FrameTooLarge { bytes, limit } => {
+                write!(f, "frame of {bytes} bytes exceeds the {limit}-byte cap")
+            }
             ServiceError::Storage(why) => write!(f, "durable store: {why}"),
             ServiceError::WalRecord { offset, reason } => {
                 write!(f, "write-ahead log frame at byte {offset}: {reason}")

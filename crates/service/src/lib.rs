@@ -66,6 +66,7 @@
 pub mod command;
 pub mod durable;
 pub mod error;
+pub mod net;
 pub mod reference;
 pub mod service;
 pub mod session;
@@ -79,6 +80,10 @@ mod shard;
 pub use command::{CommandReply, ServiceCommand};
 pub use durable::{DurableConfig, DurableSketchService, Health, RecoveryReport};
 pub use error::ServiceError;
+pub use net::{
+    serve, ErrorCode, Request, Response, ServerConfig, ServerHandle, TenantDirectory, TenantQuota,
+    WireError,
+};
 pub use reference::ReferenceService;
 pub use service::{SessionSnapshot, SketchService};
 pub use session::{SessionLedger, SessionSpec, SketchKind};

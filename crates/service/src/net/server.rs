@@ -1,0 +1,299 @@
+//! The TCP accept layer: thread-per-connection, bounded by a cap.
+//!
+//! [`serve`] binds a listener and spawns one accept thread; each accepted
+//! connection gets its own handler thread (named `mcf0-net-conn`), up to
+//! [`ServerConfig::max_connections`] live ones — past the cap a connection
+//! is answered with one `server_busy` line and closed, so overload is a
+//! typed rejection, not an unbounded thread pile-up.
+//!
+//! All connection threads share one `Mutex` around the service, the tenant
+//! directory and the `seq` counter. The lock-acquisition order *is* the
+//! acknowledged order: `seq` is assigned and the command applied under the
+//! same critical section, which is what lets the differential harness
+//! replay interleaved multi-client traffic in `seq` order against the
+//! reference interpreter and demand byte-identical replies. (Quota
+//! accounting happens on the same lock, *before* shard routing — admission
+//! is control-plane work; only admitted commands ever reach the shard
+//! workers.)
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] (or drop) raises a
+//! stop flag; the accept loop polls it between non-blocking accepts, and
+//! connection threads observe it via their read timeout. Both are joined
+//! before shutdown returns, so no thread outlives the handle.
+
+use super::proto::{self, ErrorCode, Line, LineReader, Response, WireError, MAX_FRAME_BYTES};
+use super::tenant::TenantDirectory;
+use crate::error::ServiceError;
+use crate::service::SketchService;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-layer knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Live-connection cap; connection `max_connections + 1` is refused
+    /// with one `server_busy` line.
+    pub max_connections: usize,
+    /// Read timeout of connection sockets — the granularity at which idle
+    /// connections notice the stop flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What every connection thread shares.
+struct Shared {
+    core: Mutex<Core>,
+    stop: AtomicBool,
+    config: ServerConfig,
+}
+
+/// The state behind the lock; its acquisition order defines `seq`.
+struct Core {
+    service: SketchService,
+    tenants: TenantDirectory,
+    seq: u64,
+}
+
+fn lock_core(core: &Mutex<Core>) -> MutexGuard<'_, Core> {
+    // A panicking connection thread must not wedge the server: take the
+    // data as-is (commands are applied atomically under the lock, so a
+    // poisoned guard still holds consistent state).
+    match core.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops the accept loop and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, joins every connection thread, and returns once the
+    /// server is fully torn down.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `service` to the tenants
+/// in `directory` until the returned handle is shut down or dropped.
+pub fn serve(
+    addr: &str,
+    service: SketchService,
+    directory: TenantDirectory,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServiceError> {
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| ServiceError::Storage(format!("TCP bind {addr}: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServiceError::Storage(format!("TCP listener setup: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| ServiceError::Storage(format!("TCP listener address: {e}")))?;
+    let shared = Arc::new(Shared {
+        core: Mutex::new(Core {
+            service,
+            tenants: directory,
+            seq: 0,
+        }),
+        stop: AtomicBool::new(false),
+        config,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("mcf0-net-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .map_err(|e| ServiceError::Storage(format!("spawn accept thread: {e}")))?;
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                conns.retain(|h| !h.is_finished());
+                if conns.len() >= shared.config.max_connections {
+                    refuse(stream);
+                    continue;
+                }
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("mcf0-net-conn".to_string())
+                    .spawn(move || serve_connection(stream, conn_shared));
+                match spawned {
+                    Ok(handle) => conns.push(handle),
+                    Err(_) => {
+                        // Out of threads: treat like the cap.
+                    }
+                }
+            }
+            // Non-blocking accept: no pending connection (or a transient
+            // network error) — nap briefly and poll the stop flag again.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// One `server_busy` line, then close — the typed over-cap rejection.
+fn refuse(mut stream: TcpStream) {
+    let response = Response {
+        id: None,
+        seq: None,
+        body: Err(WireError::protocol(
+            ErrorCode::ServerBusy,
+            "connection cap reached; retry later",
+        )),
+    };
+    let _ = stream.write_all(proto::encode_line(&response).as_bytes());
+}
+
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = LineReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match reader.next_line() {
+            Ok(Some(line)) => line,
+            // EOF: the client is done (a torn trailing line is dropped —
+            // there is no complete frame to answer).
+            Ok(None) => return,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let response = match line {
+            Line::Oversized => Response {
+                id: None,
+                seq: None,
+                body: Err(WireError::protocol(
+                    ErrorCode::FrameTooLarge,
+                    format!("request line exceeds the {MAX_FRAME_BYTES}-byte frame cap"),
+                )),
+            },
+            Line::Frame(bytes) => {
+                if bytes.is_empty() {
+                    // Blank keep-alive lines are ignored, not answered.
+                    continue;
+                }
+                handle_frame(&bytes, &shared)
+            }
+        };
+        if writer
+            .write_all(proto::encode_line(&response).as_bytes())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Decode → authenticate → admit (quotas) → scope → apply, with `seq`
+/// assigned under the same lock acquisition as the apply.
+fn handle_frame(bytes: &[u8], shared: &Shared) -> Response {
+    let request = match proto::decode_request(bytes) {
+        Ok(request) => request,
+        Err(err) => {
+            return Response {
+                id: None,
+                seq: None,
+                body: Err(err),
+            }
+        }
+    };
+    let id = Some(request.id);
+    let mut core = lock_core(&shared.core);
+    let Some(tenant) = core
+        .tenants
+        .authenticate(&request.token)
+        .map(str::to_string)
+    else {
+        return Response {
+            id,
+            seq: None,
+            body: Err(WireError::protocol(
+                ErrorCode::AuthFailed,
+                "unknown auth token",
+            )),
+        };
+    };
+    if let Err(err) = core.tenants.admit(&tenant, &request.command) {
+        return Response {
+            id,
+            seq: None,
+            body: Err(err),
+        };
+    }
+    let scoped = TenantDirectory::scope_command(&tenant, &request.command);
+    let seq = core.seq;
+    core.seq += 1;
+    let outcome = core.service.apply(&scoped);
+    core.tenants
+        .settle(&tenant, &request.command, outcome.is_ok());
+    Response {
+        id,
+        seq: Some(seq),
+        body: outcome.map_err(|e| WireError::from_service(&e)),
+    }
+}

@@ -47,6 +47,26 @@ pub trait Storage: Send + Sync {
     fn open_append(&self, path: &Path) -> Result<Box<dyn StorageFile>, ServiceError>;
     /// Reads a whole file; `Ok(None)` when it does not exist.
     fn read(&self, path: &Path) -> Result<Option<Vec<u8>>, ServiceError>;
+    /// Reads at most `len` bytes starting at byte `offset`; `Ok(None)` when
+    /// the file does not exist, a short (possibly empty) vector at or past
+    /// end of file. The bounded read path recovery scanning streams over —
+    /// peak memory is the chunk size, never the file size. The default
+    /// implementation falls back to [`Storage::read`] and slices (correct
+    /// but unbounded); real backends override it.
+    fn read_range(
+        &self,
+        path: &Path,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, ServiceError> {
+        Ok(self.read(path)?.map(|bytes| {
+            let start = usize::try_from(offset)
+                .unwrap_or(usize::MAX)
+                .min(bytes.len());
+            let end = start.saturating_add(len).min(bytes.len());
+            bytes[start..end].to_vec()
+        }))
+    }
     /// Atomically renames `from` onto `to` (the checkpoint publication
     /// step).
     fn rename(&self, from: &Path, to: &Path) -> Result<(), ServiceError>;
@@ -137,6 +157,26 @@ impl Storage for FsStorage {
         Ok(Some(bytes))
     }
 
+    fn read_range(
+        &self,
+        path: &Path,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, ServiceError> {
+        let mut file = match File::open(path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("open", path, &e)),
+        };
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("seek", path, &e))?;
+        let mut bytes = Vec::new();
+        file.take(len as u64)
+            .read_to_end(&mut bytes)
+            .map_err(|e| io_err("read", path, &e))?;
+        Ok(Some(bytes))
+    }
+
     fn rename(&self, from: &Path, to: &Path) -> Result<(), ServiceError> {
         std::fs::rename(from, to).map_err(|e| io_err("rename", from, &e))
     }
@@ -207,7 +247,7 @@ pub struct FaultPlan {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StorageOp {
     /// Operation name (`create`, `append`, `sync`, `truncate`, `read`,
-    /// `rename`, `delete`, `sync_dir`, `list`, `create_dir`).
+    /// `read_range`, `rename`, `delete`, `sync_dir`, `list`, `create_dir`).
     pub name: &'static str,
     /// The file the operation addressed.
     pub path: PathBuf,
@@ -389,6 +429,18 @@ impl Storage for FaultyStorage {
         match self.tick("read", path) {
             None => self.inner.read(path),
             Some(kind) => Err(Self::injected_err(kind, "read", path)),
+        }
+    }
+
+    fn read_range(
+        &self,
+        path: &Path,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, ServiceError> {
+        match self.tick("read_range", path) {
+            None => self.inner.read_range(path, offset, len),
+            Some(kind) => Err(Self::injected_err(kind, "read_range", path)),
         }
     }
 

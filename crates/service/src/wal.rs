@@ -36,10 +36,24 @@
 
 use crate::error::ServiceError;
 use crate::storage::{with_retries, RetryPolicy, Storage, StorageFile};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Bytes of frame header: payload length (u32 LE) + CRC-32 (u32 LE).
 pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Hard cap on one frame's payload length. The length prefix is untrusted
+/// input (a corrupt header can announce anything up to `u32::MAX`), so every
+/// reader checks the announced length against this cap *before* buffering
+/// the payload — a hostile length is a typed [`ServiceError::WalRecord`]
+/// truncation point, never a multi-gigabyte allocation attempt. The writer
+/// enforces the same cap on append ([`ServiceError::FrameTooLarge`]), so a
+/// log produced by this module always scans. Comfortably above the wire
+/// protocol's [`crate::net::proto::MAX_FRAME_BYTES`], so every command that
+/// enters over the network fits in the log.
+pub const MAX_WAL_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Chunk size of the streaming scanner's bounded reads.
+const SCAN_CHUNK_BYTES: usize = 256 * 1024;
 
 const fn build_crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
@@ -107,58 +121,204 @@ pub struct WalScan {
 
 /// Reads a log file through `storage` and scans it (a missing file scans as
 /// empty). `Err` only on I/O failure; corruption is reported inside the
-/// [`WalScan`], never as a panic.
+/// [`WalScan`], never as a panic. Collects every record in memory — the
+/// recovery path streams over a [`WalCursor`] instead.
 pub fn scan(storage: &dyn Storage, path: &Path) -> Result<WalScan, ServiceError> {
-    Ok(match storage.read(path)? {
-        Some(bytes) => scan_bytes(&bytes),
-        None => WalScan::default(),
+    let mut cursor = WalCursor::new(storage, path, RetryPolicy::none());
+    let mut records = Vec::new();
+    while let Some(record) = cursor.next_record()? {
+        records.push(record);
+    }
+    let (valid_len, torn) = cursor.finish();
+    Ok(WalScan {
+        records,
+        valid_len,
+        torn,
     })
 }
 
-/// Scans in-memory log bytes (the pure core of [`scan`], used directly by
-/// the corruption tests).
+/// One step of the incremental frame decoder shared by [`scan_bytes`] and
+/// [`WalCursor`]. `buf` starts at a frame boundary whose file offset is
+/// `offset`; `at_end` says no further bytes can arrive behind `buf`.
+enum DecodeStep {
+    /// `buf` is empty and the log ends cleanly here.
+    Clean,
+    /// A complete, checksum-verified frame: payload + total bytes consumed.
+    Frame(Vec<u8>, usize),
+    /// The frame may continue past `buf` — more bytes are needed to judge it
+    /// (never returned when `at_end`).
+    NeedMore,
+    /// Corrupt or torn at `offset`; scanning stops, the prefix stands.
+    Torn(ServiceError),
+}
+
+fn decode_step(buf: &[u8], offset: u64, at_end: bool) -> DecodeStep {
+    if buf.is_empty() && at_end {
+        return DecodeStep::Clean;
+    }
+    let torn_at = |reason: String| DecodeStep::Torn(ServiceError::WalRecord { offset, reason });
+    let Some(header) = buf.get(..FRAME_HEADER_BYTES) else {
+        return if at_end {
+            torn_at(format!(
+                "torn frame header ({} of {FRAME_HEADER_BYTES} bytes)",
+                buf.len()
+            ))
+        } else {
+            DecodeStep::NeedMore
+        };
+    };
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let expected_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    // The length prefix is untrusted: cap it *before* asking for (or
+    // buffering toward) `len` payload bytes, so a corrupt header cannot
+    // drive a multi-gigabyte allocation attempt.
+    if len > MAX_WAL_FRAME_BYTES {
+        return torn_at(format!(
+            "frame length {len} exceeds the {MAX_WAL_FRAME_BYTES}-byte cap"
+        ));
+    }
+    let Some(payload) = buf.get(FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len) else {
+        return if at_end {
+            torn_at(format!(
+                "frame length {len} overruns the log ({} bytes remain)",
+                buf.len() - FRAME_HEADER_BYTES
+            ))
+        } else {
+            DecodeStep::NeedMore
+        };
+    };
+    let got_crc = crc32(payload);
+    if got_crc != expected_crc {
+        return torn_at(format!(
+            "checksum mismatch (stored {expected_crc:#010x}, computed {got_crc:#010x})"
+        ));
+    }
+    DecodeStep::Frame(payload.to_vec(), FRAME_HEADER_BYTES + len)
+}
+
+/// Scans in-memory log bytes (the pure core of the frame format, used
+/// directly by the corruption tests).
 pub fn scan_bytes(bytes: &[u8]) -> WalScan {
     let mut records = Vec::new();
     let mut pos = 0usize;
     let torn = loop {
-        if pos == bytes.len() {
-            break None;
+        match decode_step(&bytes[pos..], pos as u64, true) {
+            DecodeStep::Clean | DecodeStep::NeedMore => break None,
+            DecodeStep::Frame(payload, advance) => {
+                records.push(WalRecord {
+                    offset: pos as u64,
+                    payload,
+                });
+                pos += advance;
+            }
+            DecodeStep::Torn(e) => break Some(e),
         }
-        let torn_at = |reason: String| ServiceError::WalRecord {
-            offset: pos as u64,
-            reason,
-        };
-        let Some(header) = bytes.get(pos..pos + FRAME_HEADER_BYTES) else {
-            break Some(torn_at(format!(
-                "torn frame header ({} of {FRAME_HEADER_BYTES} bytes)",
-                bytes.len() - pos
-            )));
-        };
-        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
-        let expected_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-        let Some(payload) = bytes.get(pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len)
-        else {
-            break Some(torn_at(format!(
-                "frame length {len} overruns the log ({} bytes remain)",
-                bytes.len() - pos - FRAME_HEADER_BYTES
-            )));
-        };
-        let got_crc = crc32(payload);
-        if got_crc != expected_crc {
-            break Some(torn_at(format!(
-                "checksum mismatch (stored {expected_crc:#010x}, computed {got_crc:#010x})"
-            )));
-        }
-        records.push(WalRecord {
-            offset: pos as u64,
-            payload: payload.to_vec(),
-        });
-        pos += FRAME_HEADER_BYTES + len;
     };
     WalScan {
         records,
         valid_len: pos as u64,
         torn,
+    }
+}
+
+/// A streaming log scanner: yields checksum-verified records one at a time,
+/// reading the file through [`Storage::read_range`] in bounded chunks —
+/// recovering a large log costs peak memory proportional to the chunk size
+/// (plus one frame), never the log size. A missing file scans as empty.
+/// Reads are retried under the cursor's [`RetryPolicy`]; corruption ends
+/// the iteration and is reported by [`WalCursor::finish`], exactly like
+/// [`scan`]'s `torn` field.
+pub struct WalCursor<'a> {
+    storage: &'a dyn Storage,
+    path: PathBuf,
+    retry: RetryPolicy,
+    chunk: usize,
+    /// Unconsumed file bytes; `buf[0]` sits at file offset `start`.
+    buf: Vec<u8>,
+    /// File offset of the next undecoded frame — the valid-prefix length
+    /// once the cursor stops.
+    start: u64,
+    eof: bool,
+    torn: Option<ServiceError>,
+    finished: bool,
+}
+
+impl<'a> WalCursor<'a> {
+    /// A cursor over `path` with the default chunk size.
+    pub fn new(storage: &'a dyn Storage, path: &Path, retry: RetryPolicy) -> Self {
+        Self::with_chunk(storage, path, retry, SCAN_CHUNK_BYTES)
+    }
+
+    /// A cursor with an explicit chunk size (tests use tiny chunks to force
+    /// frames across read boundaries).
+    pub fn with_chunk(
+        storage: &'a dyn Storage,
+        path: &Path,
+        retry: RetryPolicy,
+        chunk: usize,
+    ) -> Self {
+        WalCursor {
+            storage,
+            path: path.to_path_buf(),
+            retry,
+            chunk: chunk.max(FRAME_HEADER_BYTES),
+            buf: Vec::new(),
+            start: 0,
+            eof: false,
+            torn: None,
+            finished: false,
+        }
+    }
+
+    /// The next verified record, `Ok(None)` when the scan is over (clean
+    /// end *or* a torn/corrupt tail — ask [`WalCursor::finish`] which).
+    /// `Err` only on unrecoverable I/O failure.
+    pub fn next_record(&mut self) -> Result<Option<WalRecord>, ServiceError> {
+        while !self.finished {
+            match decode_step(&self.buf, self.start, self.eof) {
+                DecodeStep::Frame(payload, advance) => {
+                    let record = WalRecord {
+                        offset: self.start,
+                        payload,
+                    };
+                    self.buf.drain(..advance);
+                    self.start += advance as u64;
+                    return Ok(Some(record));
+                }
+                DecodeStep::Clean => self.finished = true,
+                DecodeStep::Torn(e) => {
+                    self.torn = Some(e);
+                    self.finished = true;
+                }
+                DecodeStep::NeedMore => self.fill()?,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Reads the next chunk behind the buffered bytes. A short (or empty)
+    /// read marks end-of-file; a missing file is an empty log.
+    fn fill(&mut self) -> Result<(), ServiceError> {
+        let offset = self.start + self.buf.len() as u64;
+        let (path, chunk, retry) = (&self.path, self.chunk, self.retry);
+        let storage = self.storage;
+        match with_retries(&retry, || storage.read_range(path, offset, chunk))? {
+            None => self.eof = true,
+            Some(bytes) => {
+                if bytes.len() < self.chunk {
+                    self.eof = true;
+                }
+                self.buf.extend_from_slice(&bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Retires the cursor: the valid-prefix length in bytes (the truncation
+    /// point for [`WalWriter::open_at`]) and the typed error describing the
+    /// torn/corrupt tail, if any.
+    pub fn finish(self) -> (u64, Option<ServiceError>) {
+        (self.start, self.torn)
     }
 }
 
@@ -237,6 +397,15 @@ impl WalWriter {
     /// must not replay).
     pub fn append(&mut self, payload: &[u8], retry: &RetryPolicy) -> Result<(), ServiceError> {
         self.check_broken()?;
+        // Defense in depth for the scan-side cap: a frame this writer
+        // produces must always scan back, so an oversized payload is a
+        // typed rejection here — before any bytes land on disk.
+        if payload.len() > MAX_WAL_FRAME_BYTES {
+            return Err(ServiceError::FrameTooLarge {
+                bytes: payload.len() as u64,
+                limit: MAX_WAL_FRAME_BYTES as u64,
+            });
+        }
         let framed = frame(payload);
         let base = self.len;
         let mut attempt = 0u32;
@@ -325,6 +494,7 @@ impl Drop for WalWriter {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unit tests may unwrap
 mod tests {
     use super::*;
 
@@ -387,5 +557,106 @@ mod tests {
             scanned.torn,
             Some(ServiceError::WalRecord { offset: 10, .. })
         ));
+    }
+
+    /// A hostile length prefix — larger than the cap but small enough that
+    /// the payload *could* plausibly be buffered — is still a typed
+    /// truncation, and its reason names the cap, not an overrun.
+    #[test]
+    fn hostile_length_prefix_is_rejected_by_the_cap() {
+        let mut log = frame(b"good");
+        let hostile = (MAX_WAL_FRAME_BYTES as u32) + 1;
+        log.extend_from_slice(&hostile.to_le_bytes());
+        log.extend_from_slice(&[0u8; 4]);
+        let good_len = frame(b"good").len() as u64;
+        let scanned = scan_bytes(&log);
+        assert_eq!(scanned.records.len(), 1);
+        assert_eq!(scanned.valid_len, good_len);
+        match scanned.torn {
+            Some(ServiceError::WalRecord { offset, reason }) => {
+                assert_eq!(offset, good_len);
+                assert!(reason.contains("cap"), "{reason}");
+            }
+            other => panic!("expected a WalRecord error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_refuses_oversized_payloads_before_touching_disk() {
+        let dir = std::env::temp_dir().join(format!("mcf0-wal-cap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let storage = crate::storage::FsStorage;
+        let path = dir.join("cap.log");
+        let retry = RetryPolicy::none();
+        let mut writer = WalWriter::create(&storage, &path, 1, &retry).unwrap();
+        let oversized = vec![0u8; MAX_WAL_FRAME_BYTES + 1];
+        match writer.append(&oversized, &retry) {
+            Err(ServiceError::FrameTooLarge { bytes, limit }) => {
+                assert_eq!(bytes, oversized.len() as u64);
+                assert_eq!(limit, MAX_WAL_FRAME_BYTES as u64);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // Nothing landed; the writer is still usable.
+        assert!(writer.is_empty());
+        writer.append(b"fine", &retry).unwrap();
+        writer.close(&retry).unwrap();
+        let scanned = scan(&storage, &path).unwrap();
+        assert_eq!(scanned.records.len(), 1);
+        assert!(scanned.torn.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The streaming cursor agrees with the in-memory scanner byte for byte
+    /// even when chunk reads split headers and payloads — clean logs, torn
+    /// tails and corrupt frames alike.
+    #[test]
+    fn cursor_matches_scan_bytes_across_tiny_chunks() {
+        let dir = std::env::temp_dir().join(format!("mcf0-wal-cursor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let storage = crate::storage::FsStorage;
+        let retry = RetryPolicy::none();
+
+        let mut log = Vec::new();
+        for payload in [
+            vec![7u8; 100],
+            Vec::new(),
+            (0..=255u8).cycle().take(700).collect(),
+        ] {
+            log.extend_from_slice(&frame(&payload));
+        }
+        // Clean log, a corrupt middle frame, and every torn prefix.
+        let mut corrupt = log.clone();
+        corrupt[frame(&[7u8; 100]).len() + 4] ^= 1; // CRC field of frame 2
+        let mut variants = vec![log.clone(), corrupt];
+        variants.extend((0..log.len()).step_by(37).map(|cut| log[..cut].to_vec()));
+
+        for (i, bytes) in variants.iter().enumerate() {
+            let path = dir.join(format!("log-{i}"));
+            std::fs::write(&path, bytes).unwrap();
+            let expected = scan_bytes(bytes);
+            for chunk in [16usize, 64, 1 << 20] {
+                let mut cursor = WalCursor::with_chunk(&storage, &path, retry, chunk);
+                let mut records = Vec::new();
+                while let Some(r) = cursor.next_record().unwrap() {
+                    records.push(r);
+                }
+                let (valid_len, torn) = cursor.finish();
+                assert_eq!(records, expected.records, "variant {i} chunk {chunk}");
+                assert_eq!(valid_len, expected.valid_len, "variant {i} chunk {chunk}");
+                assert_eq!(
+                    torn.is_some(),
+                    expected.torn.is_some(),
+                    "variant {i} chunk {chunk}"
+                );
+                assert_eq!(torn, expected.torn, "variant {i} chunk {chunk}");
+            }
+        }
+
+        // A missing file scans as an empty log.
+        let mut cursor = WalCursor::new(&storage, &dir.join("absent"), retry);
+        assert!(cursor.next_record().unwrap().is_none());
+        assert_eq!(cursor.finish(), (0, None));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,6 +1,6 @@
 //! Smoke coverage for the `examples/` directory.
 //!
-//! All nine examples are declared as `[[example]]` targets of the `mcf0`
+//! All ten examples are declared as `[[example]]` targets of the `mcf0`
 //! crate, so `cargo test` (and `cargo build --examples`) compiles every one
 //! of them — that is the rot gate. This test goes one step further for the
 //! flagship `quickstart` example: it runs the same workload through the

@@ -154,8 +154,18 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Err
                 .to_string();
             // Validate the token now so `Value::Number` always holds a
             // parseable number (integral accessors re-parse more narrowly).
-            raw.parse::<f64>()
+            // Rust's `f64::from_str` accepts overflowing tokens like
+            // `1e999` by saturating to infinity — on untrusted input that
+            // would smuggle a non-finite value into a tree whose consumers
+            // assume finite JSON numbers, so overflow is rejected here as a
+            // typed error (matching real serde_json, which errors on
+            // "number out of range").
+            let parsed: f64 = raw
+                .parse()
                 .map_err(|_| Error::at("malformed number", start))?;
+            if !parsed.is_finite() {
+                return Err(Error::at("number out of range", start));
+            }
             Ok(Value::Number(raw))
         }
         _ => Err(Error::at("expected a JSON value", *pos)),
@@ -302,6 +312,68 @@ mod tests {
         let value = parse(&doc).expect("parses");
         assert_eq!(value.as_str(), Some(text.as_str()));
         assert_eq!(to_string(&value).unwrap(), doc);
+    }
+
+    /// Pins the shim's behavior on untrusted input (the sketch service's
+    /// network front-end feeds wire bytes straight into [`parse`]):
+    /// duplicate object keys are **documented last-wins** under
+    /// [`Value::get`] — the same observable behavior as real serde_json's
+    /// map-backed `Value` — while the document round-trips with both
+    /// entries preserved.
+    #[test]
+    fn duplicate_object_keys_are_last_wins_under_get() {
+        let v = parse(r#"{"a":1,"b":true,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        // The tree is faithful: serialization preserves what was parsed.
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":true,"a":2}"#);
+    }
+
+    /// Huge and overflowing number tokens are typed errors, not silent
+    /// infinities: `f64::from_str` saturates `1e999` to `inf`, which would
+    /// otherwise pass validation and leak a non-finite value to consumers.
+    #[test]
+    fn overflowing_numbers_are_rejected_not_saturated() {
+        for bad in [
+            "1e999",
+            "-1e999",
+            "1e308999",
+            &format!("1{}", "0".repeat(400)),
+            &format!("-9{}", "9".repeat(1000)),
+        ] {
+            assert!(parse(bad).is_err(), "{bad:.24}… should be out of range");
+        }
+        // The extremes of the supported range still parse.
+        for ok in [
+            "1.7976931348623157e308",
+            "-1.7976931348623157e308",
+            "1e-999",
+        ] {
+            assert!(parse(ok).is_ok(), "{ok} is in range");
+        }
+        // u64::MAX is ~1.8e19 — far inside f64's finite range.
+        assert_eq!(
+            parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+    }
+
+    /// Malformed, truncated and surrogate `\u` escapes are all typed
+    /// errors; valid BMP escapes decode.
+    #[test]
+    fn escape_handling_is_pinned() {
+        assert_eq!(parse(r#""A\né""#).unwrap().as_str(), Some("A\né"));
+        for bad in [
+            r#""\u12"#,           // truncated escape at end of input
+            r#""\u12g4""#,        // non-hex digit
+            r#""\ud800""#,        // lone high surrogate
+            r#""\udfff""#,        // lone low surrogate
+            "\"\\ud83d\\ude00\"", // surrogate *pair* (documented unsupported)
+            r#""\x41""#,          // unknown escape introducer
+            "\"\\",               // backslash at end of input
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]
