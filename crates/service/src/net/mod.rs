@@ -11,9 +11,16 @@
 //! * [`tenant`] — auth tokens → tenant ids, per-tenant session
 //!   namespacing (`{tenant}::{name}`), and request-count / space quotas
 //!   with typed `quota_exceeded` rejections.
-//! * [`server`] — the bounded thread-per-connection accept layer and the
-//!   shared core lock whose acquisition order defines the `seq` numbers
-//!   that make interleaved multi-client traffic replayable.
+//! * [`server`] — the accept layer (thread-per-connection or evented,
+//!   per [`AcceptBackend`]) and the shared core lock whose acquisition
+//!   order defines the `seq` numbers that make interleaved multi-client
+//!   traffic replayable.
+//! * [`poll`] — the readiness abstraction behind the evented backend:
+//!   epoll on Linux, portable `poll(2)` fallback, and a self-pipe
+//!   [`poll::Waker`], layered over the `mcf0-syspoll` FFI shim.
+//! * `evented` — the event-loop thread owning all connection state, a
+//!   sticky worker pool decoding/applying frames, and pipelined
+//!   write-backs coalesced into one flush per readiness cycle.
 //!
 //! The server adds **nothing** to the command semantics: every admitted
 //! command is the ordinary [`crate::ServiceCommand`], rewritten into the
@@ -22,10 +29,12 @@
 //! same scoped commands in `seq` order against the in-process
 //! [`crate::ReferenceService`] and pins every reply line byte-identical.
 
+mod evented;
+pub mod poll;
 pub mod proto;
 pub mod server;
 pub mod tenant;
 
 pub use proto::{ErrorCode, Request, Response, WireError, MAX_FRAME_BYTES};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, AcceptBackend, ApplyService, ServerConfig, ServerHandle};
 pub use tenant::{TenantDirectory, TenantQuota, TenantUsage};

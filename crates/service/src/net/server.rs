@@ -1,28 +1,42 @@
-//! The TCP accept layer: thread-per-connection, bounded by a cap.
+//! The TCP accept layer: two interchangeable backends behind one
+//! [`serve`] call.
 //!
-//! [`serve`] binds a listener and spawns one accept thread; each accepted
-//! connection gets its own handler thread (named `mcf0-net-conn`), up to
-//! [`ServerConfig::max_connections`] live ones — past the cap a connection
-//! is answered with one `server_busy` line and closed, so overload is a
-//! typed rejection, not an unbounded thread pile-up.
+//! * [`AcceptBackend::Evented`] (default) — a single readiness-driven
+//!   event-loop thread over non-blocking sockets (epoll via
+//!   [`super::poll`]), dispatching decoded frames to a small fixed worker
+//!   pool; see [`super::evented`]. Idle connections cost zero CPU and the
+//!   default ceiling is [`ServerConfig::max_connections`] = 1024.
+//! * [`AcceptBackend::Threaded`] — the original bounded
+//!   thread-per-connection layer, retained both as the portable fallback
+//!   and as the differential baseline the socket suite runs against.
 //!
-//! All connection threads share one `Mutex` around the service, the tenant
-//! directory and the `seq` counter. The lock-acquisition order *is* the
-//! acknowledged order: `seq` is assigned and the command applied under the
-//! same critical section, which is what lets the differential harness
+//! Both backends serve any [`ApplyService`] — the in-memory
+//! [`SketchService`] or the crash-safe
+//! [`crate::DurableSketchService`] (networked durability needs no extra
+//! wiring: the WAL append happens inside `apply`, under the same lock
+//! acquisition that assigns `seq`).
+//!
+//! All request execution shares one `Mutex` around the service, the
+//! tenant directory and the `seq` counter. The lock-acquisition order *is*
+//! the acknowledged order: `seq` is assigned and the command applied under
+//! the same critical section, which is what lets the differential harness
 //! replay interleaved multi-client traffic in `seq` order against the
 //! reference interpreter and demand byte-identical replies. (Quota
-//! accounting happens on the same lock, *before* shard routing — admission
-//! is control-plane work; only admitted commands ever reach the shard
-//! workers.)
+//! accounting happens on the same lock, *before* shard routing —
+//! admission is control-plane work; only admitted commands ever reach the
+//! shard workers.) The evented backend's worker pool changes *who* takes
+//! that lock, never the contract.
 //!
 //! Shutdown is cooperative: [`ServerHandle::shutdown`] (or drop) raises a
-//! stop flag; the accept loop polls it between non-blocking accepts, and
-//! connection threads observe it via their read timeout. Both are joined
-//! before shutdown returns, so no thread outlives the handle.
+//! stop flag; the threaded accept loop polls it between non-blocking
+//! accepts and connection threads observe it via their read timeout,
+//! while the evented loop is woken through its [`super::poll::Waker`].
+//! Every thread is joined before shutdown returns.
 
+use super::evented;
 use super::proto::{self, ErrorCode, Line, LineReader, Response, WireError, MAX_FRAME_BYTES};
 use super::tenant::TenantDirectory;
+use crate::command::{CommandReply, ServiceCommand};
 use crate::error::ServiceError;
 use crate::service::SketchService;
 use std::io::Write;
@@ -32,42 +46,111 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Anything [`serve`] can put behind the wire: one mutable `apply` entry
+/// point over the shared [`ServiceCommand`] surface. Implemented by the
+/// in-memory [`SketchService`], the crash-safe
+/// [`crate::DurableSketchService`] (its write-ahead logging rides inside
+/// `apply`, so networked durability comes for free), and the
+/// [`crate::ReferenceService`] ground-truth interpreter.
+pub trait ApplyService: Send + 'static {
+    /// Applies one command, returning its reply or typed rejection.
+    fn apply(&mut self, command: &ServiceCommand) -> Result<CommandReply, ServiceError>;
+}
+
+impl ApplyService for SketchService {
+    fn apply(&mut self, command: &ServiceCommand) -> Result<CommandReply, ServiceError> {
+        SketchService::apply(self, command)
+    }
+}
+
+impl ApplyService for crate::durable::DurableSketchService {
+    fn apply(&mut self, command: &ServiceCommand) -> Result<CommandReply, ServiceError> {
+        crate::durable::DurableSketchService::apply(self, command)
+    }
+}
+
+impl ApplyService for crate::reference::ReferenceService {
+    fn apply(&mut self, command: &ServiceCommand) -> Result<CommandReply, ServiceError> {
+        crate::reference::ReferenceService::apply(self, command)
+    }
+}
+
+/// Which accept layer [`serve`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcceptBackend {
+    /// Bounded thread-per-connection handlers (the portable baseline).
+    Threaded,
+    /// One readiness-driven event-loop thread (epoll) plus a fixed worker
+    /// pool. Linux only; the default there.
+    Evented,
+    /// The evented loop over the portable `poll(2)` readiness fallback
+    /// instead of epoll — same loop, same contract, O(connections) waits.
+    EventedPollFallback,
+}
+
+impl AcceptBackend {
+    /// The platform default: evented on Linux, threaded elsewhere.
+    pub fn platform_default() -> Self {
+        if cfg!(target_os = "linux") {
+            AcceptBackend::Evented
+        } else {
+            AcceptBackend::Threaded
+        }
+    }
+}
+
 /// Accept-layer knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
     /// Live-connection cap; connection `max_connections + 1` is refused
-    /// with one `server_busy` line.
+    /// with one `server_busy` line. The evented backend holds this at its
+    /// default of 1024 with a single loop thread; the threaded backend
+    /// spends one OS thread per live connection.
     pub max_connections: usize,
-    /// Read timeout of connection sockets — the granularity at which idle
-    /// connections notice the stop flag.
+    /// Threaded backend only: read timeout of connection sockets — the
+    /// granularity at which idle connections notice the stop flag (and
+    /// the reason an idle threaded connection costs a tick of CPU where
+    /// an evented one costs none).
     pub read_timeout: Duration,
+    /// Which accept layer to run.
+    pub backend: AcceptBackend,
+    /// Evented backend only: size of the fixed worker pool that executes
+    /// decoded frames (sketch `apply` work never blocks the event loop).
+    /// Defaults to the machine's available parallelism, clamped to [1, 8]
+    /// — more pool threads than cores only adds switching, because frame
+    /// execution is serialized by the core lock anyway.
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            max_connections: 64,
+            max_connections: 1024,
             read_timeout: Duration::from_millis(25),
+            backend: AcceptBackend::platform_default(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
         }
     }
 }
 
-/// What every connection thread shares.
-struct Shared {
-    core: Mutex<Core>,
-    stop: AtomicBool,
-    config: ServerConfig,
+/// What every execution thread shares.
+pub(super) struct Shared<S> {
+    pub(super) core: Mutex<Core<S>>,
+    pub(super) stop: Arc<AtomicBool>,
+    pub(super) config: ServerConfig,
 }
 
 /// The state behind the lock; its acquisition order defines `seq`.
-struct Core {
-    service: SketchService,
-    tenants: TenantDirectory,
-    seq: u64,
+pub(super) struct Core<S> {
+    pub(super) service: S,
+    pub(super) tenants: TenantDirectory,
+    pub(super) seq: u64,
 }
 
-fn lock_core(core: &Mutex<Core>) -> MutexGuard<'_, Core> {
-    // A panicking connection thread must not wedge the server: take the
+pub(super) fn lock_core<S>(core: &Mutex<Core<S>>) -> MutexGuard<'_, Core<S>> {
+    // A panicking execution thread must not wedge the server: take the
     // data as-is (commands are applied atomically under the lock, so a
     // poisoned guard still holds consistent state).
     match core.lock() {
@@ -77,11 +160,12 @@ fn lock_core(core: &Mutex<Core>) -> MutexGuard<'_, Core> {
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::shutdown`])
-/// stops the accept loop and joins every thread.
+/// stops the accept/event loop and joins every thread.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    waker: Option<super::poll::Waker>,
+    thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -90,15 +174,19 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, joins every connection thread, and returns once the
-    /// server is fully torn down.
+    /// Stops accepting, joins every server thread, and returns once the
+    /// server is fully torn down (the service has been dropped — for a
+    /// durable service that includes its best-effort final sync).
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept.take() {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+        if let Some(handle) = self.thread.take() {
             let _ = handle.join();
         }
     }
@@ -111,10 +199,13 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `service` to the tenants
-/// in `directory` until the returned handle is shut down or dropped.
-pub fn serve(
+/// in `directory` until the returned handle is shut down or dropped. The
+/// service can be any [`ApplyService`]; fronting a
+/// [`crate::DurableSketchService`] gives networked crash safety with no
+/// further wiring.
+pub fn serve<S: ApplyService>(
     addr: &str,
-    service: SketchService,
+    service: S,
     directory: TenantDirectory,
     config: ServerConfig,
 ) -> Result<ServerHandle, ServiceError> {
@@ -126,33 +217,72 @@ pub fn serve(
     let local = listener
         .local_addr()
         .map_err(|e| ServiceError::Storage(format!("TCP listener address: {e}")))?;
+    let stop = Arc::new(AtomicBool::new(false));
     let shared = Arc::new(Shared {
         core: Mutex::new(Core {
             service,
             tenants: directory,
             seq: 0,
         }),
-        stop: AtomicBool::new(false),
+        stop: Arc::clone(&stop),
         config,
     });
-    let accept_shared = Arc::clone(&shared);
-    let accept = std::thread::Builder::new()
-        .name("mcf0-net-accept".to_string())
-        .spawn(move || accept_loop(listener, accept_shared))
-        .map_err(|e| ServiceError::Storage(format!("spawn accept thread: {e}")))?;
+    let (thread, waker) = match config.backend {
+        AcceptBackend::Threaded => {
+            let accept_shared = Arc::clone(&shared);
+            let thread = std::thread::Builder::new()
+                .name("mcf0-net-accept".to_string())
+                .spawn(move || accept_loop(listener, accept_shared))
+                .map_err(|e| ServiceError::Storage(format!("spawn accept thread: {e}")))?;
+            (thread, None)
+        }
+        AcceptBackend::Evented | AcceptBackend::EventedPollFallback => {
+            let (thread, waker) = evented::spawn(listener, Arc::clone(&shared))?;
+            (thread, Some(waker))
+        }
+    };
     Ok(ServerHandle {
         addr: local,
-        shared,
-        accept: Some(accept),
+        stop,
+        waker,
+        thread: Some(thread),
     })
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+/// The one `server_busy` response line both backends refuse with.
+pub(super) fn busy_line() -> String {
+    proto::encode_line(&Response {
+        id: None,
+        seq: None,
+        body: Err(WireError::protocol(
+            ErrorCode::ServerBusy,
+            "connection cap reached; retry later",
+        )),
+    })
+}
+
+/// The typed response for a line that tripped [`MAX_FRAME_BYTES`].
+pub(super) fn oversized_response() -> Response {
+    Response {
+        id: None,
+        seq: None,
+        body: Err(WireError::protocol(
+            ErrorCode::FrameTooLarge,
+            format!("request line exceeds the {MAX_FRAME_BYTES}-byte frame cap"),
+        )),
+    }
+}
+
+fn accept_loop<S: ApplyService>(listener: TcpListener, shared: Arc<Shared<S>>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !shared.stop.load(Ordering::SeqCst) {
+        // Reap finished handler threads on *every* iteration — including
+        // the idle (WouldBlock) path — so a burst of short-lived
+        // connections does not leave joinable threads pinned until the
+        // next accept.
+        conns.retain(|h| !h.is_finished());
         match listener.accept() {
             Ok((stream, _peer)) => {
-                conns.retain(|h| !h.is_finished());
                 if conns.len() >= shared.config.max_connections {
                     refuse(stream);
                     continue;
@@ -168,9 +298,28 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     }
                 }
             }
-            // Non-blocking accept: no pending connection (or a transient
-            // network error) — nap briefly and poll the stop flag again.
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            // Non-blocking accept with nothing pending: nap briefly and
+            // poll the stop flag again.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Transient per-connection failures (the peer gave up between
+            // SYN and accept, or a signal landed): try again immediately.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                continue;
+            }
+            // Anything else is a fatal listener error (bad descriptor,
+            // listener torn down): spinning on it forever would burn CPU
+            // without ever accepting again. Stop accepting; established
+            // connections drain below.
+            Err(_) => break,
         }
     }
     for handle in conns {
@@ -178,26 +327,31 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// One `server_busy` line, then close — the typed over-cap rejection.
-fn refuse(mut stream: TcpStream) {
-    let response = Response {
-        id: None,
-        seq: None,
-        body: Err(WireError::protocol(
-            ErrorCode::ServerBusy,
-            "connection cap reached; retry later",
-        )),
-    };
-    let _ = stream.write_all(proto::encode_line(&response).as_bytes());
+/// One `server_busy` line, then close — the typed over-cap rejection. The
+/// write is bounded: a refused peer that never reads cannot pin the accept
+/// loop (the line is small, but a zero-window peer would otherwise block
+/// `write_all` indefinitely).
+fn refuse(stream: TcpStream) {
+    let mut stream = stream;
+    if stream
+        .set_write_timeout(Some(Duration::from_secs(1)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.write_all(busy_line().as_bytes());
 }
 
-fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+fn serve_connection<S: ApplyService>(stream: TcpStream, shared: Arc<Shared<S>>) {
     if stream
         .set_read_timeout(Some(shared.config.read_timeout))
         .is_err()
     {
         return;
     }
+    // Request/response over newline frames: never trade latency for
+    // Nagle coalescing the protocol already does at the line level.
+    let _ = stream.set_nodelay(true);
     let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -224,14 +378,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             Err(_) => return,
         };
         let response = match line {
-            Line::Oversized => Response {
-                id: None,
-                seq: None,
-                body: Err(WireError::protocol(
-                    ErrorCode::FrameTooLarge,
-                    format!("request line exceeds the {MAX_FRAME_BYTES}-byte frame cap"),
-                )),
-            },
+            Line::Oversized => oversized_response(),
             Line::Frame(bytes) => {
                 if bytes.is_empty() {
                     // Blank keep-alive lines are ignored, not answered.
@@ -250,8 +397,10 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
 }
 
 /// Decode → authenticate → admit (quotas) → scope → apply, with `seq`
-/// assigned under the same lock acquisition as the apply.
-fn handle_frame(bytes: &[u8], shared: &Shared) -> Response {
+/// assigned under the same lock acquisition as the apply. Shared by both
+/// backends: a threaded connection handler calls it inline, an evented
+/// worker calls it off the event loop.
+pub(super) fn handle_frame<S: ApplyService>(bytes: &[u8], shared: &Shared<S>) -> Response {
     let request = match proto::decode_request(bytes) {
         Ok(request) => request,
         Err(err) => {

@@ -21,9 +21,9 @@
 use mcf0_bench::service_support::random_trace;
 use mcf0_service::net::proto::{encode_line, MAX_FRAME_BYTES};
 use mcf0_service::{
-    serve, CommandReply, ErrorCode, ReferenceService, Request, Response, ServerConfig,
-    ServiceCommand, SessionSpec, SketchKind, SketchService, TenantDirectory, TenantQuota,
-    TenantSketch, WireError,
+    serve, AcceptBackend, CommandReply, ErrorCode, ReferenceService, Request, Response,
+    ServerConfig, ServiceCommand, SessionSpec, SketchKind, SketchService, TenantDirectory,
+    TenantQuota, TenantSketch, WireError,
 };
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -31,9 +31,36 @@ use std::time::Duration;
 
 const BITS: usize = 16;
 
-/// Starts a loopback server over `shards` shard workers with the given
-/// tenants registered.
-fn start(shards: usize, tenants: &[(&str, &str, TenantQuota)]) -> mcf0_service::ServerHandle {
+/// Every differential scenario runs against every accept backend — the
+/// threaded baseline, the epoll event loop, and its portable `poll(2)`
+/// fallback — via the `backend_tests!` expansion at the bottom.
+macro_rules! backend_tests {
+    ($($name:ident => $imp:ident),* $(,)?) => {$(
+        mod $name {
+            use super::*;
+            #[test]
+            fn threaded() {
+                $imp(AcceptBackend::Threaded);
+            }
+            #[test]
+            fn evented() {
+                $imp(AcceptBackend::Evented);
+            }
+            #[test]
+            fn evented_poll_fallback() {
+                $imp(AcceptBackend::EventedPollFallback);
+            }
+        }
+    )*};
+}
+
+/// Starts a loopback server on `backend` over `shards` shard workers with
+/// the given tenants registered.
+fn start(
+    backend: AcceptBackend,
+    shards: usize,
+    tenants: &[(&str, &str, TenantQuota)],
+) -> mcf0_service::ServerHandle {
     let mut directory = TenantDirectory::new();
     for (id, token, quota) in tenants {
         directory.register(id, token, *quota).unwrap();
@@ -42,7 +69,10 @@ fn start(shards: usize, tenants: &[(&str, &str, TenantQuota)]) -> mcf0_service::
         "127.0.0.1:0",
         SketchService::new(shards),
         directory,
-        ServerConfig::default(),
+        ServerConfig {
+            backend,
+            ..ServerConfig::default()
+        },
     )
     .unwrap()
 }
@@ -119,12 +149,15 @@ fn expected_line(
 
 /// One tenant, one client, shard counts {1, 2, 4}: every reply line is
 /// byte-identical to the reference interpreter's.
-#[test]
-fn single_client_replies_are_byte_identical_across_shard_counts() {
+fn single_client_replies_are_byte_identical_across_shard_counts(backend: AcceptBackend) {
     for shards in [1usize, 2, 4] {
         for seed in [7u64, 1234, 998877] {
             let trace = random_trace(seed, BITS, 40);
-            let handle = start(shards, &[("alpha", "tok-alpha", TenantQuota::unlimited())]);
+            let handle = start(
+                backend,
+                shards,
+                &[("alpha", "tok-alpha", TenantQuota::unlimited())],
+            );
             let mut client = Client::connect(&handle);
             let mut reference = ReferenceService::new();
             for (i, command) in trace.iter().enumerate() {
@@ -147,9 +180,9 @@ fn single_client_replies_are_byte_identical_across_shard_counts() {
 /// replaying the commands in `seq` order against one reference reproduces
 /// every reply line byte for byte — the acknowledged order fully explains
 /// the interleaving.
-#[test]
-fn interleaved_clients_replay_byte_identical_in_seq_order() {
+fn interleaved_clients_replay_byte_identical_in_seq_order(backend: AcceptBackend) {
     let handle = start(
+        backend,
         2,
         &[
             ("alpha", "tok-alpha", TenantQuota::unlimited()),
@@ -224,9 +257,9 @@ fn interleaved_clients_replay_byte_identical_in_seq_order() {
 
 /// Namespacing: both tenants own a session literally named `"sessions"`,
 /// and neither sees the other's data.
-#[test]
-fn tenants_can_reuse_session_names_without_collision() {
+fn tenants_can_reuse_session_names_without_collision(backend: AcceptBackend) {
     let handle = start(
+        backend,
         2,
         &[
             ("alpha", "tok-alpha", TenantQuota::unlimited()),
@@ -284,13 +317,13 @@ fn tenants_can_reuse_session_names_without_collision() {
 /// Request-count quotas: the capped tenant's sixth command is a typed
 /// `quota_exceeded` with `seq: null`, while the unlimited tenant keeps
 /// succeeding before, between and after.
-#[test]
-fn one_tenant_exhausting_requests_does_not_starve_another() {
+fn one_tenant_exhausting_requests_does_not_starve_another(backend: AcceptBackend) {
     let capped = TenantQuota {
         max_requests: Some(5),
         max_space_bits: None,
     };
     let handle = start(
+        backend,
         2,
         &[
             ("small", "tok-small", capped),
@@ -349,8 +382,7 @@ fn one_tenant_exhausting_requests_does_not_starve_another() {
 
 /// Space quotas: a tenant sized for one session cannot create a second,
 /// a `drop` refunds the charge, and a roomier tenant is unaffected.
-#[test]
-fn space_quota_is_charged_on_create_and_refunded_on_drop() {
+fn space_quota_is_charged_on_create_and_refunded_on_drop(backend: AcceptBackend) {
     let spec = SessionSpec::new(SketchKind::Minimum, 32, 64, 5, 7);
     let bits = TenantSketch::new(&spec).space_bits() as u64;
     let cramped = TenantQuota {
@@ -358,6 +390,7 @@ fn space_quota_is_charged_on_create_and_refunded_on_drop() {
         max_space_bits: Some(3 * bits), // room for exactly three sessions
     };
     let handle = start(
+        backend,
         1,
         &[
             ("cramped", "tok-cramped", cramped),
@@ -419,9 +452,12 @@ fn space_quota_is_charged_on_create_and_refunded_on_drop() {
 /// lines each produce one typed error line and leave the connection fully
 /// usable; an unknown token is `auth_failed`; a torn trailing line closes
 /// silently without wedging the listener.
-#[test]
-fn hostile_lines_get_typed_errors_and_the_connection_stays_sane() {
-    let handle = start(2, &[("alpha", "tok-alpha", TenantQuota::unlimited())]);
+fn hostile_lines_get_typed_errors_and_the_connection_stays_sane(backend: AcceptBackend) {
+    let handle = start(
+        backend,
+        2,
+        &[("alpha", "tok-alpha", TenantQuota::unlimited())],
+    );
     let mut client = Client::connect(&handle);
 
     // 1. Well-encoded junk → bad_request, no id, no seq.
@@ -498,8 +534,7 @@ fn hostile_lines_get_typed_errors_and_the_connection_stays_sane() {
 /// The connection cap: connection `max_connections + 1` is refused with one
 /// typed `server_busy` line and closed, while established connections keep
 /// working.
-#[test]
-fn over_cap_connections_are_refused_with_server_busy() {
+fn over_cap_connections_are_refused_with_server_busy(backend: AcceptBackend) {
     let mut directory = TenantDirectory::new();
     directory
         .register("alpha", "tok-alpha", TenantQuota::unlimited())
@@ -510,6 +545,7 @@ fn over_cap_connections_are_refused_with_server_busy() {
         directory,
         ServerConfig {
             max_connections: 1,
+            backend,
             ..ServerConfig::default()
         },
     )
@@ -537,4 +573,14 @@ fn over_cap_connections_are_refused_with_server_busy() {
     // …and the established connection is untouched.
     assert_eq!(first.round_trip(&ping).seq, Some(1));
     handle.shutdown();
+}
+
+backend_tests! {
+    single_client => single_client_replies_are_byte_identical_across_shard_counts,
+    interleaved_clients => interleaved_clients_replay_byte_identical_in_seq_order,
+    tenant_namespacing => tenants_can_reuse_session_names_without_collision,
+    request_quota => one_tenant_exhausting_requests_does_not_starve_another,
+    space_quota => space_quota_is_charged_on_create_and_refunded_on_drop,
+    hostile_input => hostile_lines_get_typed_errors_and_the_connection_stays_sane,
+    over_cap => over_cap_connections_are_refused_with_server_busy,
 }

@@ -11,12 +11,18 @@
 //! request quota (a typed `quota_exceeded` line, not a dropped
 //! connection), and a hostile oversized line is answered with
 //! `frame_too_large` while the connection stays usable.
+//!
+//! The second act is the readiness-driven backend (DESIGN.md §11): an
+//! explicitly `AcceptBackend::Evented` server takes 64 concurrent
+//! pipelining clients feeding one shared session through the epoll event
+//! loop, and the merged estimate still matches a single-client run —
+//! interleaving is routing, never semantics.
 
 use mcf0::hashing::Xoshiro256StarStar;
 use mcf0::service::net::proto::encode_line;
 use mcf0::service::{
-    serve, CommandReply, Request, Response, ServerConfig, ServiceCommand, SessionSpec, SketchKind,
-    SketchService, TenantDirectory, TenantQuota,
+    serve, AcceptBackend, CommandReply, Request, Response, ServerConfig, ServiceCommand,
+    SessionSpec, SketchKind, SketchService, TenantDirectory, TenantQuota,
 };
 use mcf0::streaming::workloads::planted_f0_stream;
 use std::io::{BufRead, BufReader, Write};
@@ -159,4 +165,98 @@ fn main() {
 
     handle.shutdown();
     println!("server drained and shut down");
+
+    // ── Act two: the evented backend under 64 concurrent clients. ──────
+    //
+    // One epoll event-loop thread owns every connection; a fixed worker
+    // pool executes the frames; responses are coalesced into one flush
+    // per readiness cycle. Each client pipelines all of its ingest
+    // batches before reading a single reply.
+    let mut directory = TenantDirectory::new();
+    directory
+        .register("globex", "tok-globex", TenantQuota::unlimited())
+        .unwrap();
+    let handle = serve(
+        "127.0.0.1:0",
+        SketchService::new(4),
+        directory,
+        ServerConfig {
+            backend: AcceptBackend::Evented,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+    println!("\nevented server on {addr} (64 pipelining clients)");
+
+    let mut setup = Client::connect(addr, "tok-globex");
+    let created = setup.call(ServiceCommand::Create {
+        name: "crowd".to_string(),
+        spec,
+    });
+    assert_eq!(created.body, Ok(CommandReply::Done));
+
+    const CLIENTS: usize = 64;
+    let shares: Vec<Vec<Vec<u64>>> = (0..CLIENTS)
+        .map(|c| {
+            population
+                .chunks(200)
+                .enumerate()
+                .filter(|(i, _)| i % CLIENTS == c)
+                .map(|(_, batch)| batch.to_vec())
+                .collect()
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    let joins: Vec<_> = shares
+        .into_iter()
+        .map(|batches| {
+            std::thread::spawn(move || {
+                let writer = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(writer.try_clone().unwrap());
+                let mut writer = writer;
+                // Pipeline: every request on the wire before the first read.
+                for (i, items) in batches.iter().enumerate() {
+                    let request = Request {
+                        id: i as u64,
+                        token: "tok-globex".to_string(),
+                        command: ServiceCommand::Ingest {
+                            name: "crowd".to_string(),
+                            items: items.clone(),
+                        },
+                    };
+                    writer.write_all(encode_line(&request).as_bytes()).unwrap();
+                }
+                for i in 0..batches.len() {
+                    let mut line = String::new();
+                    assert!(reader.read_line(&mut line).unwrap() > 0);
+                    let response = serde_json::from_str::<Response>(line.trim_end()).unwrap();
+                    assert_eq!(response.id, Some(i as u64), "per-connection FIFO");
+                    response.body.unwrap();
+                }
+            })
+        })
+        .collect();
+    for join in joins {
+        join.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let estimate = match setup
+        .call(ServiceCommand::Estimate {
+            name: "crowd".to_string(),
+        })
+        .body
+        .unwrap()
+    {
+        CommandReply::Estimate(x) => x,
+        other => panic!("Estimate replied {other:?}"),
+    };
+    println!(
+        "64 clients ingested {} items in {:.1?}; \"crowd\" ≈ {estimate:.0} distinct",
+        population.len(),
+        elapsed,
+    );
+
+    handle.shutdown();
+    println!("evented server drained and shut down");
 }
