@@ -50,7 +50,9 @@
 
 use super::poll::{raw_fd, Interest, PollBackend, Poller, Waker};
 use super::proto::{encode_line, Line, LineReader};
-use super::server::{busy_line, handle_frame, oversized_response, ApplyService, Shared};
+use super::server::{
+    accept_resource_exhausted, busy_line, handle_frame, oversized_response, ApplyService, Shared,
+};
 use crate::error::ServiceError;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Write};
@@ -58,9 +60,15 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The listener's registration token (connections count up from 0).
 const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// Backoff before re-arming a listener parked by fd/buffer exhaustion
+/// (a connection close re-arms it sooner — that is the moment an fd
+/// actually frees).
+const LISTENER_REARM: Duration = Duration::from_millis(50);
 
 /// Pause reading a connection once this many frames are in flight…
 const MAX_INFLIGHT_JOBS: usize = 64;
@@ -193,6 +201,10 @@ pub(super) fn spawn<S: ApplyService>(
                 done_rx,
                 workers,
                 dirty: Vec::new(),
+                listener_armed: true,
+                listener_dead: false,
+                fd_freed: false,
+                parked_at: None,
             }
             .run()
         })
@@ -248,13 +260,33 @@ struct EventLoop<S: ApplyService> {
     /// Connections touched this cycle, settled (flush/interest/close) once
     /// at the end of the cycle.
     dirty: Vec<u64>,
+    /// Listener read interest is currently registered with the poller.
+    /// Cleared ("parked") when `accept` hits fd/buffer exhaustion —
+    /// leaving it armed with a connection still pending would make every
+    /// level-triggered wait return instantly, a 100%-CPU spin.
+    listener_armed: bool,
+    /// Listener hit an unrecoverable error (`EBADF`/`EINVAL`-class);
+    /// never re-armed, established connections keep being served.
+    listener_dead: bool,
+    /// A connection closed since the listener was parked (an fd freed),
+    /// so re-arming may be attempted before the backoff elapses.
+    fd_freed: bool,
+    /// When the listener was parked (backoff anchor for re-arming).
+    parked_at: Option<Instant>,
 }
 
 impl<S: ApplyService> EventLoop<S> {
     fn run(mut self) {
         let mut events = Vec::new();
         loop {
-            if self.poller.wait(&mut events).is_err() {
+            // While the listener is parked on fd exhaustion, bound the
+            // wait so re-arming is retried even with no other traffic.
+            let timeout = if !self.listener_armed && !self.listener_dead {
+                Some(LISTENER_REARM.as_millis() as i32)
+            } else {
+                None
+            };
+            if self.poller.wait(&mut events, timeout).is_err() {
                 break;
             }
             if self.shared.stop.load(Ordering::SeqCst) {
@@ -283,6 +315,7 @@ impl<S: ApplyService> EventLoop<S> {
             }
             self.drain_completions();
             self.settle_dirty();
+            self.maybe_rearm_listener();
         }
         // Shutdown: close every socket, retire the pool, join it.
         for (_, conn) in self.conns.drain() {
@@ -366,10 +399,70 @@ impl<S: ApplyService> EventLoop<S> {
                 {
                     continue;
                 }
-                // Fatal listener error: stop accepting this cycle;
-                // established connections keep being served.
-                Err(_) => break,
+                // Out of fds or buffers (EMFILE/ENFILE/ENOBUFS/ENOMEM):
+                // the pending connection stays queued, so the listener
+                // must be parked — left registered, the level-triggered
+                // wait would return instantly every cycle and the loop
+                // would busy-spin at 100% CPU until fds free. Re-armed
+                // when a connection close frees an fd or the backoff
+                // elapses.
+                Err(e) if accept_resource_exhausted(&e) => {
+                    self.park_listener();
+                    break;
+                }
+                // Unrecoverable listener error (EBADF/EINVAL-class):
+                // stop accepting for good; established connections keep
+                // being served.
+                Err(_) => {
+                    self.listener_dead = true;
+                    let _ = self.poller.deregister(raw_fd(&self.listener));
+                    break;
+                }
             }
+        }
+    }
+
+    /// Drops the listener's registration after an fd-exhaustion accept
+    /// failure; [`Self::maybe_rearm_listener`] restores it.
+    fn park_listener(&mut self) {
+        let _ = self.poller.deregister(raw_fd(&self.listener));
+        self.listener_armed = false;
+        self.fd_freed = false;
+        self.parked_at = Some(Instant::now());
+    }
+
+    /// Re-registers a parked listener once a connection close has freed an
+    /// fd or the backoff elapsed. Under level-triggered readiness the
+    /// still-pending connection fires on the next wait; if fds are still
+    /// exhausted, that accept parks the listener again — a bounded retry
+    /// every [`LISTENER_REARM`], never a spin.
+    fn maybe_rearm_listener(&mut self) {
+        if self.listener_armed || self.listener_dead {
+            return;
+        }
+        let due = self.fd_freed
+            || self
+                .parked_at
+                .is_none_or(|parked| parked.elapsed() >= LISTENER_REARM);
+        if !due {
+            return;
+        }
+        let interest = Interest {
+            readable: true,
+            writable: false,
+        };
+        self.fd_freed = false;
+        if self
+            .poller
+            .register(raw_fd(&self.listener), LISTENER_TOKEN, interest)
+            .is_ok()
+        {
+            self.listener_armed = true;
+            self.parked_at = None;
+        } else {
+            // Registration itself failed (likely the same exhaustion):
+            // retry at the next backoff tick.
+            self.parked_at = Some(Instant::now());
         }
     }
 
@@ -505,6 +598,9 @@ impl<S: ApplyService> EventLoop<S> {
     fn remove(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.deregister(raw_fd(&conn.stream));
+            // A closing connection frees fds — the signal a parked
+            // listener is waiting on.
+            self.fd_freed = true;
         }
     }
 }

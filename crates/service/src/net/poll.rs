@@ -121,15 +121,16 @@ impl Poller {
         }
     }
 
-    /// Blocks until something is ready, clears `events` and fills it with
-    /// this cycle's readiness. Wake-pipe bytes are drained internally and
-    /// their token filtered out — a pure wake yields an empty batch, which
-    /// tells the loop "re-check stop flag and completion queue".
-    pub fn wait(&mut self, events: &mut Vec<Event>) -> io::Result<()> {
+    /// Blocks until something is ready (or `timeout_ms` elapses; `None`
+    /// waits indefinitely), clears `events` and fills it with this cycle's
+    /// readiness. Wake-pipe bytes are drained internally and their token
+    /// filtered out — a pure wake (or a timeout) yields an empty batch,
+    /// which tells the loop "re-check stop flag and completion queue".
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: Option<i32>) -> io::Result<()> {
         events.clear();
         match &mut self.inner {
-            Inner::Epoll(e) => e.wait(events, None)?,
-            Inner::Poll(p) => p.wait(events, None)?,
+            Inner::Epoll(e) => e.wait(events, timeout_ms)?,
+            Inner::Poll(p) => p.wait(events, timeout_ms)?,
         }
         if events.iter().any(|e| e.token == WAKE_TOKEN) {
             let mut drain = [0u8; 256];

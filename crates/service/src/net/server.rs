@@ -261,6 +261,23 @@ pub(super) fn busy_line() -> String {
     })
 }
 
+/// Accept failures that clear on their own as resources free — the
+/// process/system fd tables (`EMFILE`/`ENFILE`), socket buffers
+/// (`ENOBUFS`), kernel memory (`ENOMEM`). Plausible under load at the
+/// 1024-connection default, and fds free again as connections close, so
+/// the accept path must retry these rather than die. Only `ENOMEM` has a
+/// stable `ErrorKind` mapping; the rest are matched by raw errno.
+pub(super) fn accept_resource_exhausted(e: &std::io::Error) -> bool {
+    const ENFILE: i32 = 23;
+    const EMFILE: i32 = 24;
+    #[cfg(target_os = "linux")]
+    const ENOBUFS: i32 = 105;
+    #[cfg(not(target_os = "linux"))]
+    const ENOBUFS: i32 = 55;
+    e.kind() == std::io::ErrorKind::OutOfMemory
+        || matches!(e.raw_os_error(), Some(ENFILE | EMFILE | ENOBUFS))
+}
+
 /// The typed response for a line that tripped [`MAX_FRAME_BYTES`].
 pub(super) fn oversized_response() -> Response {
     Response {
@@ -314,6 +331,13 @@ fn accept_loop<S: ApplyService>(listener: TcpListener, shared: Arc<Shared<S>>) {
                 ) =>
             {
                 continue;
+            }
+            // Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) is
+            // transient — fds free as connections close — so nap and
+            // retry; a momentary fd spike must not silently kill accepts
+            // for the lifetime of the server.
+            Err(e) if accept_resource_exhausted(&e) => {
+                std::thread::sleep(Duration::from_millis(2));
             }
             // Anything else is a fatal listener error (bad descriptor,
             // listener torn down): spinning on it forever would burn CPU
@@ -444,5 +468,33 @@ pub(super) fn handle_frame<S: ApplyService>(bytes: &[u8], shared: &Shared<S>) ->
         id,
         seq: Some(seq),
         body: outcome.map_err(|e| WireError::from_service(&e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::accept_resource_exhausted;
+    use std::io::{Error, ErrorKind};
+
+    /// The accept loops must retry resource exhaustion (it clears as
+    /// connections close) but treat descriptor-level errors as fatal.
+    #[test]
+    fn accept_error_classification() {
+        // ENFILE / EMFILE.
+        for errno in [23, 24] {
+            assert!(accept_resource_exhausted(&Error::from_raw_os_error(errno)));
+        }
+        #[cfg(target_os = "linux")]
+        assert!(accept_resource_exhausted(&Error::from_raw_os_error(105))); // ENOBUFS
+        assert!(accept_resource_exhausted(&Error::from(
+            ErrorKind::OutOfMemory
+        )));
+        // EBADF / EINVAL stay fatal.
+        for errno in [9, 22] {
+            assert!(!accept_resource_exhausted(&Error::from_raw_os_error(errno)));
+        }
+        assert!(!accept_resource_exhausted(&Error::from(
+            ErrorKind::WouldBlock
+        )));
     }
 }

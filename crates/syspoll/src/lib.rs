@@ -22,9 +22,12 @@
 //! on panic or early return.
 //!
 //! Only Linux is wired up (the deployment and CI target); on other
-//! platforms every constructor returns `ErrorKind::Unsupported` and the
-//! service falls back to its thread-per-connection backend. The `poll(2)`
-//! path itself is portable POSIX — supporting another Unix is a matter of
+//! platforms every constructor returns `ErrorKind::Unsupported`. The
+//! service's *default* config selects its thread-per-connection backend
+//! there (`AcceptBackend::platform_default()`); explicitly requesting the
+//! evented backend off-Linux surfaces the `Unsupported` error from
+//! `serve` rather than silently switching layers. The `poll(2)` path
+//! itself is portable POSIX — supporting another Unix is a matter of
 //! adding its constant table next to the Linux one.
 
 #![warn(missing_docs)]
@@ -57,16 +60,36 @@ mod linux {
     mod ffi {
         use core::ffi::{c_int, c_ulong};
 
-        /// Mirror of the kernel's `struct epoll_event`. On x86-64 (and in
-        /// the glibc/musl headers on every Linux target) the struct is
-        /// packed: 4-byte `events` immediately followed by the 8-byte
-        /// user data, 12 bytes total.
-        #[repr(C, packed)]
+        /// Mirror of the kernel's `struct epoll_event`. The kernel (and
+        /// glibc/musl via `__EPOLL_PACKED`) packs the struct **only on
+        /// x86-64**: 4-byte `events` immediately followed by the 8-byte
+        /// user data, 12 bytes total. Every other architecture uses
+        /// natural C layout (on aarch64 that is 16 bytes with `data` at
+        /// offset 8), so the repr is selected per-arch to match — the
+        /// same split the `libc` crate ships. Getting this wrong is a
+        /// heap overflow: `epoll_wait` would write kernel-stride events
+        /// into a buffer allocated at the smaller stride.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
         #[derive(Clone, Copy)]
         pub struct EpollEvent {
             pub events: u32,
             pub data: u64,
         }
+
+        // Compile-time ABI guard for the arch split above: packed x86-64
+        // is 12 bytes; natural layout is 16 wherever `u64` is 8-aligned
+        // (and 12 on ILP32 ABIs whose `u64` is 4-aligned, matching C).
+        const _: () = {
+            let expected = if cfg!(target_arch = "x86_64") {
+                12
+            } else if core::mem::align_of::<u64>() == 8 {
+                16
+            } else {
+                12
+            };
+            assert!(core::mem::size_of::<EpollEvent>() == expected);
+        };
 
         /// Mirror of `struct pollfd`.
         #[repr(C)]
