@@ -67,6 +67,26 @@ const PINNED: &[(&str, f64, u64)] = &[
     ("service_ams_f2_w24_s4", 9033068.157142857, 313600),
     ("service_structured_dnf_w16_s4", 53866.590500399325, 14955),
     ("service_merge_minimum_w32_s4", 19632.324160866257, 131607),
+    // Windowed rows: the ring fold is pinned to `sketch_bench`'s
+    // `windowed_minimum_w32_k3` value at both shard counts; space is the
+    // whole 3-slot ring. The set-algebra rows pin inclusion–exclusion over
+    // the shared draws.
+    (
+        "service_windowed_minimum_w32_k3_s1",
+        13556.38196392681,
+        394821,
+    ),
+    (
+        "service_windowed_minimum_w32_k3_s4",
+        13556.38196392681,
+        394821,
+    ),
+    (
+        "service_intersection_minimum_w32_s4",
+        13410.404783482467,
+        131607,
+    ),
+    ("service_jaccard_minimum_w32_s4", 0.683077799327186, 131607),
     ("service_restore_minimum_w32_s4", 19632.324160866257, 131607),
     ("service_durable_minimum_w32_s2", 19632.324160866257, 131607),
     ("service_socket_minimum_w32_s2", 19632.324160866257, 131607),
@@ -107,6 +127,7 @@ fn minimum_spec() -> SessionSpec {
         rows: 9,
         columns: 0,
         seed: 22,
+        window: None,
     }
 }
 
@@ -144,6 +165,7 @@ fn bucketing(shards: usize) -> (f64, u64, Option<f64>) {
         rows: 9,
         columns: 0,
         seed: 12,
+        window: None,
     };
     service.create_session("t", spec).unwrap();
     let start = Instant::now();
@@ -170,6 +192,7 @@ fn estimation(shards: usize) -> (f64, u64, Option<f64>) {
         rows: 7,
         columns: 0,
         seed: 32,
+        window: None,
     };
     service.create_session("t", spec).unwrap();
     let start = Instant::now();
@@ -200,6 +223,7 @@ fn ams_f2(shards: usize) -> (f64, u64, Option<f64>) {
         rows: 7,
         columns: 280,
         seed: 52,
+        window: None,
     };
     service.create_session("t", spec).unwrap();
     let start = Instant::now();
@@ -228,6 +252,7 @@ fn structured_dnf(shards: usize) -> (f64, u64, Option<f64>) {
         rows: 5,
         columns: 0,
         seed: 62,
+        window: None,
     };
     service.create_session("t", spec).unwrap();
     service.ingest_structured("t", &sets).unwrap();
@@ -324,6 +349,53 @@ fn durable_minimum(shards: usize) -> (f64, u64, Option<f64>) {
     drop(recovered);
     let _ = std::fs::remove_dir_all(&dir);
     out
+}
+
+/// The minimum stream split across 6 caller-supplied epochs into a 3-epoch
+/// windowed session: `estimate_window` is pinned to `sketch_bench`'s
+/// `windowed_minimum_w32_k3` fold at every shard count — epoch-ring
+/// rotation composes with sharding as pure routing. `space_bits` here is
+/// the whole ring (one sketch per slot).
+fn windowed_minimum(shards: usize) -> (f64, u64, Option<f64>) {
+    let stream = minimum_stream();
+    let mut spec = minimum_spec();
+    spec.window = Some(3);
+    let mut service = SketchService::new(shards);
+    service.create_session("t", spec).unwrap();
+    let chunk = stream.len().div_ceil(6);
+    let start = Instant::now();
+    for (e, batch) in stream.chunks(chunk).enumerate() {
+        if e > 0 {
+            service.advance("t", e as u64).unwrap();
+        }
+        service.ingest("t", batch).unwrap();
+    }
+    let ingest_secs = start.elapsed().as_secs_f64();
+    (
+        service.estimate_window("t").unwrap(),
+        service.space_bits("t").unwrap() as u64,
+        Some(stream.len() as f64 / ingest_secs),
+    )
+}
+
+/// Two same-spec sessions over overlapping two-thirds slices of the
+/// minimum stream: the inclusion–exclusion intersection and Jaccard
+/// estimates are pinned — deterministic functions of the shared draws, at
+/// every shard count.
+fn set_algebra_minimum(shards: usize, jaccard: bool) -> (f64, u64, Option<f64>) {
+    let stream = minimum_stream();
+    let mut service = SketchService::new(shards);
+    service.create_session("a", minimum_spec()).unwrap();
+    service.create_session("b", minimum_spec()).unwrap();
+    let cut = stream.len() * 2 / 3;
+    service.ingest("a", &stream[..cut]).unwrap();
+    service.ingest("b", &stream[stream.len() - cut..]).unwrap();
+    let estimate = if jaccard {
+        service.jaccard_estimate("a", "b").unwrap()
+    } else {
+        service.intersection_estimate("a", "b").unwrap()
+    };
+    (estimate, service.space_bits("a").unwrap() as u64, None)
 }
 
 /// One request line out, one response line back, over the bench socket.
@@ -594,6 +666,18 @@ fn run_instances() -> Vec<InstanceResult> {
     record("service_ams_f2_w24_s4", &|| ams_f2(4));
     record("service_structured_dnf_w16_s4", &|| structured_dnf(4));
     record("service_merge_minimum_w32_s4", &|| merge_minimum(4));
+    record("service_windowed_minimum_w32_k3_s1", &|| {
+        windowed_minimum(1)
+    });
+    record("service_windowed_minimum_w32_k3_s4", &|| {
+        windowed_minimum(4)
+    });
+    record("service_intersection_minimum_w32_s4", &|| {
+        set_algebra_minimum(4, false)
+    });
+    record("service_jaccard_minimum_w32_s4", &|| {
+        set_algebra_minimum(4, true)
+    });
     record("service_restore_minimum_w32_s4", &|| restore_minimum(4));
     record("service_durable_minimum_w32_s2", &|| durable_minimum(2));
     record("service_socket_minimum_w32_s2", &|| socket_minimum(2));
@@ -635,6 +719,7 @@ fn run_heavy() -> Result<Vec<InstanceResult>, String> {
             rows: 9,
             columns: if kind == SketchKind::Ams { 150 } else { 0 },
             seed: 4242,
+            window: None,
         };
         let name = format!("service_heavy_{}_w48_s4", spec.kind.name());
         let start = Instant::now();

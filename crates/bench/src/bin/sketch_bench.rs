@@ -27,7 +27,7 @@ use mcf0::distributed::{distributed_minimum, distributed_minimum_parallel};
 use mcf0::formula::generators::{partition_dnf, random_dnf};
 use mcf0::hashing::Xoshiro256StarStar;
 use mcf0::streaming::workloads::{planted_f0_stream, skewed_stream};
-use mcf0::streaming::{AmsF2, BucketingF0, EstimationF0, F0Config, F0Sketch, MinimumF0};
+use mcf0::streaming::{AmsF2, BucketingF0, EpochRing, EstimationF0, F0Config, F0Sketch, MinimumF0};
 use mcf0::structured::{DnfSet, StructuredMinimumF0};
 use serde::Serialize;
 use std::time::Instant;
@@ -61,6 +61,7 @@ const PINNED: &[(&str, f64, u64)] = &[
     ("flajolet_martin_w48", 16384.0, 104),
     ("ams_f2_w24", 9033068.157142857, 313600),
     ("structured_dnf_w16", 53866.590500399325, 14955),
+    ("windowed_minimum_w32_k3", 13556.38196392681, 131607),
     ("distributed_minimum_k4", 9774.647276773543, 230292),
     ("distributed_minimum_k4_par4", 9774.647276773543, 230292),
 ];
@@ -147,6 +148,42 @@ fn structured_dnf() -> (f64, u64) {
     (sketch.estimate(), sketch.space_bits() as u64)
 }
 
+/// The `minimum_w32` stream split across 6 caller-supplied epochs through a
+/// 3-epoch ring: the fold's estimate must equal a direct sketch (same seed)
+/// fed only the last 3 epochs' items — ring rotation is pure routing, like
+/// sharding. The cross-check is enforced inline; the fold value is pinned.
+fn windowed_minimum_k3() -> (f64, u64) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+    let stream = planted_f0_stream(&mut rng, 32, 20_000, 40_000);
+    let config = F0Config::explicit(0.8, 0.2, 150, 9);
+    let window = 3usize;
+    let chunk = stream.len().div_ceil(6);
+
+    let mut sketch_rng = Xoshiro256StarStar::seed_from_u64(22);
+    let template = MinimumF0::new(32, &config, &mut sketch_rng);
+    let mut ring = EpochRing::new(template, window);
+    for (e, batch) in stream.chunks(chunk).enumerate() {
+        if e > 0 {
+            ring.advance(e as u64).expect("epochs increase");
+        }
+        ring.current_mut().process_stream(batch);
+    }
+    let fold = ring.fold();
+
+    let epochs = stream.chunks(chunk).count();
+    let mut direct_rng = Xoshiro256StarStar::seed_from_u64(22);
+    let mut direct = MinimumF0::new(32, &config, &mut direct_rng);
+    for batch in stream.chunks(chunk).skip(epochs.saturating_sub(window)) {
+        direct.process_stream(batch);
+    }
+    assert_eq!(
+        fold.estimate(),
+        direct.estimate(),
+        "ring fold diverged from the direct in-window sketch"
+    );
+    (fold.estimate(), fold.space_bits() as u64)
+}
+
 fn distributed_minimum_k4(parallel: usize) -> (f64, u64) {
     let mut rng = Xoshiro256StarStar::seed_from_u64(71);
     let f = random_dnf(&mut rng, 14, 12, (3, 6));
@@ -183,6 +220,7 @@ fn run_instances() -> Vec<InstanceResult> {
     record("flajolet_martin_w48", &flajolet_martin);
     record("ams_f2_w24", &ams_f2);
     record("structured_dnf_w16", &structured_dnf);
+    record("windowed_minimum_w32_k3", &windowed_minimum_k3);
     record("distributed_minimum_k4", &|| distributed_minimum_k4(1));
     record("distributed_minimum_k4_par4", &|| distributed_minimum_k4(4));
     out

@@ -42,10 +42,43 @@ pub enum ServiceCommand {
         /// Source session (unchanged).
         src: String,
     },
+    /// Move a windowed session to a strictly larger epoch, retiring the
+    /// ring slots that fall out of the window. Mutates state (the WAL logs
+    /// it); epochs are caller-supplied — the service never reads a clock.
+    Advance {
+        /// Session name.
+        name: String,
+        /// The new epoch (must exceed the session's current epoch).
+        epoch: u64,
+    },
     /// Query the current estimate.
     Estimate {
         /// Session name.
         name: String,
+    },
+    /// Query the sliding-window estimate of a windowed session (the fold of
+    /// its live epoch slots). `NotWindowed` on classic sessions.
+    EstimateWindow {
+        /// Session name.
+        name: String,
+    },
+    /// Query the inclusion–exclusion intersection-size estimate of two
+    /// same-spec sessions: est(A) + est(B) − est(A ∪ B), the union folded on
+    /// a read-only scratch merge. Neither session is mutated.
+    IntersectionEstimate {
+        /// First session.
+        a: String,
+        /// Second session.
+        b: String,
+    },
+    /// Query the Jaccard-similarity estimate of two same-spec sessions:
+    /// the intersection estimate over est(A ∪ B), clamped into [0, 1].
+    /// Read-only, like [`ServiceCommand::IntersectionEstimate`].
+    JaccardEstimate {
+        /// First session.
+        a: String,
+        /// Second session.
+        b: String,
     },
     /// Query the Estimation strategy's (ε, δ) estimate for a rough `r`.
     EstimateWithR {
@@ -83,6 +116,7 @@ impl ServiceCommand {
                 | ServiceCommand::Ingest { .. }
                 | ServiceCommand::IngestStructured { .. }
                 | ServiceCommand::Merge { .. }
+                | ServiceCommand::Advance { .. }
                 | ServiceCommand::Drop { .. }
         )
     }
@@ -93,12 +127,16 @@ impl ServiceCommand {
             ServiceCommand::Create { name, .. }
             | ServiceCommand::Ingest { name, .. }
             | ServiceCommand::IngestStructured { name, .. }
+            | ServiceCommand::Advance { name, .. }
             | ServiceCommand::Estimate { name }
+            | ServiceCommand::EstimateWindow { name }
             | ServiceCommand::EstimateWithR { name, .. }
             | ServiceCommand::SpaceBits { name }
             | ServiceCommand::Save { name }
             | ServiceCommand::Drop { name } => vec![name],
             ServiceCommand::Merge { dst, src } => vec![dst, src],
+            ServiceCommand::IntersectionEstimate { a, b }
+            | ServiceCommand::JaccardEstimate { a, b } => vec![a, b],
         }
     }
 }
@@ -146,7 +184,23 @@ impl Serialize for ServiceCommand {
                 out.push_str(",\"src\":");
                 serde::write_json_string(src, out);
             }
+            ServiceCommand::Advance { name, epoch } => {
+                header(out, "advance", "name", name);
+                out.push_str(",\"epoch\":");
+                epoch.serialize_json(out);
+            }
             ServiceCommand::Estimate { name } => header(out, "estimate", "name", name),
+            ServiceCommand::EstimateWindow { name } => header(out, "estimate_window", "name", name),
+            ServiceCommand::IntersectionEstimate { a, b } => {
+                header(out, "intersection_estimate", "a", a);
+                out.push_str(",\"b\":");
+                serde::write_json_string(b, out);
+            }
+            ServiceCommand::JaccardEstimate { a, b } => {
+                header(out, "jaccard_estimate", "a", a);
+                out.push_str(",\"b\":");
+                serde::write_json_string(b, out);
+            }
             ServiceCommand::EstimateWithR { name, r } => {
                 header(out, "estimate_with_r", "name", name);
                 out.push_str(",\"r\":");
@@ -192,8 +246,23 @@ impl Deserialize for ServiceCommand {
                 dst: name("dst")?,
                 src: name("src")?,
             },
+            "advance" => ServiceCommand::Advance {
+                name: name("name")?,
+                epoch: u64::deserialize_json(member(v, TY, "epoch")?)?,
+            },
             "estimate" => ServiceCommand::Estimate {
                 name: name("name")?,
+            },
+            "estimate_window" => ServiceCommand::EstimateWindow {
+                name: name("name")?,
+            },
+            "intersection_estimate" => ServiceCommand::IntersectionEstimate {
+                a: name("a")?,
+                b: name("b")?,
+            },
+            "jaccard_estimate" => ServiceCommand::JaccardEstimate {
+                a: name("a")?,
+                b: name("b")?,
             },
             "estimate_with_r" => ServiceCommand::EstimateWithR {
                 name: name("name")?,

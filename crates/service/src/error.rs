@@ -37,6 +37,60 @@ pub enum ServiceError {
     /// multiset-*sum*, so the session would double-count every item, and
     /// the F0 kinds would bump the merge ledger without effect.
     MergeSelf(String),
+    /// A windowed session's `create` (or a restored snapshot) carried an
+    /// unusable window size: zero epochs, or more than
+    /// [`crate::service::MAX_WINDOW_EPOCHS`] (the cap keeps a hostile wire
+    /// `create` from allocating an unbounded ring — typed rejection before
+    /// any slot is drawn).
+    InvalidWindow {
+        /// Session the create addressed.
+        session: String,
+        /// The rejected window size.
+        window: usize,
+    },
+    /// A windowed command (`advance`, `estimate_window`) addressed a
+    /// session created without a window.
+    NotWindowed(String),
+    /// An `advance` epoch did not move strictly forward. Epochs are
+    /// caller-supplied and strictly increasing — a repeat or regression
+    /// would silently resurrect retired ring slots, so it is a typed
+    /// rejection that leaves the ring untouched.
+    EpochRegressed {
+        /// Session the advance addressed.
+        session: String,
+        /// The session's current epoch.
+        current: u64,
+        /// The (non-advancing) epoch the command requested.
+        requested: u64,
+    },
+    /// The two windowed sessions of a merge sit at different epochs: their
+    /// ring slots would not line up epoch-for-epoch, so the slot-wise union
+    /// would mix epochs. Advance both sessions to the same epoch first.
+    WindowEpochMismatch {
+        /// Merge destination.
+        dst: String,
+        /// Merge source.
+        src: String,
+    },
+    /// A set-algebra query (`intersection_estimate`, `jaccard_estimate`)
+    /// named two sessions that were not drawn from identical
+    /// specifications; inclusion–exclusion over a scratch merge needs
+    /// shared hash draws, exactly like the pairwise merge.
+    SpecMismatch {
+        /// First session of the pair.
+        a: String,
+        /// Second session of the pair.
+        b: String,
+    },
+    /// A set-algebra query addressed AMS F2 sessions. Inclusion–exclusion
+    /// estimates |A ∪ B| via a distinct-union merge; the AMS merge is
+    /// multiset-*sum*, so the identity does not hold for second moments.
+    SetAlgebraUnsupported {
+        /// First session of the pair.
+        a: String,
+        /// Second session of the pair.
+        b: String,
+    },
     /// A snapshot document could not be decoded (malformed JSON, missing
     /// members, or an unknown sketch kind).
     Snapshot(String),
@@ -108,6 +162,48 @@ impl fmt::Display for ServiceError {
                     f,
                     "session `{name}` cannot be merged into itself (AMS merge \
                      is multiset-sum and would double-count the stream)"
+                )
+            }
+            ServiceError::InvalidWindow { session, window } => {
+                write!(
+                    f,
+                    "session `{session}` window of {window} epochs is outside 1..={max}",
+                    max = crate::service::MAX_WINDOW_EPOCHS
+                )
+            }
+            ServiceError::NotWindowed(name) => {
+                write!(f, "session `{name}` was not created with a window")
+            }
+            ServiceError::EpochRegressed {
+                session,
+                current,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "session `{session}` epoch {requested} does not advance past \
+                     the current epoch {current}"
+                )
+            }
+            ServiceError::WindowEpochMismatch { dst, src } => {
+                write!(
+                    f,
+                    "windowed sessions `{dst}` (destination) and `{src}` (source) sit at \
+                     different epochs; advance both to the same epoch before merging"
+                )
+            }
+            ServiceError::SpecMismatch { a, b } => {
+                write!(
+                    f,
+                    "sessions `{a}` and `{b}` were not drawn from the same specification, \
+                     so set-algebra estimates over them are undefined"
+                )
+            }
+            ServiceError::SetAlgebraUnsupported { a, b } => {
+                write!(
+                    f,
+                    "set-algebra estimates over AMS F2 sessions `{a}` and `{b}` are \
+                     undefined (AMS merge is multiset-sum, not distinct-union)"
                 )
             }
             ServiceError::Snapshot(why) => write!(f, "snapshot rejected: {why}"),

@@ -85,9 +85,9 @@ pub use net::{
     TenantDirectory, TenantQuota, WireError,
 };
 pub use reference::ReferenceService;
-pub use service::{SessionSnapshot, SketchService};
+pub use service::{SessionSnapshot, SketchService, MAX_WINDOW_EPOCHS};
 pub use session::{SessionLedger, SessionSpec, SketchKind};
-pub use sketch::TenantSketch;
+pub use sketch::{set_algebra_estimates, SessionSketch, TenantSketch};
 pub use storage::{
     with_retries, FaultKind, FaultPlan, FaultyStorage, FsStorage, RetryPolicy, Storage,
     StorageFile, StorageOp,

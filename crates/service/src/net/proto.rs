@@ -68,6 +68,18 @@ pub enum ErrorCode {
     MergeIncompatible,
     /// [`ServiceError::MergeSelf`].
     MergeSelf,
+    /// [`ServiceError::InvalidWindow`].
+    InvalidWindow,
+    /// [`ServiceError::NotWindowed`].
+    NotWindowed,
+    /// [`ServiceError::EpochRegressed`].
+    EpochRegressed,
+    /// [`ServiceError::WindowEpochMismatch`].
+    WindowEpochMismatch,
+    /// [`ServiceError::SpecMismatch`].
+    SpecMismatch,
+    /// [`ServiceError::SetAlgebraUnsupported`].
+    SetAlgebraUnsupported,
     /// [`ServiceError::Snapshot`].
     BadSnapshot,
     /// [`ServiceError::Storage`].
@@ -95,6 +107,12 @@ impl ErrorCode {
             ErrorCode::WrongItemType => "wrong_item_type",
             ErrorCode::MergeIncompatible => "merge_incompatible",
             ErrorCode::MergeSelf => "merge_self",
+            ErrorCode::InvalidWindow => "invalid_window",
+            ErrorCode::NotWindowed => "not_windowed",
+            ErrorCode::EpochRegressed => "epoch_regressed",
+            ErrorCode::WindowEpochMismatch => "window_epoch_mismatch",
+            ErrorCode::SpecMismatch => "spec_mismatch",
+            ErrorCode::SetAlgebraUnsupported => "set_algebra_unsupported",
             ErrorCode::BadSnapshot => "bad_snapshot",
             ErrorCode::Storage => "storage",
             ErrorCode::WalRecord => "wal_record",
@@ -117,6 +135,12 @@ impl ErrorCode {
             "wrong_item_type" => ErrorCode::WrongItemType,
             "merge_incompatible" => ErrorCode::MergeIncompatible,
             "merge_self" => ErrorCode::MergeSelf,
+            "invalid_window" => ErrorCode::InvalidWindow,
+            "not_windowed" => ErrorCode::NotWindowed,
+            "epoch_regressed" => ErrorCode::EpochRegressed,
+            "window_epoch_mismatch" => ErrorCode::WindowEpochMismatch,
+            "spec_mismatch" => ErrorCode::SpecMismatch,
+            "set_algebra_unsupported" => ErrorCode::SetAlgebraUnsupported,
             "bad_snapshot" => ErrorCode::BadSnapshot,
             "storage" => ErrorCode::Storage,
             "wal_record" => ErrorCode::WalRecord,
@@ -163,6 +187,12 @@ impl WireError {
             ServiceError::WrongItemType { .. } => ErrorCode::WrongItemType,
             ServiceError::MergeIncompatible { .. } => ErrorCode::MergeIncompatible,
             ServiceError::MergeSelf(_) => ErrorCode::MergeSelf,
+            ServiceError::InvalidWindow { .. } => ErrorCode::InvalidWindow,
+            ServiceError::NotWindowed(_) => ErrorCode::NotWindowed,
+            ServiceError::EpochRegressed { .. } => ErrorCode::EpochRegressed,
+            ServiceError::WindowEpochMismatch { .. } => ErrorCode::WindowEpochMismatch,
+            ServiceError::SpecMismatch { .. } => ErrorCode::SpecMismatch,
+            ServiceError::SetAlgebraUnsupported { .. } => ErrorCode::SetAlgebraUnsupported,
             ServiceError::Snapshot(_) => ErrorCode::BadSnapshot,
             ServiceError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
             ServiceError::Storage(_) => ErrorCode::Storage,

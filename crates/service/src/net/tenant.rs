@@ -146,7 +146,22 @@ impl TenantDirectory {
                 dst: scope(dst),
                 src: scope(src),
             },
+            ServiceCommand::Advance { name, epoch } => ServiceCommand::Advance {
+                name: scope(name),
+                epoch: *epoch,
+            },
             ServiceCommand::Estimate { name } => ServiceCommand::Estimate { name: scope(name) },
+            ServiceCommand::EstimateWindow { name } => {
+                ServiceCommand::EstimateWindow { name: scope(name) }
+            }
+            ServiceCommand::IntersectionEstimate { a, b } => ServiceCommand::IntersectionEstimate {
+                a: scope(a),
+                b: scope(b),
+            },
+            ServiceCommand::JaccardEstimate { a, b } => ServiceCommand::JaccardEstimate {
+                a: scope(a),
+                b: scope(b),
+            },
             ServiceCommand::EstimateWithR { name, r } => ServiceCommand::EstimateWithR {
                 name: scope(name),
                 r: *r,
@@ -163,7 +178,15 @@ impl TenantDirectory {
     fn nominal_bits(command: &ServiceCommand) -> Option<u64> {
         match command {
             ServiceCommand::Create { spec, .. } => {
-                Some(TenantSketch::new(spec).space_bits() as u64)
+                // Windowed sessions hold one complete sketch per ring slot,
+                // so the nominal charge scales with the window — a tenant
+                // cannot sidestep its space budget by asking for a huge ring
+                // of individually small sketches. (The admission pre-check
+                // runs before the service's own window-bound validation, so
+                // the multiplier saturates rather than trusting `window`.)
+                let per_slot = TenantSketch::new(spec).space_bits() as u64;
+                let slots = spec.window.unwrap_or(1).max(1) as u64;
+                Some(per_slot.saturating_mul(slots))
             }
             _ => None,
         }

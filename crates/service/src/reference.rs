@@ -9,15 +9,26 @@
 
 use crate::command::{CommandReply, ServiceCommand};
 use crate::error::ServiceError;
+use crate::service::MAX_WINDOW_EPOCHS;
 use crate::session::{SessionLedger, SessionSpec, SketchKind};
-use crate::sketch::TenantSketch;
+use crate::sketch::{set_algebra_estimates, SessionSketch};
 use crate::snapshot;
 use std::collections::BTreeMap;
 
 struct ReferenceEntry {
     spec: SessionSpec,
     ledger: SessionLedger,
-    sketch: TenantSketch,
+    sketch: SessionSketch,
+}
+
+impl ReferenceEntry {
+    /// The ring's current epoch (0 for unwindowed sessions).
+    fn epoch(&self) -> u64 {
+        match self.sketch.ring() {
+            Some(ring) => ring.epoch(),
+            None => 0,
+        }
+    }
 }
 
 /// Direct (unsharded) execution of service command traces.
@@ -39,12 +50,20 @@ impl ReferenceService {
                 if self.sessions.contains_key(name) {
                     return Err(ServiceError::DuplicateSession(name.clone()));
                 }
+                if let Some(window) = spec.window {
+                    if window == 0 || window > MAX_WINDOW_EPOCHS {
+                        return Err(ServiceError::InvalidWindow {
+                            session: name.clone(),
+                            window,
+                        });
+                    }
+                }
                 self.sessions.insert(
                     name.clone(),
                     ReferenceEntry {
                         spec: *spec,
                         ledger: SessionLedger::default(),
-                        sketch: TenantSketch::new(spec),
+                        sketch: SessionSketch::new(spec),
                     },
                 );
                 Ok(CommandReply::Done)
@@ -93,17 +112,56 @@ impl ReferenceService {
                         src: src.clone(),
                     });
                 }
+                // Windowed twins must sit at the same epoch (ring slots only
+                // line up when the rings are aligned) — same check position
+                // as the sharded service.
+                if dst_entry.spec.window.is_some() && dst_entry.epoch() != src_entry.epoch() {
+                    return Err(ServiceError::WindowEpochMismatch {
+                        dst: dst.clone(),
+                        src: src.clone(),
+                    });
+                }
                 let src_sketch = src_entry.sketch.clone();
                 let dst_entry = self.entry_mut(dst)?;
-                dst_entry.sketch.merge_from(&src_sketch);
+                dst_entry.sketch.absorb(&src_sketch);
                 dst_entry.ledger.merges += 1;
                 Ok(CommandReply::Done)
             }
-            ServiceCommand::Estimate { name } => {
-                Ok(CommandReply::Estimate(self.entry(name)?.sketch.estimate()))
+            ServiceCommand::Advance { name, epoch } => {
+                let entry = self.entry_mut(name)?;
+                if entry.spec.window.is_none() {
+                    return Err(ServiceError::NotWindowed(name.clone()));
+                }
+                let current = entry.epoch();
+                if *epoch <= current {
+                    return Err(ServiceError::EpochRegressed {
+                        session: name.clone(),
+                        current,
+                        requested: *epoch,
+                    });
+                }
+                entry.sketch.advance(name, *epoch);
+                entry.ledger.advances += 1;
+                Ok(CommandReply::Done)
+            }
+            ServiceCommand::Estimate { name } => Ok(CommandReply::Estimate(
+                self.entry(name)?.sketch.folded().estimate(),
+            )),
+            ServiceCommand::EstimateWindow { name } => {
+                let entry = self.entry(name)?;
+                if entry.spec.window.is_none() {
+                    return Err(ServiceError::NotWindowed(name.clone()));
+                }
+                Ok(CommandReply::Estimate(entry.sketch.folded().estimate()))
+            }
+            ServiceCommand::IntersectionEstimate { a, b } => {
+                Ok(CommandReply::Estimate(self.set_algebra(a, b)?.0))
+            }
+            ServiceCommand::JaccardEstimate { a, b } => {
+                Ok(CommandReply::Estimate(self.set_algebra(a, b)?.1))
             }
             ServiceCommand::EstimateWithR { name, r } => Ok(CommandReply::MaybeEstimate(
-                self.entry(name)?.sketch.estimate_with_r(*r),
+                self.entry(name)?.sketch.folded().estimate_with_r(*r),
             )),
             ServiceCommand::SpaceBits { name } => Ok(CommandReply::SpaceBits(
                 self.entry(name)?.sketch.space_bits(),
@@ -128,6 +186,30 @@ impl ReferenceService {
     /// The ledger of a session (for ledger-pinning assertions).
     pub fn ledger(&self, name: &str) -> Result<&SessionLedger, ServiceError> {
         self.entry(name).map(|e| &e.ledger)
+    }
+
+    /// Shared validation + computation of the set-algebra pair, in the same
+    /// check order as [`crate::SketchService`] (existence of `a`, existence
+    /// of `b`, spec equality, kind support) so error replies compare equal.
+    fn set_algebra(&self, a: &str, b: &str) -> Result<(f64, f64), ServiceError> {
+        let entry_a = self.entry(a)?;
+        let entry_b = self.entry(b)?;
+        if entry_a.spec != entry_b.spec {
+            return Err(ServiceError::SpecMismatch {
+                a: a.to_string(),
+                b: b.to_string(),
+            });
+        }
+        if entry_a.spec.kind == SketchKind::Ams {
+            return Err(ServiceError::SetAlgebraUnsupported {
+                a: a.to_string(),
+                b: b.to_string(),
+            });
+        }
+        Ok(set_algebra_estimates(
+            &entry_a.sketch.folded(),
+            &entry_b.sketch.folded(),
+        ))
     }
 
     /// Registered session names, sorted.

@@ -4,11 +4,18 @@ use crate::command::{CommandReply, ServiceCommand};
 use crate::error::ServiceError;
 use crate::session::{SessionLedger, SessionSpec, SketchKind};
 use crate::shard::{ShardHandle, ShardReply, ShardRequest};
-use crate::sketch::TenantSketch;
+use crate::sketch::{set_algebra_estimates, SessionSketch};
 use crate::snapshot;
 use mcf0_formula::DnfFormula;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
+
+/// Hard cap on a session's window size (ring slots). A windowed `create` is
+/// admitted from the wire, and each ring slot is a complete sketch — without
+/// a cap, a hostile `{"window": 10_000_000_000}` would allocate an unbounded
+/// ring before the first item arrives. Oversized windows are rejected with
+/// the typed [`ServiceError::InvalidWindow`] *before* any slot is drawn.
+pub const MAX_WINDOW_EPOCHS: usize = 4096;
 
 /// A fully materialized view of one session (the merged cross-shard state).
 #[derive(Clone)]
@@ -19,9 +26,10 @@ pub struct SessionSnapshot {
     pub spec: SessionSpec,
     /// Control-plane accounting.
     pub ledger: SessionLedger,
-    /// The merged sketch — bit-identical to an unsharded run over the same
+    /// The merged session state (plain sketch, or the whole epoch ring for
+    /// windowed sessions) — bit-identical to an unsharded run over the same
     /// commands.
-    pub sketch: TenantSketch,
+    pub sketch: SessionSketch,
 }
 
 impl SessionSnapshot {
@@ -34,6 +42,10 @@ impl SessionSnapshot {
 struct SessionEntry {
     spec: SessionSpec,
     ledger: SessionLedger,
+    /// The current epoch of a windowed session (0 and never advanced for
+    /// unwindowed ones). Mirrored on the control plane so `advance` can
+    /// reject regressions *before* dispatching to the shard rings.
+    epoch: u64,
 }
 
 /// A multi-tenant, sharded sketch service.
@@ -109,6 +121,14 @@ impl SketchService {
         if self.sessions.contains_key(name) {
             return Err(ServiceError::DuplicateSession(name.to_string()));
         }
+        if let Some(window) = spec.window {
+            if window == 0 || window > MAX_WINDOW_EPOCHS {
+                return Err(ServiceError::InvalidWindow {
+                    session: name.to_string(),
+                    window,
+                });
+            }
+        }
         self.broadcast(|| ShardRequest::Create {
             name: name.to_string(),
             spec,
@@ -118,6 +138,7 @@ impl SketchService {
             SessionEntry {
                 spec,
                 ledger: SessionLedger::default(),
+                epoch: 0,
             },
         );
         Ok(())
@@ -240,6 +261,20 @@ impl SketchService {
                 src: src.to_string(),
             });
         }
+        // Windowed twins must also *sit at the same epoch*: the merge is a
+        // slot-wise ring union, and slots only mean the same epoch when the
+        // rings are aligned. (Specs being equal, both are windowed or
+        // neither is.)
+        if dst_spec.window.is_some() {
+            let dst_epoch = self.entry(dst)?.epoch;
+            let src_epoch = self.entry(src)?.epoch;
+            if dst_epoch != src_epoch {
+                return Err(ServiceError::WindowEpochMismatch {
+                    dst: dst.to_string(),
+                    src: src.to_string(),
+                });
+            }
+        }
         let merged_src = self.merged_sketch(src)?;
         // All cross-shard state lands on shard 0; the per-sketch merges are
         // associative and commute with the shard partition, so estimates and
@@ -252,24 +287,121 @@ impl SketchService {
         Ok(())
     }
 
-    /// The session's current estimate (F0; F2 for AMS sessions).
+    /// The session's current estimate (F0; F2 for AMS sessions). Windowed
+    /// sessions report the estimate of their live-window fold — the ring
+    /// only holds the last `K` epochs, so there is no everything-ever
+    /// estimate to report.
     ///
     /// Read-only operations take `&self`: they only `Extract` and fold the
     /// shard partials, never mutate them, so the durable wrapper can
     /// checkpoint (save every session) without exclusive access.
     pub fn estimate(&self, name: &str) -> Result<f64, ServiceError> {
         self.entry(name)?;
-        Ok(self.merged_sketch(name)?.estimate())
+        Ok(self.merged_sketch(name)?.into_folded().estimate())
+    }
+
+    /// Moves a windowed session to a strictly larger epoch, retiring the
+    /// ring slots that rotate out of the window, on every shard. Epochs are
+    /// caller-supplied (the service never reads a clock) and must move
+    /// strictly forward; violations are typed rejections that leave every
+    /// ring untouched.
+    pub fn advance(&mut self, name: &str, epoch: u64) -> Result<(), ServiceError> {
+        let entry = self.entry(name)?;
+        if entry.spec.window.is_none() {
+            return Err(ServiceError::NotWindowed(name.to_string()));
+        }
+        let current = entry.epoch;
+        if epoch <= current {
+            return Err(ServiceError::EpochRegressed {
+                session: name.to_string(),
+                current,
+                requested: epoch,
+            });
+        }
+        self.broadcast(|| ShardRequest::Advance {
+            name: name.to_string(),
+            epoch,
+        })?;
+        let entry = self.entry_mut(name)?;
+        entry.epoch = epoch;
+        entry.ledger.advances += 1;
+        Ok(())
+    }
+
+    /// A windowed session's current epoch.
+    pub fn epoch(&self, name: &str) -> Result<u64, ServiceError> {
+        let entry = self.entry(name)?;
+        if entry.spec.window.is_none() {
+            return Err(ServiceError::NotWindowed(name.to_string()));
+        }
+        Ok(entry.epoch)
+    }
+
+    /// The sliding-window estimate of a windowed session: the fold of its
+    /// live epoch slots. `NotWindowed` on classic sessions (use
+    /// [`SketchService::estimate`] there).
+    pub fn estimate_window(&self, name: &str) -> Result<f64, ServiceError> {
+        let entry = self.entry(name)?;
+        if entry.spec.window.is_none() {
+            return Err(ServiceError::NotWindowed(name.to_string()));
+        }
+        Ok(self.merged_sketch(name)?.into_folded().estimate())
+    }
+
+    /// The inclusion–exclusion intersection-size estimate of two same-spec
+    /// sessions (windowed sessions: over their live-window folds). Purely a
+    /// read — the union is folded on a scratch merge, neither session
+    /// mutates.
+    pub fn intersection_estimate(&self, a: &str, b: &str) -> Result<f64, ServiceError> {
+        Ok(self.set_algebra(a, b)?.0)
+    }
+
+    /// The Jaccard-similarity estimate of two same-spec sessions, clamped
+    /// into `[0, 1]`. Read-only, like
+    /// [`SketchService::intersection_estimate`].
+    pub fn jaccard_estimate(&self, a: &str, b: &str) -> Result<f64, ServiceError> {
+        Ok(self.set_algebra(a, b)?.1)
+    }
+
+    /// Shared validation + computation of the set-algebra pair, in the same
+    /// check order as the reference interpreter (existence of `a`, existence
+    /// of `b`, spec equality, kind support) so error replies compare equal.
+    fn set_algebra(&self, a: &str, b: &str) -> Result<(f64, f64), ServiceError> {
+        let spec_a = self.entry(a)?.spec;
+        let spec_b = self.entry(b)?.spec;
+        if spec_a != spec_b {
+            return Err(ServiceError::SpecMismatch {
+                a: a.to_string(),
+                b: b.to_string(),
+            });
+        }
+        if spec_a.kind == SketchKind::Ams {
+            return Err(ServiceError::SetAlgebraUnsupported {
+                a: a.to_string(),
+                b: b.to_string(),
+            });
+        }
+        // `a == b` is allowed (the answer degenerates to est(A) and
+        // similarity 1) — unlike merge, nothing is mutated, so self-pairing
+        // is harmless.
+        let view_a = self.merged_sketch(a)?.into_folded();
+        let view_b = if a == b {
+            view_a.clone()
+        } else {
+            self.merged_sketch(b)?.into_folded()
+        };
+        Ok(set_algebra_estimates(&view_a, &view_b))
     }
 
     /// The Estimation strategy's (ε, δ) estimate given a rough `r` (`None`
     /// for other session kinds or a degenerate `r`).
     pub fn estimate_with_r(&self, name: &str, r: u32) -> Result<Option<f64>, ServiceError> {
         self.entry(name)?;
-        Ok(self.merged_sketch(name)?.estimate_with_r(r))
+        Ok(self.merged_sketch(name)?.into_folded().estimate_with_r(r))
     }
 
-    /// The merged sketch's size in bits.
+    /// The merged session state's size in bits (windowed sessions: summed
+    /// over every ring slot).
     pub fn space_bits(&self, name: &str) -> Result<usize, ServiceError> {
         self.entry(name)?;
         Ok(self.merged_sketch(name)?.space_bits())
@@ -308,21 +440,41 @@ impl SketchService {
         // or the shard partials (redrawn from that seed) could never merge
         // with the restored state. A tampered seed or hash word is rejected
         // here instead of detonating a worker-thread assert later.
-        if !TenantSketch::new(&spec).same_draw(&sketch) {
+        if !SessionSketch::new(&spec).same_draw(&sketch) {
             return Err(ServiceError::Snapshot(
                 "hash draws do not match the specification's seed".into(),
             ));
         }
+        let epoch = match sketch.ring() {
+            Some(ring) => ring.epoch(),
+            None => 0,
+        };
         self.broadcast(|| ShardRequest::Create {
             name: name.clone(),
             spec,
         })?;
+        // Freshly created ring partials sit at epoch 0; catch every shard up
+        // to the saved epoch (their slots are still empty, so the catch-up
+        // retires nothing) before the saved state lands on shard 0 — rings
+        // must be epoch-aligned across shards for every later fold.
+        if epoch > 0 {
+            self.broadcast(|| ShardRequest::Advance {
+                name: name.clone(),
+                epoch,
+            })?;
+        }
         self.shards[0].request(ShardRequest::Apply {
             name: name.clone(),
             sketch: Box::new(sketch),
         })?;
-        self.sessions
-            .insert(name.clone(), SessionEntry { spec, ledger });
+        self.sessions.insert(
+            name.clone(),
+            SessionEntry {
+                spec,
+                ledger,
+                epoch,
+            },
+        );
         Ok(name)
     }
 
@@ -342,7 +494,19 @@ impl SketchService {
             ServiceCommand::Merge { dst, src } => {
                 self.merge_sessions(dst, src).map(|()| CommandReply::Done)
             }
+            ServiceCommand::Advance { name, epoch } => {
+                self.advance(name, *epoch).map(|()| CommandReply::Done)
+            }
             ServiceCommand::Estimate { name } => self.estimate(name).map(CommandReply::Estimate),
+            ServiceCommand::EstimateWindow { name } => {
+                self.estimate_window(name).map(CommandReply::Estimate)
+            }
+            ServiceCommand::IntersectionEstimate { a, b } => {
+                self.intersection_estimate(a, b).map(CommandReply::Estimate)
+            }
+            ServiceCommand::JaccardEstimate { a, b } => {
+                self.jaccard_estimate(a, b).map(CommandReply::Estimate)
+            }
             ServiceCommand::EstimateWithR { name, r } => self
                 .estimate_with_r(name, *r)
                 .map(CommandReply::MaybeEstimate),
@@ -396,8 +560,10 @@ impl SketchService {
     }
 
     /// Extracts every shard's partial and folds them **in shard order** into
-    /// the session's full sketch.
-    fn merged_sketch(&self, name: &str) -> Result<TenantSketch, ServiceError> {
+    /// the session's full state (for rings: a slot-wise union — the shards'
+    /// rings stay epoch-aligned, so `absorb` degenerates to the plain
+    /// slot-wise merge).
+    fn merged_sketch(&self, name: &str) -> Result<SessionSketch, ServiceError> {
         let pending = self.fan_out((0..self.shards.len()).map(|shard| {
             (
                 shard,
@@ -406,11 +572,11 @@ impl SketchService {
                 },
             )
         }))?;
-        let mut merged: Option<TenantSketch> = None;
+        let mut merged: Option<SessionSketch> = None;
         for (shard, rx) in pending {
             match self.shards[shard].wait(rx)? {
                 ShardReply::Sketch(sketch) => match merged.as_mut() {
-                    Some(acc) => acc.merge_from(&sketch),
+                    Some(acc) => acc.absorb(&sketch),
                     None => merged = Some(*sketch),
                 },
                 // Extract always answers with a sketch; a protocol drift

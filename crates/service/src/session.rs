@@ -65,6 +65,13 @@ pub struct SessionSpec {
     pub columns: usize,
     /// Seed of the session's private hash-drawing RNG.
     pub seed: u64,
+    /// Sliding-window configuration: `Some(K)` makes the session an
+    /// epoch-ring of `K` identically-drawn sub-sketches (see
+    /// [`mcf0_streaming::EpochRing`]); `None` is the classic
+    /// everything-ever sketch. Part of the spec — and therefore of the
+    /// merge-compatibility check — because two sessions only compose
+    /// meaningfully when their window semantics agree.
+    pub window: Option<usize>,
 }
 
 impl SessionSpec {
@@ -86,7 +93,15 @@ impl SessionSpec {
             rows,
             columns: if kind == SketchKind::Ams { thresh } else { 0 },
             seed,
+            window: None,
         }
+    }
+
+    /// The same spec as a sliding-window session over the last `window`
+    /// epochs (see [`SessionSpec::window`]).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
     }
 
     /// The streaming-crate configuration this spec describes (sequential:
@@ -132,6 +147,8 @@ impl Serialize for SessionSpec {
         self.columns.serialize_json(out);
         out.push_str(",\"seed\":");
         self.seed.serialize_json(out);
+        out.push_str(",\"window\":");
+        self.window.serialize_json(out);
         out.push('}');
     }
 }
@@ -151,6 +168,12 @@ impl Deserialize for SessionSpec {
             rows: usize::deserialize_json(member(v, TY, "rows")?)?,
             columns: usize::deserialize_json(member(v, TY, "columns")?)?,
             seed: u64::deserialize_json(member(v, TY, "seed")?)?,
+            // Absent in documents and log records written before windowed
+            // sessions existed; absence means the classic unwindowed kind.
+            window: match v.get("window") {
+                Some(w) => Option::<usize>::deserialize_json(w)?,
+                None => None,
+            },
         })
     }
 }
@@ -169,4 +192,6 @@ pub struct SessionLedger {
     pub structured_items: u64,
     /// Merges applied *into* this session.
     pub merges: u64,
+    /// Epoch advances applied to this (windowed) session.
+    pub advances: u64,
 }

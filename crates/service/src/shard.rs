@@ -1,8 +1,9 @@
 //! The shard worker threads and their supervision.
 //!
 //! Each shard is a long-lived std thread owning its slice of every session's
-//! state (one complete [`TenantSketch`] per session, drawn from the session
-//! seed, fed only the items routed to the shard). Workers never touch a
+//! state (one complete [`SessionSketch`] per session — a plain sketch or an
+//! epoch ring, drawn from the session seed, fed only the items routed to
+//! the shard). Workers never touch a
 //! shared RNG and never talk to each other; the coordinator fans commands
 //! out over `mpsc` channels and collects replies **in shard order** — the
 //! same deterministic-merge discipline as the distributed protocols'
@@ -23,7 +24,7 @@
 
 use crate::error::ServiceError;
 use crate::session::SessionSpec;
-use crate::sketch::TenantSketch;
+use crate::sketch::SessionSketch;
 use mcf0_formula::DnfFormula;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -60,13 +61,22 @@ pub(crate) enum ShardRequest {
         /// Session name.
         name: String,
     },
+    /// Move a windowed session's ring to a new epoch. The control plane
+    /// validates windowedness and monotonicity first, then broadcasts to
+    /// every shard so the rings stay epoch-aligned.
+    Advance {
+        /// Session name.
+        name: String,
+        /// The new (strictly larger) epoch.
+        epoch: u64,
+    },
     /// Merge a sketch into the session's partial (cross-session merge and
     /// snapshot restore both land here, always on shard 0).
     Apply {
         /// Session name.
         name: String,
         /// Sketch to fold in.
-        sketch: Box<TenantSketch>,
+        sketch: Box<SessionSketch>,
     },
     /// Forget a session.
     Drop {
@@ -85,7 +95,7 @@ pub(crate) enum ShardReply {
     /// Command applied.
     Done,
     /// The extracted partial.
-    Sketch(Box<TenantSketch>),
+    Sketch(Box<SessionSketch>),
     /// The request panicked inside the worker; the payload message rides
     /// back as a value and the worker has retired.
     Panicked(String),
@@ -197,10 +207,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Applies one request to the worker's session map. Invariant violations
 /// (the control plane vouched for session existence and item kind) panic —
 /// and the supervisor in [`run_worker`] catches and reports them.
-fn handle(sessions: &mut HashMap<String, TenantSketch>, request: ShardRequest) -> ShardReply {
+fn handle(sessions: &mut HashMap<String, SessionSketch>, request: ShardRequest) -> ShardReply {
     match request {
         ShardRequest::Create { name, spec } => {
-            sessions.insert(name, TenantSketch::new(&spec));
+            sessions.insert(name, SessionSketch::new(&spec));
             ShardReply::Done
         }
         ShardRequest::Ingest { name, items } => {
@@ -227,11 +237,18 @@ fn handle(sessions: &mut HashMap<String, TenantSketch>, request: ShardRequest) -
             };
             ShardReply::Sketch(Box::new(sketch.clone()))
         }
+        ShardRequest::Advance { name, epoch } => {
+            let Some(sketch) = sessions.get_mut(&name) else {
+                panic!("shard invariant: session `{name}` missing");
+            };
+            sketch.advance(&name, epoch);
+            ShardReply::Done
+        }
         ShardRequest::Apply { name, sketch } => {
             let Some(partial) = sessions.get_mut(&name) else {
                 panic!("shard invariant: session `{name}` missing");
             };
-            partial.merge_from(&sketch);
+            partial.absorb(&sketch);
             ShardReply::Done
         }
         ShardRequest::Drop { name } => {
@@ -244,7 +261,7 @@ fn handle(sessions: &mut HashMap<String, TenantSketch>, request: ShardRequest) -
 }
 
 fn run_worker(receiver: mpsc::Receiver<Envelope>) {
-    let mut sessions: HashMap<String, TenantSketch> = HashMap::new();
+    let mut sessions: HashMap<String, SessionSketch> = HashMap::new();
     for (request, reply) in receiver {
         if matches!(request, ShardRequest::Shutdown) {
             break;

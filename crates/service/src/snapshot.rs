@@ -9,13 +9,20 @@
 //! bytes; the differential suite pins snapshot equality across shard counts
 //! on exactly this property. Decoding reverses it losslessly: restore →
 //! save round trips are byte-identical.
+//!
+//! Windowed sessions serialize their *whole epoch ring* — current epoch plus
+//! every slot's sketch state in ring-index order — under the `window`
+//! member, with the plain per-kind members left null; the ring's empty
+//! template is not stored (it is redrawn from the spec's seed on decode, and
+//! the restore path's draw validation pins it against the slots).
 
 use crate::error::ServiceError;
+use crate::service::MAX_WINDOW_EPOCHS;
 use crate::session::{SessionLedger, SessionSpec, SketchKind};
-use crate::sketch::TenantSketch;
+use crate::sketch::{SessionSketch, TenantSketch};
 use mcf0_gf2::BitVec;
 use mcf0_hashing::{LinearHash, SWiseHash, ToeplitzHash};
-use mcf0_streaming::{AmsF2, BucketingF0, EstimationF0, MinimumF0};
+use mcf0_streaming::{AmsF2, BucketingF0, EpochRing, EstimationF0, MinimumF0};
 use mcf0_structured::StructuredMinimumF0;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -164,12 +171,38 @@ struct SpecSnap {
     rows: usize,
     columns: usize,
     seed: u64,
+    window: Option<usize>,
 }
 
-/// The document. Exactly one of the per-kind state members is non-null,
+/// One sketch's state. Exactly one of the per-kind members is non-null,
 /// selected by `spec.kind` (the vendored derive supports structs only, so
 /// the sketch variants are encoded as optional members rather than an
-/// enum).
+/// enum). This is the whole sketch of a plain session, and one ring slot of
+/// a windowed one.
+#[derive(Serialize, Deserialize)]
+struct SketchSnap {
+    minimum: Option<Vec<MinimumRowSnap>>,
+    bucketing: Option<Vec<BucketingRowSnap>>,
+    estimation: Option<Vec<EstimationRowSnap>>,
+    ams: Option<AmsSnap>,
+    structured_minimum: Option<StructuredSnap>,
+}
+
+/// A windowed session's complete ring state.
+#[derive(Serialize, Deserialize)]
+struct WindowSnap {
+    /// Current epoch.
+    epoch: u64,
+    /// Every ring slot's sketch, in **ring-index** order (slot `i` holds
+    /// epoch `e` where `e % K == i`), so the encoding is canonical and
+    /// restore → save round trips stay byte-identical.
+    slots: Vec<SketchSnap>,
+}
+
+/// The document. Plain sessions keep their state in the top-level per-kind
+/// members (one non-null, selected by `spec.kind`) with `window` null;
+/// windowed sessions leave the top-level members null and carry the ring
+/// under `window`.
 #[derive(Serialize, Deserialize)]
 struct SessionDoc {
     format: String,
@@ -181,29 +214,12 @@ struct SessionDoc {
     estimation: Option<Vec<EstimationRowSnap>>,
     ams: Option<AmsSnap>,
     structured_minimum: Option<StructuredSnap>,
+    window: Option<WindowSnap>,
 }
 
-/// Renders a session to its canonical JSON document.
-pub fn encode(
-    name: &str,
-    spec: &SessionSpec,
-    ledger: &SessionLedger,
-    sketch: &TenantSketch,
-) -> String {
-    let mut doc = SessionDoc {
-        format: SNAPSHOT_FORMAT.to_string(),
-        name: name.to_string(),
-        spec: SpecSnap {
-            kind: spec.kind.name().to_string(),
-            universe_bits: spec.universe_bits,
-            epsilon: spec.epsilon,
-            delta: spec.delta,
-            thresh: spec.thresh,
-            rows: spec.rows,
-            columns: spec.columns,
-            seed: spec.seed,
-        },
-        ledger: *ledger,
+/// Renders one sketch's state to its per-kind snap members.
+fn snap_sketch(sketch: &TenantSketch) -> SketchSnap {
+    let mut snap = SketchSnap {
         minimum: None,
         bucketing: None,
         estimation: None,
@@ -212,7 +228,7 @@ pub fn encode(
     };
     match sketch {
         TenantSketch::Minimum(s) => {
-            doc.minimum = Some(
+            snap.minimum = Some(
                 (0..s.num_rows())
                     .map(|i| {
                         let (hash, smallest) = s.row_parts(i);
@@ -225,7 +241,7 @@ pub fn encode(
             );
         }
         TenantSketch::Bucketing(s) => {
-            doc.bucketing = Some(
+            snap.bucketing = Some(
                 (0..s.num_rows())
                     .map(|i| {
                         let (hash, level, cell) = s.row_parts(i);
@@ -239,7 +255,7 @@ pub fn encode(
             );
         }
         TenantSketch::Estimation(s) => {
-            doc.estimation = Some(
+            snap.estimation = Some(
                 (0..s.num_rows())
                     .map(|i| {
                         let (hashes, cells) = s.row_parts(i);
@@ -253,7 +269,7 @@ pub fn encode(
         }
         TenantSketch::Ams(s) => {
             let (rows, columns) = (s.num_rows(), s.num_columns());
-            doc.ams = Some(AmsSnap {
+            snap.ams = Some(AmsSnap {
                 rows,
                 columns,
                 cells: (0..rows)
@@ -270,7 +286,7 @@ pub fn encode(
             });
         }
         TenantSketch::StructuredMinimum(s) => {
-            doc.structured_minimum = Some(StructuredSnap {
+            snap.structured_minimum = Some(StructuredSnap {
                 rows: (0..s.num_rows())
                     .map(|i| {
                         let (hash, minima) = s.row_parts(i);
@@ -284,6 +300,54 @@ pub fn encode(
             });
         }
     }
+    snap
+}
+
+/// Renders a session to its canonical JSON document.
+pub fn encode(
+    name: &str,
+    spec: &SessionSpec,
+    ledger: &SessionLedger,
+    sketch: &SessionSketch,
+) -> String {
+    let mut doc = SessionDoc {
+        format: SNAPSHOT_FORMAT.to_string(),
+        name: name.to_string(),
+        spec: SpecSnap {
+            kind: spec.kind.name().to_string(),
+            universe_bits: spec.universe_bits,
+            epsilon: spec.epsilon,
+            delta: spec.delta,
+            thresh: spec.thresh,
+            rows: spec.rows,
+            columns: spec.columns,
+            seed: spec.seed,
+            window: spec.window,
+        },
+        ledger: *ledger,
+        minimum: None,
+        bucketing: None,
+        estimation: None,
+        ams: None,
+        structured_minimum: None,
+        window: None,
+    };
+    match sketch {
+        SessionSketch::Plain(s) => {
+            let snap = snap_sketch(s);
+            doc.minimum = snap.minimum;
+            doc.bucketing = snap.bucketing;
+            doc.estimation = snap.estimation;
+            doc.ams = snap.ams;
+            doc.structured_minimum = snap.structured_minimum;
+        }
+        SessionSketch::Windowed(ring) => {
+            doc.window = Some(WindowSnap {
+                epoch: ring.epoch(),
+                slots: ring.slots().iter().map(snap_sketch).collect(),
+            });
+        }
+    }
     // The vendored serde's `serialize_json` writes straight into a String
     // and cannot fail — encode stays infallible without an `expect` on the
     // `serde_json::to_string` Result wrapper.
@@ -292,37 +356,13 @@ pub fn encode(
     out
 }
 
-/// Decodes a document back into `(name, spec, ledger, sketch)`.
-pub fn decode(
-    json: &str,
-) -> Result<(String, SessionSpec, SessionLedger, TenantSketch), ServiceError> {
-    let doc: SessionDoc =
-        serde_json::from_str(json).map_err(|e| ServiceError::Snapshot(e.to_string()))?;
-    if doc.format != SNAPSHOT_FORMAT {
-        return Err(ServiceError::Snapshot(format!(
-            "unsupported format tag `{}`",
-            doc.format
-        )));
-    }
-    let kind = SketchKind::parse(&doc.spec.kind).ok_or_else(|| {
-        ServiceError::Snapshot(format!("unknown sketch kind `{}`", doc.spec.kind))
-    })?;
-    let spec = SessionSpec {
-        kind,
-        universe_bits: doc.spec.universe_bits,
-        epsilon: doc.spec.epsilon,
-        delta: doc.spec.delta,
-        thresh: doc.spec.thresh,
-        rows: doc.spec.rows,
-        columns: doc.spec.columns,
-        seed: doc.spec.seed,
-    };
-    if !(1..=64).contains(&spec.universe_bits) || spec.thresh == 0 || spec.rows == 0 {
-        return Err(ServiceError::Snapshot("malformed specification".into()));
-    }
-    let sketch = match kind {
+/// Rebuilds one sketch's state from its snap members, validating shape
+/// against the specification (the restore path separately validates the
+/// hash *draws* against the spec's seed).
+fn build_sketch(snap: &SketchSnap, spec: &SessionSpec) -> Result<TenantSketch, ServiceError> {
+    Ok(match spec.kind {
         SketchKind::Minimum => {
-            let rows = doc
+            let rows = snap
                 .minimum
                 .as_ref()
                 .ok_or_else(|| ServiceError::Snapshot("missing minimum state".into()))?;
@@ -350,7 +390,7 @@ pub fn decode(
             ))
         }
         SketchKind::Bucketing => {
-            let rows = doc
+            let rows = snap
                 .bucketing
                 .as_ref()
                 .ok_or_else(|| ServiceError::Snapshot("missing bucketing state".into()))?;
@@ -378,7 +418,7 @@ pub fn decode(
             ))
         }
         SketchKind::Estimation => {
-            let rows = doc
+            let rows = snap
                 .estimation
                 .as_ref()
                 .ok_or_else(|| ServiceError::Snapshot("missing estimation state".into()))?;
@@ -408,22 +448,22 @@ pub fn decode(
             ))
         }
         SketchKind::Ams => {
-            let snap = doc
+            let ams = snap
                 .ams
                 .as_ref()
                 .ok_or_else(|| ServiceError::Snapshot("missing ams state".into()))?;
-            if snap.rows != spec.rows
-                || snap.columns != spec.columns
-                || snap.columns == 0
-                || snap.cells.len() != snap.rows * snap.columns
+            if ams.rows != spec.rows
+                || ams.columns != spec.columns
+                || ams.columns == 0
+                || ams.cells.len() != ams.rows * ams.columns
             {
                 return Err(ServiceError::Snapshot("malformed ams shape".into()));
             }
-            let mut grid = Vec::with_capacity(snap.rows);
+            let mut grid = Vec::with_capacity(ams.rows);
             // `cells.len() == rows * columns` was checked above, so chunking
             // by `columns` yields exactly `rows` full rows.
-            for chunk in snap.cells.chunks(snap.columns) {
-                let mut row = Vec::with_capacity(snap.columns);
+            for chunk in ams.cells.chunks(ams.columns) {
+                let mut row = Vec::with_capacity(ams.columns);
                 for cell in chunk {
                     let hash = cell.hash.build()?;
                     if hash.width() as usize != spec.universe_bits {
@@ -436,17 +476,17 @@ pub fn decode(
             TenantSketch::Ams(AmsF2::from_parts(
                 spec.universe_bits,
                 grid,
-                snap.items_processed,
+                ams.items_processed,
             ))
         }
         SketchKind::StructuredMinimum => {
-            let snap = doc
+            let structured = snap
                 .structured_minimum
                 .as_ref()
                 .ok_or_else(|| ServiceError::Snapshot("missing structured state".into()))?;
-            check_rows(snap.rows.len(), spec.rows)?;
-            let mut parts = Vec::with_capacity(snap.rows.len());
-            for row in &snap.rows {
+            check_rows(structured.rows.len(), spec.rows)?;
+            let mut parts = Vec::with_capacity(structured.rows.len());
+            for row in &structured.rows {
                 let hash = row.hash.build()?;
                 check_hash_dims(&hash, spec.universe_bits, 3 * spec.universe_bits)?;
                 let mut minima = Vec::with_capacity(row.smallest.len());
@@ -465,7 +505,98 @@ pub fn decode(
                 spec.universe_bits,
                 spec.thresh,
                 parts,
-                snap.items_processed,
+                structured.items_processed,
+            ))
+        }
+    })
+}
+
+/// Decodes a document back into `(name, spec, ledger, sketch)`.
+pub fn decode(
+    json: &str,
+) -> Result<(String, SessionSpec, SessionLedger, SessionSketch), ServiceError> {
+    let doc: SessionDoc =
+        serde_json::from_str(json).map_err(|e| ServiceError::Snapshot(e.to_string()))?;
+    if doc.format != SNAPSHOT_FORMAT {
+        return Err(ServiceError::Snapshot(format!(
+            "unsupported format tag `{}`",
+            doc.format
+        )));
+    }
+    let kind = SketchKind::parse(&doc.spec.kind).ok_or_else(|| {
+        ServiceError::Snapshot(format!("unknown sketch kind `{}`", doc.spec.kind))
+    })?;
+    let spec = SessionSpec {
+        kind,
+        universe_bits: doc.spec.universe_bits,
+        epsilon: doc.spec.epsilon,
+        delta: doc.spec.delta,
+        thresh: doc.spec.thresh,
+        rows: doc.spec.rows,
+        columns: doc.spec.columns,
+        seed: doc.spec.seed,
+        window: doc.spec.window,
+    };
+    if !(1..=64).contains(&spec.universe_bits) || spec.thresh == 0 || spec.rows == 0 {
+        return Err(ServiceError::Snapshot("malformed specification".into()));
+    }
+    // The window bound is re-validated here because a snapshot document is
+    // untrusted input like any other frame: a tampered `"window"` must be a
+    // typed rejection *before* any ring slot is allocated or decoded.
+    if let Some(window) = spec.window {
+        if window == 0 || window > MAX_WINDOW_EPOCHS {
+            return Err(ServiceError::Snapshot(format!(
+                "window of {window} epochs is outside 1..={MAX_WINDOW_EPOCHS}"
+            )));
+        }
+    }
+    let plain = SketchSnap {
+        minimum: doc.minimum,
+        bucketing: doc.bucketing,
+        estimation: doc.estimation,
+        ams: doc.ams,
+        structured_minimum: doc.structured_minimum,
+    };
+    let sketch = match spec.window {
+        None => {
+            if doc.window.is_some() {
+                return Err(ServiceError::Snapshot(
+                    "ring state on an unwindowed specification".into(),
+                ));
+            }
+            SessionSketch::Plain(build_sketch(&plain, &spec)?)
+        }
+        Some(window) => {
+            if plain.minimum.is_some()
+                || plain.bucketing.is_some()
+                || plain.estimation.is_some()
+                || plain.ams.is_some()
+                || plain.structured_minimum.is_some()
+            {
+                return Err(ServiceError::Snapshot(
+                    "plain sketch state on a windowed specification".into(),
+                ));
+            }
+            let win = doc
+                .window
+                .as_ref()
+                .ok_or_else(|| ServiceError::Snapshot("missing ring state".into()))?;
+            if win.slots.len() != window {
+                return Err(ServiceError::Snapshot(format!(
+                    "ring of {} slots does not match the {window}-epoch window",
+                    win.slots.len()
+                )));
+            }
+            let mut slots = Vec::with_capacity(win.slots.len());
+            for slot in &win.slots {
+                slots.push(build_sketch(slot, &spec)?);
+            }
+            // The empty template is not stored: redraw it from the spec's
+            // seed (the restore path then pins the slots' draws against it).
+            SessionSketch::Windowed(EpochRing::from_parts(
+                TenantSketch::new(&spec),
+                win.epoch,
+                slots,
             ))
         }
     };

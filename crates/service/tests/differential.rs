@@ -158,6 +158,7 @@ fn self_merge_is_rejected_in_both_interpreters() {
         rows: 3,
         columns: 32,
         seed: 99,
+        window: None,
     };
     let mut service = SketchService::new(2);
     let mut reference = ReferenceService::new();
@@ -223,6 +224,7 @@ fn paper_scale_sharding_is_bit_identical() {
             rows: 9,
             columns: if kind == SketchKind::Ams { 150 } else { 0 },
             seed: 4242,
+            window: None,
         };
         let mut reference = ReferenceService::new();
         let mut service = SketchService::new(4);

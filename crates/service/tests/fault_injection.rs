@@ -97,6 +97,7 @@ fn default_spec() -> SessionSpec {
         rows: 3,
         columns: 0,
         seed: 7,
+        window: None,
     }
 }
 

@@ -20,7 +20,13 @@ use std::io::Cursor;
 const BITS: usize = 8;
 
 /// All error codes, for exhaustive string round trips.
-const ALL_CODES: [ErrorCode; 16] = [
+const ALL_CODES: [ErrorCode; 22] = [
+    ErrorCode::InvalidWindow,
+    ErrorCode::NotWindowed,
+    ErrorCode::EpochRegressed,
+    ErrorCode::WindowEpochMismatch,
+    ErrorCode::SpecMismatch,
+    ErrorCode::SetAlgebraUnsupported,
     ErrorCode::BadFrame,
     ErrorCode::BadRequest,
     ErrorCode::FrameTooLarge,

@@ -36,6 +36,7 @@ pub mod exact;
 pub mod flajolet_martin;
 pub mod minimum;
 pub mod sketch;
+pub mod window;
 pub mod workloads;
 
 pub use ams::AmsF2;
@@ -47,3 +48,4 @@ pub use exact::ExactDistinct;
 pub use flajolet_martin::FlajoletMartinF0;
 pub use minimum::MinimumF0;
 pub use sketch::F0Sketch;
+pub use window::{EpochRegressed, EpochRing, WindowSketch};

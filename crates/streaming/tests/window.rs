@@ -1,0 +1,208 @@
+//! Window-semantics properties of the epoch ring: folding the live epochs
+//! of an [`EpochRing`] is **bit-identical** to a fresh sketch (same hash
+//! draws) fed only the in-window items — for all three plain-F0 kinds —
+//! plus the ring-wraparound and empty-epoch edges, and the typed
+//! non-monotonic-advance rejection.
+
+use proptest::prelude::*;
+
+use mcf0_hashing::Xoshiro256StarStar;
+use mcf0_streaming::{
+    BucketingF0, EpochRing, EstimationF0, F0Config, F0Sketch, MinimumF0, WindowSketch,
+};
+use std::collections::BTreeMap;
+
+fn rng_from(seed: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed)
+}
+
+const BITS: usize = 20;
+
+fn config() -> F0Config {
+    F0Config::explicit(0.8, 0.3, 12, 3)
+}
+
+/// A windowed run: per step, an epoch jump (0 = stay in the current epoch;
+/// jumps > window exercise whole-ring resets) and a batch of items.
+fn windowed_run(max_steps: usize) -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
+    let mask = (1u64 << BITS) - 1;
+    prop::collection::vec(
+        (
+            0u64..8,
+            prop::collection::vec(any::<u64>().prop_map(move |v| v & mask), 0..25),
+        ),
+        1..max_steps,
+    )
+}
+
+/// Drives a ring through the run and returns `(ring, per-epoch item lists,
+/// final epoch)` — the reference view a fresh sketch is rebuilt from.
+fn drive<S, F>(
+    mut ring: EpochRing<S>,
+    run: &[(u64, Vec<u64>)],
+    mut feed: F,
+) -> (EpochRing<S>, BTreeMap<u64, Vec<u64>>, u64)
+where
+    S: WindowSketch,
+    F: FnMut(&mut S, &[u64]),
+{
+    let mut per_epoch: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut epoch = 0u64;
+    for (jump, items) in run {
+        if *jump > 0 {
+            epoch += jump;
+            ring.advance(epoch).expect("strictly increasing");
+        }
+        feed(ring.current_mut(), items);
+        per_epoch.entry(epoch).or_default().extend(items);
+    }
+    (ring, per_epoch, epoch)
+}
+
+/// The items of the epochs still inside a `window`-wide window ending at
+/// `epoch`, in ascending epoch order (the fold's merge order).
+fn in_window_items(per_epoch: &BTreeMap<u64, Vec<u64>>, epoch: u64, window: usize) -> Vec<u64> {
+    let lo = (epoch + 1).saturating_sub(window as u64);
+    per_epoch
+        .iter()
+        .filter(|(e, _)| **e >= lo)
+        .flat_map(|(_, items)| items.iter().copied())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn minimum_window_fold_is_bit_identical_to_a_fresh_in_window_sketch(
+        run in windowed_run(16), seed in any::<u64>(), window in 1usize..6,
+    ) {
+        let template = MinimumF0::new(BITS, &config(), &mut rng_from(seed));
+        let ring = EpochRing::new(template, window);
+        let (ring, per_epoch, epoch) =
+            drive(ring, &run, |s: &mut MinimumF0, items| s.process_stream(items));
+
+        let fold = ring.fold();
+        let mut fresh = MinimumF0::new(BITS, &config(), &mut rng_from(seed));
+        fresh.process_stream(&in_window_items(&per_epoch, epoch, window));
+
+        prop_assert_eq!(fold.estimate(), fresh.estimate());
+        for i in 0..fold.num_rows() {
+            let (hash_a, smallest_a) = fold.row_parts(i);
+            let (hash_b, smallest_b) = fresh.row_parts(i);
+            prop_assert_eq!(hash_a.diagonal(), hash_b.diagonal());
+            prop_assert_eq!(smallest_a, smallest_b);
+        }
+    }
+
+    #[test]
+    fn bucketing_window_fold_is_bit_identical_to_a_fresh_in_window_sketch(
+        run in windowed_run(16), seed in any::<u64>(), window in 1usize..6,
+    ) {
+        let template = BucketingF0::new(BITS, &config(), &mut rng_from(seed));
+        let ring = EpochRing::new(template, window);
+        let (ring, per_epoch, epoch) =
+            drive(ring, &run, |s: &mut BucketingF0, items| s.process_stream(items));
+
+        let fold = ring.fold();
+        let mut fresh = BucketingF0::new(BITS, &config(), &mut rng_from(seed));
+        fresh.process_stream(&in_window_items(&per_epoch, epoch, window));
+
+        prop_assert_eq!(fold.estimate(), fresh.estimate());
+        for i in 0..fold.num_rows() {
+            let (hash_a, level_a, cell_a) = fold.row_parts(i);
+            let (hash_b, level_b, cell_b) = fresh.row_parts(i);
+            prop_assert_eq!(hash_a.diagonal(), hash_b.diagonal());
+            prop_assert_eq!(level_a, level_b);
+            prop_assert_eq!(cell_a, cell_b);
+        }
+    }
+
+    #[test]
+    fn estimation_window_fold_is_bit_identical_to_a_fresh_in_window_sketch(
+        run in windowed_run(16), seed in any::<u64>(), window in 1usize..6,
+    ) {
+        let template = EstimationF0::new(BITS, &config(), &mut rng_from(seed));
+        let ring = EpochRing::new(template, window);
+        let (ring, per_epoch, epoch) =
+            drive(ring, &run, |s: &mut EstimationF0, items| s.process_stream(items));
+
+        let fold = ring.fold();
+        let mut fresh = EstimationF0::new(BITS, &config(), &mut rng_from(seed));
+        fresh.process_stream(&in_window_items(&per_epoch, epoch, window));
+
+        prop_assert_eq!(fold.estimate(), fresh.estimate());
+        for i in 0..fold.num_rows() {
+            let (_, cells_a) = fold.row_parts(i);
+            let (_, cells_b) = fresh.row_parts(i);
+            prop_assert_eq!(cells_a, cells_b);
+        }
+    }
+
+    #[test]
+    fn retired_epochs_never_leak_back_into_the_fold(
+        seed in any::<u64>(), window in 1usize..5,
+    ) {
+        // Fill every slot with a distinctive item per epoch, then advance a
+        // full window: the fold must be exactly the post-wrap items — a slot
+        // that failed to reset on rotation would inflate the estimate.
+        let template = MinimumF0::new(BITS, &config(), &mut rng_from(seed));
+        let mut ring = EpochRing::new(template, window);
+        for e in 0..(2 * window as u64) {
+            if e > 0 {
+                ring.advance(e).expect("monotone");
+            }
+            ring.current_mut().process_stream(&[e]);
+        }
+        // Epochs are now (window..2*window): exactly `window` live epochs,
+        // one item each, all pre-wrap items retired.
+        prop_assert_eq!(ring.fold().estimate(), window as f64);
+    }
+
+    #[test]
+    fn jumps_wider_than_the_window_empty_the_whole_ring(
+        run in windowed_run(8), seed in any::<u64>(), window in 1usize..5,
+    ) {
+        let template = MinimumF0::new(BITS, &config(), &mut rng_from(seed));
+        let ring = EpochRing::new(template, window);
+        let (mut ring, _, epoch) =
+            drive(ring, &run, |s: &mut MinimumF0, items| s.process_stream(items));
+        ring.advance(epoch + window as u64).expect("monotone");
+        prop_assert_eq!(ring.fold().estimate(), 0.0);
+    }
+
+    #[test]
+    fn empty_epochs_contribute_nothing(seed in any::<u64>(), window in 2usize..6) {
+        // Items only in the first epoch of the window; the trailing empty
+        // epochs must leave the fold unchanged until the first epoch
+        // retires.
+        let template = MinimumF0::new(BITS, &config(), &mut rng_from(seed));
+        let mut ring = EpochRing::new(template, window);
+        ring.current_mut().process_stream(&[1, 2, 3]);
+        for e in 1..window as u64 {
+            ring.advance(e).expect("monotone");
+            prop_assert_eq!(ring.fold().estimate(), 3.0, "epoch {}", e);
+        }
+        ring.advance(window as u64).expect("monotone");
+        prop_assert_eq!(ring.fold().estimate(), 0.0);
+    }
+
+    #[test]
+    fn non_monotone_advances_are_typed_errors_that_leave_the_ring_alone(
+        seed in any::<u64>(), window in 1usize..5, target in 1u64..20,
+    ) {
+        let template = MinimumF0::new(BITS, &config(), &mut rng_from(seed));
+        let mut ring = EpochRing::new(template, window);
+        ring.current_mut().process_stream(&[7]);
+        ring.advance(target).expect("monotone");
+        ring.current_mut().process_stream(&[8, 9]);
+        let before = ring.fold().estimate();
+        for bad in [target, target / 2, 0] {
+            let err = ring.advance(bad).expect_err("must not advance");
+            prop_assert_eq!(err.current, target);
+            prop_assert_eq!(err.requested, bad);
+            prop_assert_eq!(ring.epoch(), target);
+            prop_assert_eq!(ring.fold().estimate(), before);
+        }
+    }
+}
